@@ -1,0 +1,68 @@
+// Command ddbench runs the paper-reproduction experiments and prints the
+// tables and series the paper reports.
+//
+// Usage:
+//
+//	ddbench -list
+//	ddbench [-quick] [-seed N] <experiment-id>...
+//	ddbench [-quick] all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"doubledecker/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	quick := fs.Bool("quick", false, "run shortened smoke versions")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	stretch := fs.Float64("stretch", 0, "override duration stretch factor (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiment given; try -list")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	opts := experiments.DefaultOpts()
+	if *quick {
+		opts = experiments.QuickOpts()
+	}
+	opts.Seed = *seed
+	if *stretch > 0 {
+		opts.Stretch = *stretch
+	}
+	for _, id := range ids {
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		start := time.Now()
+		res := runner(opts)
+		fmt.Print(res.Format())
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing experiment not rejected")
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real scenario")
+	}
+	if err := run([]string{"-quick", "-stretch", "0.04", "fig5"}); err != nil {
+		t.Fatalf("run fig5: %v", err)
+	}
+}

@@ -1,0 +1,273 @@
+// Command ddsim runs an arbitrary derivative-cloud scenario described by
+// a JSON configuration: a host cache configuration, VMs with weights, and
+// containers with <T, W> tuples and workloads. It prints per-container
+// throughput and cache statistics, plus optional occupancy samples.
+//
+// Usage:
+//
+//	ddsim -config scenario.json
+//	ddsim -example        # print a ready-to-edit example config
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/datastore"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/guest"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/workload"
+)
+
+const mib = int64(1) << 20
+
+// Config is the top-level scenario description.
+type Config struct {
+	Seed            int64      `json:"seed"`
+	DurationSeconds int64      `json:"durationSeconds"`
+	SampleSeconds   int64      `json:"sampleSeconds"`
+	Host            HostConfig `json:"host"`
+	VMs             []VMConfig `json:"vms"`
+}
+
+// HostConfig describes the hypervisor cache.
+type HostConfig struct {
+	Mode        string `json:"mode"` // "dd" or "global"
+	MemCacheMiB int64  `json:"memCacheMiB"`
+	SSDCacheMiB int64  `json:"ssdCacheMiB"`
+}
+
+// VMConfig describes one virtual machine.
+type VMConfig struct {
+	ID         int               `json:"id"`
+	MemMiB     int64             `json:"memMiB"`
+	Weight     int64             `json:"weight"`
+	Containers []ContainerConfig `json:"containers"`
+}
+
+// ContainerConfig describes one container and its workload.
+type ContainerConfig struct {
+	Name     string         `json:"name"`
+	LimitMiB int64          `json:"limitMiB"`
+	Store    string         `json:"store"` // "mem", "ssd", "hybrid"
+	Weight   int            `json:"weight"`
+	Workload WorkloadConfig `json:"workload"`
+}
+
+// WorkloadConfig selects and sizes a workload profile.
+type WorkloadConfig struct {
+	Type        string `json:"type"` // webserver webproxy varmail videoserver redis mongodb mysql
+	Threads     int    `json:"threads"`
+	Files       int    `json:"files,omitempty"`
+	MeanBlocks  int64  `json:"meanBlocks,omitempty"`
+	ThinkMicros int64  `json:"thinkMicros,omitempty"`
+	DatasetMiB  int64  `json:"datasetMiB,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddsim", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file")
+	example := fs.Bool("example", false, "print an example config and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		fmt.Println(exampleConfig)
+		return nil
+	}
+	if *path == "" {
+		return fmt.Errorf("no -config given; try -example")
+	}
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parse config: %w", err)
+	}
+	return simulate(cfg, os.Stdout)
+}
+
+func storeType(s string) (cgroup.StoreType, error) {
+	switch s {
+	case "", "mem":
+		return cgroup.StoreMem, nil
+	case "ssd":
+		return cgroup.StoreSSD, nil
+	case "hybrid":
+		return cgroup.StoreHybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown store %q", s)
+	}
+}
+
+func buildProfile(w WorkloadConfig, engine *sim.Engine) (workload.Profile, error) {
+	rng := engine.Rand()
+	think := time.Duration(w.ThinkMicros) * time.Microsecond
+	switch w.Type {
+	case "webserver":
+		cfg := workload.DefaultWebserver()
+		if w.Files > 0 {
+			cfg.Files = w.Files
+		}
+		if w.MeanBlocks > 0 {
+			cfg.MeanBlocks = w.MeanBlocks
+		}
+		if think > 0 {
+			cfg.Think = think
+		}
+		return workload.NewWebserver(cfg, rng), nil
+	case "webproxy":
+		cfg := workload.DefaultWebproxy()
+		if w.Files > 0 {
+			cfg.Files = w.Files
+		}
+		if w.MeanBlocks > 0 {
+			cfg.MeanBlocks = w.MeanBlocks
+		}
+		if think > 0 {
+			cfg.Think = think
+		}
+		return workload.NewWebproxy(cfg, rng), nil
+	case "varmail":
+		cfg := workload.DefaultVarmail()
+		if w.Files > 0 {
+			cfg.Files = w.Files
+		}
+		if w.MeanBlocks > 0 {
+			cfg.MeanBlocks = w.MeanBlocks
+		}
+		if think > 0 {
+			cfg.Think = think
+		}
+		return workload.NewVarmail(cfg, rng), nil
+	case "videoserver":
+		cfg := workload.DefaultVideoserver()
+		if think > 0 {
+			cfg.Think = think
+		}
+		return workload.NewVideoserver(cfg, rng), nil
+	case "redis":
+		cfg := datastore.DefaultRedis()
+		if w.DatasetMiB > 0 {
+			cfg.DatasetBytes = w.DatasetMiB * mib
+		}
+		if think > 0 {
+			cfg.Think = think
+		}
+		return datastore.NewRedis(cfg, rng), nil
+	case "mongodb":
+		cfg := datastore.DefaultMongo()
+		if w.DatasetMiB > 0 {
+			cfg.DatasetBytes = w.DatasetMiB * mib
+		}
+		if think > 0 {
+			cfg.Think = think
+		}
+		return datastore.NewMongo(cfg, rng), nil
+	case "mysql":
+		cfg := datastore.DefaultMySQL()
+		if w.DatasetMiB > 0 {
+			cfg.BufferPoolBytes = w.DatasetMiB * mib
+		}
+		if think > 0 {
+			cfg.Think = think
+		}
+		return datastore.NewMySQL(cfg, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", w.Type)
+	}
+}
+
+func simulate(cfg Config, out *os.File) error {
+	if cfg.DurationSeconds <= 0 {
+		cfg.DurationSeconds = 120
+	}
+	engine := sim.New(cfg.Seed)
+	mode := ddcache.ModeDD
+	if cfg.Host.Mode == "global" {
+		mode = ddcache.ModeGlobal
+	}
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          mode,
+		MemCacheBytes: cfg.Host.MemCacheMiB * mib,
+		SSDCacheBytes: cfg.Host.SSDCacheMiB * mib,
+	})
+	type tracked struct {
+		vmID      int
+		container *guest.Container
+		runner    *workload.Runner
+	}
+	var all []tracked
+	for _, vc := range cfg.VMs {
+		vm := host.NewVM(cleancache.VMID(vc.ID), vc.MemMiB*mib, vc.Weight)
+		for _, cc := range vc.Containers {
+			st, err := storeType(cc.Store)
+			if err != nil {
+				return err
+			}
+			c := vm.NewContainer(cc.Name, cc.LimitMiB*mib, cgroup.HCacheSpec{Store: st, Weight: cc.Weight})
+			profile, err := buildProfile(cc.Workload, engine)
+			if err != nil {
+				return fmt.Errorf("container %s: %w", cc.Name, err)
+			}
+			threads := cc.Workload.Threads
+			if threads <= 0 {
+				threads = 2
+			}
+			all = append(all, tracked{vc.ID, c, workload.Start(engine, c, profile, threads)})
+		}
+	}
+	if err := engine.Run(time.Duration(cfg.DurationSeconds) * time.Second); err != nil {
+		return err
+	}
+	now := engine.Now()
+	fmt.Fprintf(out, "scenario complete at t=%v (mode %v)\n\n", now, mode)
+	fmt.Fprintf(out, "%-4s %-12s %10s %10s %12s %12s %10s %10s\n",
+		"vm", "container", "ops/s", "MB/s", "cache MiB", "hit %", "evictions", "swap MiB")
+	for _, t := range all {
+		cs := t.container.CacheStats()
+		g := t.container.Group()
+		fmt.Fprintf(out, "%-4d %-12s %10.1f %10.2f %12.1f %12.1f %10d %10.1f\n",
+			t.vmID, t.container.Name(),
+			t.runner.OpsPerSec(now), t.runner.MBPerSec(now),
+			float64(cs.UsedBytes)/float64(mib), cs.HitRatio(), cs.Evictions,
+			float64(g.Stats().SwapOutPages)*4096/float64(mib))
+	}
+	return nil
+}
+
+const exampleConfig = `{
+  "seed": 42,
+  "durationSeconds": 180,
+  "host": {"mode": "dd", "memCacheMiB": 256, "ssdCacheMiB": 4096},
+  "vms": [
+    {"id": 1, "memMiB": 512, "weight": 60, "containers": [
+      {"name": "web", "limitMiB": 96, "store": "mem", "weight": 70,
+       "workload": {"type": "webserver", "files": 2400, "meanBlocks": 32, "threads": 4, "thinkMicros": 1000}},
+      {"name": "video", "limitMiB": 96, "store": "ssd", "weight": 100,
+       "workload": {"type": "videoserver", "threads": 4, "thinkMicros": 1000}}
+    ]},
+    {"id": 2, "memMiB": 512, "weight": 40, "containers": [
+      {"name": "redis", "limitMiB": 160, "store": "mem", "weight": 30,
+       "workload": {"type": "redis", "datasetMiB": 128, "threads": 2, "thinkMicros": 200}},
+      {"name": "mongo", "limitMiB": 96, "store": "mem", "weight": 70,
+       "workload": {"type": "mongodb", "datasetMiB": 192, "threads": 2, "thinkMicros": 1000}}
+    ]}
+  ]
+}`

@@ -1,0 +1,149 @@
+// Command ddtrace records a guest I/O trace from a simulated scenario and
+// analyzes it offline: per-container op summaries, working-set estimates
+// and miss-ratio curves — the capture half of the adaptive-provisioning
+// workflow the paper points at (MRC / WSS / SHARDS).
+//
+// Usage:
+//
+//	ddtrace -record trace.bin [-seconds 120] [-seed 42]   # capture
+//	ddtrace -analyze trace.bin [-capacities 1024,8192,...] # inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/estimator"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/trace"
+	"doubledecker/internal/workload"
+)
+
+const mib = int64(1) << 20
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddtrace", flag.ContinueOnError)
+	record := fs.String("record", "", "record a demo scenario trace to this path")
+	analyze := fs.String("analyze", "", "analyze a previously recorded trace")
+	seconds := fs.Int64("seconds", 120, "virtual seconds to record")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	capacities := fs.String("capacities", "1024,4096,16384,65536", "MRC capacities in pages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *record != "":
+		return recordDemo(*record, *seconds, *seed)
+	case *analyze != "":
+		return analyzeTrace(*analyze, *capacities, os.Stdout)
+	default:
+		return fmt.Errorf("need -record or -analyze")
+	}
+}
+
+// recordDemo runs a two-container scenario with the trace recorder
+// attached and writes the captured log.
+func recordDemo(path string, seconds, seed int64) error {
+	engine := sim.New(seed)
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeDD,
+		MemCacheBytes: 192 * mib,
+	})
+	vm := host.NewVM(1, 512*mib, 100)
+	log := trace.NewLog()
+	detach := vm.RecordTrace(log)
+	defer detach()
+
+	web := vm.NewContainer("web", 96*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 50})
+	proxy := vm.NewContainer("proxy", 96*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 50})
+	workload.Start(engine, web, workload.NewWebserver(
+		workload.WebserverConfig{Files: 1600, MeanBlocks: 32, Think: time.Millisecond}, engine.Rand()), 4)
+	workload.Start(engine, proxy, workload.NewWebproxy(
+		workload.WebproxyConfig{Files: 8000, MeanBlocks: 8, Think: 2 * time.Millisecond}, engine.Rand()), 4)
+	if err := engine.Run(time.Duration(seconds) * time.Second); err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := log.Encode(f); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	fmt.Printf("recorded %d accesses over %ds of virtual time to %s\n", log.Len(), seconds, path)
+	return nil
+}
+
+// analyzeTrace prints per-container summaries, WSS and MRC points.
+func analyzeTrace(path, capList string, out *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := trace.Decode(f)
+	if err != nil {
+		return err
+	}
+	var caps []int64
+	for _, part := range strings.Split(capList, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("capacity %q: %w", part, err)
+		}
+		caps = append(caps, v)
+	}
+
+	// Containers present, in dense-id order.
+	seen := map[uint16]bool{}
+	var ids []int
+	log.Replay(func(r trace.Record) bool {
+		if !seen[r.Container] {
+			seen[r.Container] = true
+			ids = append(ids, int(r.Container))
+		}
+		return true
+	})
+	sort.Ints(ids)
+
+	fmt.Fprintf(out, "trace: %d records, %d containers\n", log.Len(), len(ids))
+	for _, id := range ids {
+		cid := uint16(id)
+		mrc := estimator.NewMRC()
+		wss := estimator.NewWSS(30 * time.Second)
+		var last time.Duration
+		log.Replay(func(r trace.Record) bool {
+			if r.Container == cid && r.Kind == trace.KindRead {
+				key := trace.BlockKey(r)
+				mrc.Touch(key)
+				wss.Touch(r.At, key)
+				last = r.At
+			}
+			return true
+		})
+		fmt.Fprintf(out, "\ncontainer %q: %d accesses, %d unique pages, wss≈%d pages\n",
+			log.ContainerName(cid), mrc.Accesses(), mrc.Unique(), wss.Estimate(last))
+		for _, c := range caps {
+			fmt.Fprintf(out, "  miss-ratio @ %6d pages (%5.0f MiB): %.3f\n",
+				c, float64(c)*4096/float64(mib), mrc.MissRatio(c))
+		}
+	}
+	return nil
+}

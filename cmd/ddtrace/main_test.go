@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordAndAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real scenario")
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := run([]string{"-record", path, "-seconds", "10"}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing/empty: %v", err)
+	}
+	if err := run([]string{"-analyze", path, "-capacities", "256,1024"}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing mode accepted")
+	}
+	if err := run([]string{"-analyze", "/does/not/exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBadCapacityList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := run([]string{"-record", path, "-seconds", "2"}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := run([]string{"-analyze", path, "-capacities", "abc"}); err == nil {
+		t.Fatal("bad capacities accepted")
+	}
+}

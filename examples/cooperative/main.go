@@ -1,0 +1,87 @@
+// Cooperative demonstrates the paper's central argument (§5.2.1): a
+// centralized hypervisor cache cannot help anonymous-memory applications,
+// but DoubleDecker's two-level provisioning — the guest sets cgroup
+// limits, the hypervisor honours cache weights — can. A Redis-like store
+// collapses into swap next to a file-hungry webserver under centralized
+// management and recovers fully under cooperative provisioning.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/datastore"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/workload"
+)
+
+const mib = int64(1) << 20
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cooperative:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario runs redis + webserver in one 768 MiB VM. With cooperative=false
+// the containers are unbounded (the centralized model: only the hypervisor
+// cache is partitioned); with cooperative=true the VM-level manager also
+// sets in-VM limits so the anon working set is protected.
+func scenario(cooperative bool) (redisOps, webOps float64, redisResidentMiB float64) {
+	engine := sim.New(3)
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeDD,
+		MemCacheBytes: 256 * mib,
+	})
+	vm := host.NewVM(1, 768*mib, 100)
+
+	var redisLimit, webLimit int64
+	if cooperative {
+		redisLimit = 320 * mib // fits the working set
+		webLimit = 256 * mib   // web offloads its tail to the cache
+	}
+	redis := vm.NewContainer("redis", redisLimit, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 0})
+	web := vm.NewContainer("web", webLimit, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+
+	rRedis := workload.Start(engine, redis, datastore.NewRedis(datastore.RedisConfig{
+		DatasetBytes: 300 * mib,
+		TouchesPerOp: 2,
+		Think:        1500 * time.Microsecond,
+	}, engine.Rand()), 2)
+	rWeb := workload.Start(engine, web, workload.NewWebserver(workload.WebserverConfig{
+		Files:      4800,
+		MeanBlocks: 32, // ~600 MiB: a memory hog without limits
+		Think:      time.Millisecond,
+	}, engine.Rand()), 4)
+
+	duration := 4 * time.Minute
+	engine.Run(duration * 2 / 5)
+	cpR := rRedis.CheckpointNow(engine.Now())
+	cpW := rWeb.CheckpointNow(engine.Now())
+	engine.Run(duration)
+	return rRedis.OpsPerSecSince(cpR, engine.Now()),
+		rWeb.OpsPerSecSince(cpW, engine.Now()),
+		float64(redis.Group().AnonResident()) * 4096 / float64(mib)
+}
+
+func run() error {
+	cRedis, cWeb, cResident := scenario(false)
+	dRedis, dWeb, dResident := scenario(true)
+
+	fmt.Println("centralized vs cooperative provisioning (steady-state):")
+	fmt.Printf("\n%-24s %14s %14s %18s\n", "technique", "redis ops/s", "web ops/s", "redis resident MiB")
+	fmt.Printf("%-24s %14.1f %14.1f %18.1f\n", "centralized (no limits)", cRedis, cWeb, cResident)
+	fmt.Printf("%-24s %14.1f %14.1f %18.1f\n", "cooperative (two-level)", dRedis, dWeb, dResident)
+	if dRedis > 2*cRedis {
+		fmt.Printf("\ncooperative provisioning recovered redis %.0fx by fitting its working set in-VM,\n", dRedis/cRedis)
+		fmt.Println("while the webserver kept its performance through the hypervisor cache.")
+	} else {
+		fmt.Println("\n(unexpected: redis did not collapse under the centralized scenario)")
+	}
+	return nil
+}

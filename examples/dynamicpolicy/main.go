@@ -1,0 +1,93 @@
+// Dynamicpolicy demonstrates runtime reconfiguration (the paper's §5.3):
+// two containers share the memory store 60/40; a video container joins
+// and the weights are rebalanced on the fly; finally the video container
+// is migrated to the SSD store and the memory store snaps back to 60/40 —
+// all without restarting anything.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/guest"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/workload"
+)
+
+const mib = int64(1) << 20
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynamicpolicy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	engine := sim.New(11)
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeDD,
+		MemCacheBytes: 256 * mib,
+		SSDCacheBytes: 4 << 30,
+	})
+	vm := host.NewVM(1, 1<<30, 100)
+
+	web := vm.NewContainer("web", 128*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 60})
+	proxy := vm.NewContainer("proxy", 128*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 40})
+	workload.Start(engine, web, workload.NewWebserver(
+		workload.WebserverConfig{Files: 2400, MeanBlocks: 32, Think: time.Millisecond}, engine.Rand()), 4)
+	workload.Start(engine, proxy, workload.NewWebproxy(
+		workload.WebproxyConfig{Files: 8000, MeanBlocks: 8, Think: 2 * time.Millisecond}, engine.Rand()), 4)
+
+	show := func(label string, video *guest.Container) {
+		mgr := host.Manager()
+		line := fmt.Sprintf("%-28s web=%6.1f MiB  proxy=%6.1f MiB", label,
+			float64(mgr.PoolUsedBytes(cleancache.PoolID(web.Group().PoolID()), cgroup.StoreMem))/float64(mib),
+			float64(mgr.PoolUsedBytes(cleancache.PoolID(proxy.Group().PoolID()), cgroup.StoreMem))/float64(mib))
+		if video != nil {
+			pool := cleancache.PoolID(video.Group().PoolID())
+			line += fmt.Sprintf("  video: mem=%6.1f ssd=%6.1f",
+				float64(mgr.PoolUsedBytes(pool, cgroup.StoreMem))/float64(mib),
+				float64(mgr.PoolUsedBytes(pool, cgroup.StoreSSD))/float64(mib))
+		}
+		fmt.Println(line)
+	}
+
+	// Phase 1: two containers at 60/40.
+	if err := engine.Run(2 * time.Minute); err != nil {
+		return err
+	}
+	show("phase 1 (60/40):", nil)
+
+	// Phase 2: a video container joins; rebalance to 50/30/20 live.
+	video := vm.NewContainer("video", 128*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 20})
+	web.SetSpec(cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 50})
+	proxy.SetSpec(cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 30})
+	workload.Start(engine, video, workload.NewVideoserver(workload.VideoserverConfig{
+		ActiveVideos: 2, PassiveVideos: 6, VideoBlocks: 16384, ChunkBlocks: 64,
+		WriterThreads: 1, WriterThink: 10 * time.Millisecond, PassiveReadFrac: 0.06,
+		Think: time.Millisecond,
+	}, engine.Rand()), 4)
+	if err := engine.Run(engine.Now() + 2*time.Minute); err != nil {
+		return err
+	}
+	show("phase 2 (+video, 50/30/20):", video)
+
+	// Phase 3: move the video container to the SSD store (SET_CG_WEIGHT
+	// with a new <T, W>) and reset the memory weights.
+	video.SetSpec(cgroup.HCacheSpec{Store: cgroup.StoreSSD, Weight: 100})
+	web.SetSpec(cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 60})
+	proxy.SetSpec(cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 40})
+	if err := engine.Run(engine.Now() + 2*time.Minute); err != nil {
+		return err
+	}
+	show("phase 3 (video on SSD):", video)
+
+	fmt.Println("\nevery transition happened at runtime via SET_CG_WEIGHT; no container restarted.")
+	return nil
+}

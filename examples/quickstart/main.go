@@ -1,0 +1,78 @@
+// Quickstart: boot one VM with two containers of different cache weights,
+// run a webserver workload in each, and watch DoubleDecker partition the
+// hypervisor cache 70/30 while staying resource-conservative.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/workload"
+)
+
+const mib = int64(1) << 20
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. A simulation engine: all time is virtual and deterministic.
+	engine := sim.New(42)
+
+	// 2. A host with a 256 MiB memory-backed DoubleDecker cache.
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeDD,
+		MemCacheBytes: 256 * mib,
+	})
+
+	// 3. One VM with 512 MiB of RAM.
+	vm := host.NewVM(1, 512*mib, 100)
+
+	// 4. Two containers: the <T, W> tuple gives gold 70% of the cache
+	//    and bronze 30%.
+	gold := vm.NewContainer("gold", 96*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 70})
+	bronze := vm.NewContainer("bronze", 96*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 30})
+
+	// 5. Identical webserver workloads whose file sets exceed the
+	//    container limits, so both lean on the hypervisor cache.
+	cfg := workload.WebserverConfig{Files: 2400, MeanBlocks: 32, Think: time.Millisecond}
+	rGold := workload.Start(engine, gold, workload.NewWebserver(cfg, engine.Rand()), 4)
+	rBronze := workload.Start(engine, bronze, workload.NewWebserver(cfg, engine.Rand()), 4)
+
+	// 6. Run five virtual minutes.
+	if err := engine.Run(5 * time.Minute); err != nil {
+		return err
+	}
+
+	// 7. Inspect: per-container cache statistics via GET_STATS.
+	now := engine.Now()
+	fmt.Printf("after %v of virtual time:\n\n", now)
+	fmt.Printf("%-8s %12s %12s %14s %12s %10s\n",
+		"pool", "cache MiB", "entitlement", "lookups-hit %", "evictions", "MB/s")
+	rows := []struct {
+		name   string
+		runner *workload.Runner
+	}{{"gold", rGold}, {"bronze", rBronze}}
+	for _, row := range rows {
+		cs := row.runner.Container().CacheStats()
+		fmt.Printf("%-8s %12.1f %12.1f %14.1f %12d %10.1f\n",
+			row.name,
+			float64(cs.UsedBytes)/float64(mib),
+			float64(cs.EntitlementBytes)/float64(mib),
+			cs.HitRatio(),
+			cs.Evictions,
+			row.runner.MBPerSec(now),
+		)
+	}
+	fmt.Println("\ngold's 70-weight translates directly into a larger cache share and fewer evictions.")
+	return nil
+}

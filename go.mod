@@ -1,0 +1,3 @@
+module doubledecker
+
+go 1.22

@@ -1,0 +1,182 @@
+package blockdev
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const page = 4096
+
+func TestRAMFasterThanSSDFasterThanHDD(t *testing.T) {
+	ram := NewRAM("ram")
+	ssd := NewSSD("ssd")
+	hdd := NewHDD("hdd")
+	lr := ram.Read(0, 0, page)
+	ls := ssd.Read(0, 0, page)
+	lh := hdd.Read(0, 1<<30, page) // random position
+	if !(lr < ls && ls < lh) {
+		t.Fatalf("latency order violated: ram=%v ssd=%v hdd=%v", lr, ls, lh)
+	}
+}
+
+func TestQueueingDelays(t *testing.T) {
+	ssd := NewSSD("ssd")
+	first := ssd.Read(0, 0, page)
+	second := ssd.Read(0, page, page) // arrives while device busy
+	if second <= first {
+		t.Fatalf("queued request should see higher latency: first=%v second=%v", first, second)
+	}
+	// After the queue drains, latency returns to base service time.
+	later := ssd.Read(time.Second, 0, page)
+	if later != first {
+		t.Fatalf("idle-device latency = %v, want %v", later, first)
+	}
+}
+
+func TestHDDSequentialVsRandom(t *testing.T) {
+	hdd := NewHDD("hdd")
+	hdd.Read(0, 0, page) // position the head
+	seq := hdd.Read(time.Second, page, page)
+	rnd := hdd.Read(2*time.Second, 1<<30, page)
+	if seq >= rnd {
+		t.Fatalf("sequential read (%v) should beat random read (%v)", seq, rnd)
+	}
+	if rnd < 8*time.Millisecond {
+		t.Fatalf("random read %v implausibly fast for 7200rpm model", rnd)
+	}
+}
+
+func TestHDDFirstAccessSeeks(t *testing.T) {
+	hdd := NewHDD("hdd")
+	first := hdd.Read(0, 0, page)
+	if first < 8*time.Millisecond {
+		t.Fatalf("first access should pay seek+rotation, got %v", first)
+	}
+}
+
+func TestWriteAsyncDoesNotBlockButOccupies(t *testing.T) {
+	ssd := NewSSD("ssd")
+	ssd.WriteAsync(0, 0, 1<<20) // 1 MiB async write
+	// A read right after must queue behind the async write.
+	blocked := ssd.Read(0, 0, page)
+	idle := NewSSD("idle").Read(0, 0, page)
+	if blocked <= idle {
+		t.Fatalf("read did not queue behind async write: %v vs idle %v", blocked, idle)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	ssd := NewSSD("ssd")
+	ssd.Read(0, 0, page)
+	ssd.Write(0, 0, 2*page)
+	ssd.WriteAsync(0, 0, page)
+	st := ssd.Stats()
+	if st.Reads != 1 || st.Writes != 2 {
+		t.Fatalf("op counts = %d/%d, want 1/2", st.Reads, st.Writes)
+	}
+	if st.BytesRead != page || st.BytesWritten != 3*page {
+		t.Fatalf("byte counts = %d/%d", st.BytesRead, st.BytesWritten)
+	}
+	if st.BusyTime <= 0 {
+		t.Fatal("busy time not accounted")
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	ssd := NewSSD("a")
+	small := ssd.Read(0, 0, page)
+	big := NewSSD("b").Read(0, 0, 1<<20)
+	if big <= small {
+		t.Fatalf("1MiB read (%v) should take longer than 4KiB (%v)", big, small)
+	}
+}
+
+func TestZeroSizeTransfers(t *testing.T) {
+	ram := NewRAM("r")
+	if got := ram.Read(0, 0, 0); got <= 0 {
+		t.Fatalf("zero-size read should still cost the fixed op overhead, got %v", got)
+	}
+}
+
+// Property: latency is always positive and completion times are
+// non-decreasing for back-to-back requests at the same arrival time.
+func TestPropertyFCFSMonotone(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		ssd := NewSSD("p")
+		var prev time.Duration
+		for _, sz := range sizes {
+			l := ssd.Read(0, 0, int64(sz)+1)
+			if l <= 0 || l < prev {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: busy time equals the sum of service times, never exceeding
+// total span for serial same-arrival requests... i.e. accounting is sane.
+func TestPropertyBusyTimeAccumulates(t *testing.T) {
+	prop := func(n uint8) bool {
+		hdd := NewHDD("p")
+		var last time.Duration
+		for i := 0; i < int(n%20); i++ {
+			last = hdd.Read(0, int64(i)*1<<20, page)
+		}
+		return hdd.Stats().BusyTime == last // all arrive at t=0, serial queue
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayHDDFasterThanHDD(t *testing.T) {
+	slow := NewHDD("slow")
+	fast := NewArrayHDD("fast")
+	ls := slow.Read(0, 1<<30, page)
+	lf := fast.Read(0, 1<<30, page)
+	if lf >= ls {
+		t.Fatalf("array read %v not faster than spindle %v", lf, ls)
+	}
+}
+
+func TestHDDWriteAsyncOccupies(t *testing.T) {
+	hdd := NewHDD("h")
+	hdd.WriteAsync(0, 0, 1<<20)
+	blocked := hdd.Read(0, 1<<30, page)
+	idle := NewHDD("i").Read(0, 1<<30, page)
+	if blocked <= idle {
+		t.Fatalf("read did not queue behind async write: %v vs %v", blocked, idle)
+	}
+	if hdd.Stats().Writes != 1 {
+		t.Fatal("async write not counted")
+	}
+}
+
+func TestRAMWriteAndSSDWriteSync(t *testing.T) {
+	ram := NewRAM("r")
+	if ram.Write(0, 0, page) <= 0 {
+		t.Fatal("ram write free")
+	}
+	ssd := NewSSD("s")
+	w := ssd.Write(0, 0, page)
+	if w < 50*time.Microsecond {
+		t.Fatalf("sync ssd write %v too fast", w)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4, BusyTime: time.Second}
+	got := s.String()
+	for _, want := range []string{"reads=1", "writes=2", "bytesRead=3", "bytesWritten=4", "busy=1s"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Stats.String() = %q missing %q", got, want)
+		}
+	}
+}

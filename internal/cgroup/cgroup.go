@@ -1,0 +1,376 @@
+// Package cgroup models the guest OS memory controller for application
+// containers: per-group accounting of file-backed and anonymous pages,
+// hard limits with reclaim, an anonymous-memory swap model, and the
+// DoubleDecker policy knobs (the paper's <T, W> tuple naming the
+// hypervisor-cache store type and weight for each container).
+//
+// File pages live in the page cache (package pagecache) and are charged
+// here; anonymous memory is modelled statistically per group (working-set
+// size, resident count) — enough to reproduce the paper's Table 1/Table 4
+// behaviour where anon-heavy applications (Redis, MySQL) collapse into
+// swap while file-backed ones offload to the hypervisor cache.
+package cgroup
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"doubledecker/internal/blockdev"
+)
+
+// PageSize is the accounting granularity, matching fsmodel.BlockSize.
+const PageSize = 4096
+
+// Reclaim batch sizes, in pages. Reclaim frees a little more than strictly
+// needed so that every faulting page does not pay a full reclaim walk.
+const (
+	fileReclaimBatch = 32 // 128 KiB
+	swapBatch        = 64 // 256 KiB
+)
+
+// StoreType selects the hypervisor-cache backend for a container, the T in
+// the paper's <T, W> tuple.
+type StoreType int
+
+// Store types. Hybrid (memory share with SSD spill) is the configuration
+// option the paper describes and defers detailed evaluation of.
+const (
+	StoreMem StoreType = iota + 1
+	StoreSSD
+	StoreHybrid
+)
+
+// String implements fmt.Stringer.
+func (t StoreType) String() string {
+	switch t {
+	case StoreMem:
+		return "mem"
+	case StoreSSD:
+		return "ssd"
+	case StoreHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("StoreType(%d)", int(t))
+	}
+}
+
+// HCacheSpec is the per-container hypervisor cache policy tuple <T, W>.
+type HCacheSpec struct {
+	Store  StoreType
+	Weight int // relative weight (percentage between peers)
+}
+
+// FileReclaimer is implemented by the page cache: it can evict file pages
+// charged to a group and report the age of the group's coldest file page.
+type FileReclaimer interface {
+	// ReclaimFile evicts up to want file pages charged to g, returning
+	// the number of pages freed and the latency incurred (writeback,
+	// cleancache puts).
+	ReclaimFile(now time.Duration, g *Group, want int64) (freed int64, lat time.Duration)
+	// OldestFilePage reports the insertion/access time of g's coldest
+	// file page; ok is false when g has no file pages.
+	OldestFilePage(g *Group) (at time.Duration, ok bool)
+}
+
+// Root is the VM-level memory controller: it owns all groups of one VM and
+// enforces the VM's total memory.
+type Root struct {
+	limitPages  int64
+	kernelPages int64 // reserved for the guest kernel, never reclaimable
+	groups      []*Group
+	reclaimer   FileReclaimer
+	nextID      int
+}
+
+// NewRoot returns a VM memory controller with the given total memory.
+// kernelReserve approximates the guest kernel's own footprint.
+func NewRoot(totalBytes, kernelReserveBytes int64) *Root {
+	return &Root{
+		limitPages:  totalBytes / PageSize,
+		kernelPages: kernelReserveBytes / PageSize,
+		nextID:      1,
+	}
+}
+
+// SetReclaimer installs the page cache as the file-page reclaimer. It must
+// be called before any group allocates memory.
+func (r *Root) SetReclaimer(fr FileReclaimer) { r.reclaimer = fr }
+
+// LimitPages reports the VM memory limit in pages.
+func (r *Root) LimitPages() int64 { return r.limitPages }
+
+// UsedPages reports current VM-wide usage including the kernel reserve.
+func (r *Root) UsedPages() int64 {
+	used := r.kernelPages
+	for _, g := range r.groups {
+		used += g.Usage()
+	}
+	return used
+}
+
+// Groups returns the groups in creation order.
+func (r *Root) Groups() []*Group {
+	out := make([]*Group, len(r.groups))
+	copy(out, r.groups)
+	return out
+}
+
+// NewGroup creates a container cgroup. limitBytes of zero means the group
+// is bounded only by the VM. swap is the device backing anonymous
+// swap-outs (typically the VM's virtual disk).
+func (r *Root) NewGroup(name string, limitBytes int64, swap blockdev.Device) *Group {
+	g := &Group{
+		id:         r.nextID,
+		name:       name,
+		root:       r,
+		limitPages: limitBytes / PageSize,
+		swap:       swap,
+		spec:       HCacheSpec{Store: StoreMem, Weight: 100},
+	}
+	r.nextID++
+	r.groups = append(r.groups, g)
+	return g
+}
+
+// RemoveGroup detaches g from the root. The caller is responsible for
+// flushing its pages first (the guest does this on container destroy).
+func (r *Root) RemoveGroup(g *Group) {
+	for i, other := range r.groups {
+		if other == g {
+			r.groups = append(r.groups[:i], r.groups[i+1:]...)
+			return
+		}
+	}
+}
+
+// ensureRoom reclaims at VM scope until add pages fit under the VM limit.
+// Victims are chosen by coldest page age across all groups, approximating
+// the kernel's global LRU. Returns the reclaim latency charged to the
+// faulting operation.
+func (r *Root) ensureRoom(now time.Duration, add int64) time.Duration {
+	var lat time.Duration
+	if r.limitPages <= 0 || r.reclaimer == nil {
+		return 0
+	}
+	for r.UsedPages()+add > r.limitPages {
+		victim, viaFile := r.coldestVictim()
+		if victim == nil {
+			return lat // nothing reclaimable; admit anyway
+		}
+		if viaFile {
+			freed, l := r.reclaimer.ReclaimFile(now, victim, fileReclaimBatch)
+			lat += l
+			if freed == 0 {
+				// File pages unreclaimable (all racing); fall back to swap.
+				if victim.swapOut(now, swapBatch) == 0 {
+					return lat
+				}
+			}
+		} else if victim.swapOut(now, swapBatch) == 0 {
+			return lat
+		}
+	}
+	return lat
+}
+
+// coldestVictim picks the group holding the oldest page VM-wide, and
+// whether that page is file-backed (true) or anonymous (false).
+func (r *Root) coldestVictim() (*Group, bool) {
+	var (
+		victim  *Group
+		viaFile bool
+		oldest  time.Duration
+		found   bool
+	)
+	for _, g := range r.groups {
+		if g.filePages > 0 {
+			if at, ok := r.reclaimer.OldestFilePage(g); ok && (!found || at < oldest) {
+				victim, viaFile, oldest, found = g, true, at, true
+			}
+		}
+		if g.anonResident > 0 {
+			if !found || g.anonCycleStart < oldest {
+				victim, viaFile, oldest, found = g, false, g.anonCycleStart, true
+			}
+		}
+	}
+	return victim, viaFile
+}
+
+// Group is one container's memory cgroup.
+type Group struct {
+	id         int
+	name       string
+	root       *Root
+	limitPages int64
+	swap       blockdev.Device
+
+	filePages    int64
+	anonWS       int64 // declared anonymous working set, pages
+	anonResident int64 // anon pages currently in RAM
+
+	// anon aging: approximate time at which the current touch cycle
+	// started; a group whose working set is scanned slowly has an old
+	// cycle start and loses VM-level reclaim fights.
+	anonCycleStart time.Duration
+	anonTouchAccum int64
+
+	spec   HCacheSpec
+	poolID int64 // hypervisor cache pool, assigned by the guest wiring
+
+	stats Stats
+}
+
+// Stats aggregates a group's memory events.
+type Stats struct {
+	SwapOutPages int64 // cumulative pages swapped out
+	SwapInPages  int64 // cumulative pages swapped back in
+	FileEvicted  int64 // file pages reclaimed from this group
+}
+
+// ID reports the group's id, unique within its root.
+func (g *Group) ID() int { return g.id }
+
+// Name reports the container name.
+func (g *Group) Name() string { return g.name }
+
+// LimitPages reports the group's own limit (0 = VM-bound only).
+func (g *Group) LimitPages() int64 { return g.limitPages }
+
+// SetLimitBytes updates the group's memory limit at runtime.
+func (g *Group) SetLimitBytes(b int64) { g.limitPages = b / PageSize }
+
+// Usage reports file+anon resident pages.
+func (g *Group) Usage() int64 { return g.filePages + g.anonResident }
+
+// FilePages reports resident file-backed pages charged to the group.
+func (g *Group) FilePages() int64 { return g.filePages }
+
+// AnonResident reports resident anonymous pages.
+func (g *Group) AnonResident() int64 { return g.anonResident }
+
+// AnonWorkingSet reports the declared anonymous working set in pages.
+func (g *Group) AnonWorkingSet() int64 { return g.anonWS }
+
+// Stats returns a copy of the group's counters.
+func (g *Group) Stats() Stats { return g.stats }
+
+// Spec returns the group's hypervisor-cache policy tuple.
+func (g *Group) Spec() HCacheSpec { return g.spec }
+
+// SetSpec updates the policy tuple. Propagation to the hypervisor cache
+// (the paper's SET_CG_WEIGHT event) is wired by the guest package.
+func (g *Group) SetSpec(s HCacheSpec) { g.spec = s }
+
+// PoolID reports the hypervisor cache pool assigned to this container.
+func (g *Group) PoolID() int64 { return g.poolID }
+
+// SetPoolID records the pool assigned by the hypervisor cache.
+func (g *Group) SetPoolID(id int64) { g.poolID = id }
+
+// EnsureRoom makes room for add pages under both the group's and the VM's
+// limits, returning the reclaim latency to charge the faulting operation.
+func (g *Group) EnsureRoom(now time.Duration, add int64) time.Duration {
+	var lat time.Duration
+	if g.limitPages > 0 && g.root.reclaimer != nil {
+		for g.Usage()+add > g.limitPages {
+			freed, l := g.root.reclaimer.ReclaimFile(now, g, fileReclaimBatch)
+			lat += l
+			if freed == 0 {
+				if g.swapOut(now, swapBatch) == 0 {
+					break // nothing reclaimable
+				}
+			}
+		}
+	}
+	lat += g.root.ensureRoom(now, add)
+	return lat
+}
+
+// ChargeFile accounts n file pages to the group (page cache insertion).
+func (g *Group) ChargeFile(n int64) { g.filePages += n }
+
+// UnchargeFile removes n file pages from the group's accounting.
+func (g *Group) UnchargeFile(n int64) {
+	g.filePages -= n
+	if g.filePages < 0 {
+		g.filePages = 0
+	}
+	g.stats.FileEvicted += n
+}
+
+// swapOut pushes up to n resident anon pages to the swap device
+// asynchronously, returning the number actually swapped.
+func (g *Group) swapOut(now time.Duration, n int64) int64 {
+	if n > g.anonResident {
+		n = g.anonResident
+	}
+	if n <= 0 {
+		return 0
+	}
+	g.anonResident -= n
+	g.stats.SwapOutPages += n
+	g.swap.WriteAsync(now, 0, n*PageSize)
+	return n
+}
+
+// GrowAnon extends the group's anonymous working set by pages (e.g. Redis
+// loading its dataset), making them resident. Returns allocation latency
+// (reclaim it induced).
+func (g *Group) GrowAnon(now time.Duration, pages int64) time.Duration {
+	var lat time.Duration
+	const chunk = 256
+	for pages > 0 {
+		n := pages
+		if n > chunk {
+			n = chunk
+		}
+		lat += g.EnsureRoom(now+lat, n)
+		g.anonWS += n
+		g.anonResident += n
+		pages -= n
+	}
+	return lat
+}
+
+// ShrinkAnon releases pages of anonymous working set (freeing memory).
+func (g *Group) ShrinkAnon(pages int64) {
+	if pages > g.anonWS {
+		pages = g.anonWS
+	}
+	g.anonWS -= pages
+	if g.anonResident > g.anonWS {
+		g.anonResident = g.anonWS
+	}
+}
+
+// TouchAnon models the workload touching n anonymous pages. Pages absent
+// from RAM (swapped out) incur a synchronous swap-in each. The returned
+// latency includes swap-ins and any reclaim needed to make the pages
+// resident again.
+func (g *Group) TouchAnon(now time.Duration, n int64, rng *rand.Rand) time.Duration {
+	if g.anonWS <= 0 || n <= 0 {
+		return 0
+	}
+	var lat time.Duration
+	for i := int64(0); i < n; i++ {
+		missP := 1 - float64(g.anonResident)/float64(g.anonWS)
+		if missP > 0 && rng.Float64() < missP {
+			// Major fault: synchronous swap-in.
+			lat += g.swap.Read(now+lat, 0, PageSize)
+			lat += g.EnsureRoom(now+lat, 1)
+			g.anonResident++
+			if g.anonResident > g.anonWS {
+				g.anonResident = g.anonWS
+			}
+			g.stats.SwapInPages++
+		}
+		g.anonTouchAccum++
+		if g.anonTouchAccum >= g.anonResident {
+			g.anonTouchAccum = 0
+			g.anonCycleStart = now + lat
+		}
+	}
+	return lat
+}

@@ -1,0 +1,249 @@
+package cgroup
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"doubledecker/internal/blockdev"
+)
+
+// fakeReclaimer simulates a page cache holding file pages per group.
+type fakeReclaimer struct {
+	oldest map[*Group]time.Duration
+}
+
+func newFakeReclaimer() *fakeReclaimer {
+	return &fakeReclaimer{oldest: make(map[*Group]time.Duration)}
+}
+
+func (f *fakeReclaimer) ReclaimFile(_ time.Duration, g *Group, want int64) (int64, time.Duration) {
+	n := want
+	if n > g.FilePages() {
+		n = g.FilePages()
+	}
+	g.UnchargeFile(n)
+	return n, 0
+}
+
+func (f *fakeReclaimer) OldestFilePage(g *Group) (time.Duration, bool) {
+	if g.FilePages() == 0 {
+		return 0, false
+	}
+	return f.oldest[g], true
+}
+
+func newTestRoot(totalMB int64) (*Root, *fakeReclaimer) {
+	r := NewRoot(totalMB<<20, 0)
+	fr := newFakeReclaimer()
+	r.SetReclaimer(fr)
+	return r, fr
+}
+
+func TestGroupLimitTriggersFileReclaim(t *testing.T) {
+	r, _ := newTestRoot(1024)
+	g := r.NewGroup("c1", 1<<20 /* 256 pages */, blockdev.NewHDD("sw"))
+	g.ChargeFile(250)
+	if lat := g.EnsureRoom(0, 32); lat != 0 {
+		t.Fatalf("unexpected latency %v", lat)
+	}
+	if g.Usage()+32 > g.LimitPages() {
+		t.Fatalf("room not made: usage=%d limit=%d", g.Usage(), g.LimitPages())
+	}
+	if g.Stats().FileEvicted == 0 {
+		t.Fatal("no file pages reclaimed")
+	}
+}
+
+func TestGroupLimitSwapsAnonWhenNoFilePages(t *testing.T) {
+	r, _ := newTestRoot(1024)
+	swap := blockdev.NewHDD("sw")
+	g := r.NewGroup("redis", 1<<20, swap)
+	g.GrowAnon(0, 256) // exactly at limit
+	if g.AnonResident() != 256 {
+		t.Fatalf("resident = %d, want 256", g.AnonResident())
+	}
+	g.GrowAnon(0, 64) // must push some out
+	if g.AnonResident() > g.LimitPages() {
+		t.Fatalf("resident %d exceeds limit %d", g.AnonResident(), g.LimitPages())
+	}
+	if g.Stats().SwapOutPages == 0 {
+		t.Fatal("no pages swapped out")
+	}
+	if swap.Stats().BytesWritten == 0 {
+		t.Fatal("swap device saw no writes")
+	}
+}
+
+func TestTouchAnonAllResidentIsFree(t *testing.T) {
+	r, _ := newTestRoot(1024)
+	g := r.NewGroup("c", 0, blockdev.NewHDD("sw"))
+	g.GrowAnon(0, 100)
+	rng := rand.New(rand.NewSource(1))
+	if lat := g.TouchAnon(0, 50, rng); lat != 0 {
+		t.Fatalf("fully-resident touch cost %v, want 0", lat)
+	}
+	if g.Stats().SwapInPages != 0 {
+		t.Fatal("spurious swap-ins")
+	}
+}
+
+func TestTouchAnonSwappedIncursMajorFaults(t *testing.T) {
+	r, _ := newTestRoot(1024)
+	swap := blockdev.NewHDD("sw")
+	g := r.NewGroup("redis", 2<<20, swap) // 512 pages
+	g.GrowAnon(0, 1024)                   // WS 2x the limit → half swapped
+	rng := rand.New(rand.NewSource(2))
+	lat := g.TouchAnon(0, 100, rng)
+	if lat == 0 {
+		t.Fatal("touching a half-swapped working set should fault")
+	}
+	if g.Stats().SwapInPages == 0 {
+		t.Fatal("no swap-ins recorded")
+	}
+	if lat < 8*time.Millisecond {
+		t.Fatalf("major fault latency %v implausibly small", lat)
+	}
+}
+
+func TestVMLevelReclaimPrefersColdestGroup(t *testing.T) {
+	r, fr := newTestRoot(4) // 1024 pages total
+	g1 := r.NewGroup("hot", 0, blockdev.NewHDD("sw"))
+	g2 := r.NewGroup("cold", 0, blockdev.NewHDD("sw"))
+	g1.ChargeFile(500)
+	g2.ChargeFile(500)
+	fr.oldest[g1] = 100 * time.Second // young pages
+	fr.oldest[g2] = 1 * time.Second   // cold pages
+	g1.EnsureRoom(200*time.Second, 100)
+	if got := g2.Stats().FileEvicted; got == 0 {
+		t.Fatal("cold group not victimized")
+	}
+	if got := g1.Stats().FileEvicted; got != 0 {
+		t.Fatalf("hot group lost %d pages, want 0", got)
+	}
+}
+
+func TestVMLevelReclaimSwapsColdAnon(t *testing.T) {
+	r, fr := newTestRoot(4) // 1024 pages
+	web := r.NewGroup("web", 0, blockdev.NewHDD("sw1"))
+	redis := r.NewGroup("redis", 0, blockdev.NewHDD("sw2"))
+	redis.GrowAnon(0, 600)
+	redis.anonCycleStart = 0 // cold: scanned long ago
+	web.ChargeFile(400)
+	fr.oldest[web] = 500 * time.Second // recently touched
+	web.EnsureRoom(600*time.Second, 100)
+	if redis.Stats().SwapOutPages == 0 {
+		t.Fatal("cold anon not swapped under VM pressure")
+	}
+	if web.Stats().FileEvicted != 0 {
+		t.Fatal("hot file pages evicted instead of cold anon")
+	}
+}
+
+func TestKernelReserveCountsTowardsVMLimit(t *testing.T) {
+	r := NewRoot(4<<20, 2<<20) // 1024 pages, half reserved
+	fr := newFakeReclaimer()
+	r.SetReclaimer(fr)
+	g := r.NewGroup("c", 0, blockdev.NewHDD("sw"))
+	g.ChargeFile(512)
+	if r.UsedPages() != 1024 {
+		t.Fatalf("UsedPages = %d, want 1024", r.UsedPages())
+	}
+	g.EnsureRoom(0, 10)
+	if r.UsedPages()+10 > r.LimitPages() {
+		t.Fatal("VM-level reclaim did not run")
+	}
+}
+
+func TestShrinkAnon(t *testing.T) {
+	r, _ := newTestRoot(1024)
+	g := r.NewGroup("c", 0, blockdev.NewHDD("sw"))
+	g.GrowAnon(0, 100)
+	g.ShrinkAnon(40)
+	if g.AnonWorkingSet() != 60 || g.AnonResident() != 60 {
+		t.Fatalf("WS/resident = %d/%d, want 60/60", g.AnonWorkingSet(), g.AnonResident())
+	}
+	g.ShrinkAnon(1000)
+	if g.AnonWorkingSet() != 0 {
+		t.Fatalf("WS = %d, want 0", g.AnonWorkingSet())
+	}
+}
+
+func TestRemoveGroup(t *testing.T) {
+	r, _ := newTestRoot(1024)
+	g1 := r.NewGroup("a", 0, blockdev.NewHDD("sw"))
+	g2 := r.NewGroup("b", 0, blockdev.NewHDD("sw"))
+	r.RemoveGroup(g1)
+	gs := r.Groups()
+	if len(gs) != 1 || gs[0] != g2 {
+		t.Fatalf("Groups = %v", gs)
+	}
+	if g1.ID() == g2.ID() {
+		t.Fatal("ids not unique")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	r, _ := newTestRoot(1024)
+	g := r.NewGroup("c", 0, blockdev.NewHDD("sw"))
+	g.SetSpec(HCacheSpec{Store: StoreSSD, Weight: 40})
+	if s := g.Spec(); s.Store != StoreSSD || s.Weight != 40 {
+		t.Fatalf("Spec = %+v", s)
+	}
+	g.SetPoolID(7)
+	if g.PoolID() != 7 {
+		t.Fatalf("PoolID = %d", g.PoolID())
+	}
+}
+
+func TestStoreTypeString(t *testing.T) {
+	cases := map[StoreType]string{StoreMem: "mem", StoreSSD: "ssd", StoreHybrid: "hybrid", StoreType(9): "StoreType(9)"}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Fatalf("String(%d) = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+// Property: usage never exceeds the group limit after EnsureRoom, for any
+// sequence of file charges and anon growth.
+func TestPropertyGroupLimitRespected(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		r, _ := newTestRoot(1024)
+		g := r.NewGroup("p", 2<<20 /* 512 pages */, blockdev.NewHDD("sw"))
+		for _, op := range ops {
+			n := int64(op%100) + 1
+			if op%2 == 0 {
+				g.EnsureRoom(0, n)
+				g.ChargeFile(n)
+			} else {
+				g.GrowAnon(0, n)
+			}
+			if g.Usage() > g.LimitPages()+fileReclaimBatch+swapBatch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TouchAnon never makes resident exceed the working set, and
+// swap-in count matches faults incurred.
+func TestPropertyAnonResidencyBounds(t *testing.T) {
+	prop := func(ws uint16, limit uint16, touches uint8) bool {
+		r, _ := newTestRoot(1 << 20)
+		lim := (int64(limit%512) + 64) * PageSize
+		g := r.NewGroup("p", lim, blockdev.NewHDD("sw"))
+		g.GrowAnon(0, int64(ws%2048)+1)
+		rng := rand.New(rand.NewSource(9))
+		g.TouchAnon(0, int64(touches), rng)
+		return g.AnonResident() <= g.AnonWorkingSet() && g.AnonResident() >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package cleancache models the guest OS second-chance cache interface of
+// the paper: the Linux cleancache layer, extended for DoubleDecker so that
+// pools belong to containers (cgroups) rather than file systems.
+//
+// The page cache calls the Front on lookup misses (get), clean evictions
+// (put) and invalidations (flush). The Front derives the container pool
+// from the cgroup owning the page — the paper's page→process→cgroup
+// resolution — and forwards the operation over the hypercall channel to a
+// Backend (the DoubleDecker hypervisor cache manager, or the
+// nesting-agnostic Global baseline).
+package cleancache
+
+import (
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/hypercall"
+)
+
+// VMID identifies a virtual machine at the hypervisor.
+type VMID int
+
+// PoolID identifies a container's cache pool within the hypervisor cache.
+// Zero means "no pool" (hypervisor caching disabled for the container).
+type PoolID int64
+
+// Key identifies one cached block: the paper's
+// (pool-id, inode-num, block-offset) tuple; the VM id is carried
+// separately by the transport.
+type Key struct {
+	Pool  PoolID
+	Inode uint64
+	Block int64
+}
+
+// PoolStats is the per-container statistics view the paper's GET_STATS
+// operation exposes to the in-VM policy controller.
+type PoolStats struct {
+	UsedBytes        int64
+	EntitlementBytes int64
+	Objects          int64
+	Gets             int64
+	GetHits          int64
+	Puts             int64
+	PutRejects       int64
+	Evictions        int64
+}
+
+// LookupToStoreRatio is the paper's Table 2 metric: the percentage of
+// stored objects that were later looked up successfully.
+func (s PoolStats) LookupToStoreRatio() float64 {
+	if s.Puts == 0 {
+		return 0
+	}
+	return 100 * float64(s.GetHits) / float64(s.Puts)
+}
+
+// HitRatio is the fraction of gets that hit, in percent.
+func (s PoolStats) HitRatio() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return 100 * float64(s.GetHits) / float64(s.Gets)
+}
+
+// Backend is the hypervisor-side second-chance cache store. Latencies
+// returned are the store-internal costs; transport costs are added by the
+// Front.
+type Backend interface {
+	// CreatePool registers a container (CREATE_CGROUP) and returns its
+	// pool id.
+	CreatePool(now time.Duration, vm VMID, name string, spec cgroup.HCacheSpec) (PoolID, time.Duration)
+	// DestroyPool drops all objects of a container (DESTROY_CGROUP).
+	DestroyPool(now time.Duration, vm VMID, pool PoolID) time.Duration
+	// SetSpec updates a container's <T, W> tuple (SET_CG_WEIGHT).
+	SetSpec(now time.Duration, vm VMID, pool PoolID, spec cgroup.HCacheSpec) time.Duration
+	// Get looks up and removes a block (exclusive caching).
+	Get(now time.Duration, vm VMID, key Key) (bool, time.Duration)
+	// Put stores a clean block evicted from the guest page cache.
+	// content is the block's stable content identity (0 = unknown),
+	// which deduplicating stores may exploit.
+	Put(now time.Duration, vm VMID, key Key, content uint64) (bool, time.Duration)
+	// FlushPage invalidates one block.
+	FlushPage(now time.Duration, vm VMID, key Key) time.Duration
+	// FlushInode invalidates all blocks of a file in a pool.
+	FlushInode(now time.Duration, vm VMID, pool PoolID, inode uint64) time.Duration
+	// MigrateInode re-keys a file's blocks from one pool to another
+	// (MIGRATE_OBJECT, for files shared across containers).
+	MigrateInode(now time.Duration, vm VMID, from, to PoolID, inode uint64) time.Duration
+	// PoolStats implements GET_STATS.
+	PoolStats(vm VMID, pool PoolID) PoolStats
+}
+
+// FrontStats aggregates guest-side cleancache activity.
+type FrontStats struct {
+	Gets     int64
+	GetHits  int64
+	Puts     int64
+	Flushes  int64
+	Migrates int64
+}
+
+// Front is the guest-side cleancache layer for one VM.
+type Front struct {
+	vm      VMID
+	backend Backend
+	ch      *hypercall.Channel
+	enabled bool
+	// filter implements the paper's cgroup-name filter: only matching
+	// containers get hypervisor cache pools. Nil admits every container.
+	filter func(name string) bool
+
+	stats FrontStats
+}
+
+// NewFront wires a VM's cleancache layer to a backend over a hypercall
+// channel.
+func NewFront(vm VMID, backend Backend, ch *hypercall.Channel) *Front {
+	return &Front{vm: vm, backend: backend, ch: ch, enabled: true}
+}
+
+// VM reports the owning VM id.
+func (f *Front) VM() VMID { return f.vm }
+
+// SetEnabled toggles the whole second-chance path (cleancache off = the
+// paper's "no hypervisor cache" configurations).
+func (f *Front) SetEnabled(on bool) { f.enabled = on }
+
+// Enabled reports whether the second-chance path is active.
+func (f *Front) Enabled() bool { return f.enabled }
+
+// SetFilter installs the cgroup-name filter.
+func (f *Front) SetFilter(filter func(name string) bool) { f.filter = filter }
+
+// Stats returns the guest-side counters.
+func (f *Front) Stats() FrontStats { return f.stats }
+
+// RegisterGroup handles the CREATE_CGROUP event: it asks the backend for a
+// pool and records the id on the cgroup. Containers rejected by the filter
+// keep pool id zero and bypass the hypervisor cache entirely.
+func (f *Front) RegisterGroup(now time.Duration, g *cgroup.Group) time.Duration {
+	if !f.enabled || (f.filter != nil && !f.filter(g.Name())) {
+		return 0
+	}
+	lat := f.ch.Cost(0)
+	pool, l := f.backend.CreatePool(now+lat, f.vm, g.Name(), g.Spec())
+	g.SetPoolID(int64(pool))
+	return lat + l
+}
+
+// UnregisterGroup handles DESTROY_CGROUP.
+func (f *Front) UnregisterGroup(now time.Duration, g *cgroup.Group) time.Duration {
+	if g.PoolID() == 0 {
+		return 0
+	}
+	lat := f.ch.Cost(0)
+	lat += f.backend.DestroyPool(now+lat, f.vm, PoolID(g.PoolID()))
+	g.SetPoolID(0)
+	return lat
+}
+
+// UpdateSpec handles SET_CG_WEIGHT: pushes the group's current <T, W>
+// tuple to the hypervisor cache.
+func (f *Front) UpdateSpec(now time.Duration, g *cgroup.Group) time.Duration {
+	if g.PoolID() == 0 {
+		return 0
+	}
+	lat := f.ch.Cost(0)
+	return lat + f.backend.SetSpec(now+lat, f.vm, PoolID(g.PoolID()), g.Spec())
+}
+
+// Get looks up a block on page cache miss. A hit moves the page to the
+// guest (one page copied) and removes it from the hypervisor cache.
+func (f *Front) Get(now time.Duration, g *cgroup.Group, inode uint64, block int64) (bool, time.Duration) {
+	if !f.enabled || g.PoolID() == 0 {
+		return false, 0
+	}
+	f.stats.Gets++
+	lat := f.ch.Cost(1)
+	hit, l := f.backend.Get(now+lat, f.vm, Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block})
+	if hit {
+		f.stats.GetHits++
+	}
+	return hit, lat + l
+}
+
+// Put offers a clean evicted page to the hypervisor cache. content
+// carries the block's content identity for deduplicating stores (0 =
+// unknown).
+func (f *Front) Put(now time.Duration, g *cgroup.Group, inode uint64, block int64, content uint64) (bool, time.Duration) {
+	if !f.enabled || g.PoolID() == 0 {
+		return false, 0
+	}
+	f.stats.Puts++
+	lat := f.ch.Cost(1)
+	ok, l := f.backend.Put(now+lat, f.vm, Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block}, content)
+	return ok, lat + l
+}
+
+// FlushPage invalidates one block (dirtied or truncated in the guest).
+func (f *Front) FlushPage(now time.Duration, g *cgroup.Group, inode uint64, block int64) time.Duration {
+	if !f.enabled || g.PoolID() == 0 {
+		return 0
+	}
+	f.stats.Flushes++
+	lat := f.ch.Cost(0)
+	return lat + f.backend.FlushPage(now+lat, f.vm, Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block})
+}
+
+// FlushInode invalidates a whole file (deletion).
+func (f *Front) FlushInode(now time.Duration, g *cgroup.Group, inode uint64) time.Duration {
+	if !f.enabled || g.PoolID() == 0 {
+		return 0
+	}
+	f.stats.Flushes++
+	lat := f.ch.Cost(0)
+	return lat + f.backend.FlushInode(now+lat, f.vm, PoolID(g.PoolID()), inode)
+}
+
+// MigrateInode handles MIGRATE_OBJECT when a shared file's ownership moves
+// between containers.
+func (f *Front) MigrateInode(now time.Duration, from, to *cgroup.Group, inode uint64) time.Duration {
+	if !f.enabled || from.PoolID() == 0 || to.PoolID() == 0 {
+		return 0
+	}
+	f.stats.Migrates++
+	lat := f.ch.Cost(0)
+	return lat + f.backend.MigrateInode(now+lat, f.vm, PoolID(from.PoolID()), PoolID(to.PoolID()), inode)
+}
+
+// GroupStats implements the GET_STATS query for the in-VM policy
+// controller.
+func (f *Front) GroupStats(g *cgroup.Group) PoolStats {
+	if g.PoolID() == 0 {
+		return PoolStats{}
+	}
+	return f.backend.PoolStats(f.vm, PoolID(g.PoolID()))
+}

@@ -1,0 +1,235 @@
+package cleancache
+
+import (
+	"testing"
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/hypercall"
+)
+
+// fakeBackend records operations and serves a tiny in-memory key set.
+type fakeBackend struct {
+	nextPool PoolID
+	pools    map[PoolID]map[Key]bool
+	specs    map[PoolID]cgroup.HCacheSpec
+	destroys int
+	migrates int
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		nextPool: 1,
+		pools:    make(map[PoolID]map[Key]bool),
+		specs:    make(map[PoolID]cgroup.HCacheSpec),
+	}
+}
+
+func (b *fakeBackend) CreatePool(_ time.Duration, _ VMID, _ string, spec cgroup.HCacheSpec) (PoolID, time.Duration) {
+	id := b.nextPool
+	b.nextPool++
+	b.pools[id] = make(map[Key]bool)
+	b.specs[id] = spec
+	return id, time.Microsecond
+}
+
+func (b *fakeBackend) DestroyPool(_ time.Duration, _ VMID, pool PoolID) time.Duration {
+	delete(b.pools, pool)
+	b.destroys++
+	return 0
+}
+
+func (b *fakeBackend) SetSpec(_ time.Duration, _ VMID, pool PoolID, spec cgroup.HCacheSpec) time.Duration {
+	b.specs[pool] = spec
+	return 0
+}
+
+func (b *fakeBackend) Get(_ time.Duration, _ VMID, key Key) (bool, time.Duration) {
+	if b.pools[key.Pool][key] {
+		delete(b.pools[key.Pool], key)
+		return true, time.Microsecond
+	}
+	return false, 0
+}
+
+func (b *fakeBackend) Put(_ time.Duration, _ VMID, key Key, _ uint64) (bool, time.Duration) {
+	if m, ok := b.pools[key.Pool]; ok {
+		m[key] = true
+		return true, time.Microsecond
+	}
+	return false, 0
+}
+
+func (b *fakeBackend) FlushPage(_ time.Duration, _ VMID, key Key) time.Duration {
+	delete(b.pools[key.Pool], key)
+	return 0
+}
+
+func (b *fakeBackend) FlushInode(_ time.Duration, _ VMID, pool PoolID, inode uint64) time.Duration {
+	for k := range b.pools[pool] {
+		if k.Inode == inode {
+			delete(b.pools[pool], k)
+		}
+	}
+	return 0
+}
+
+func (b *fakeBackend) MigrateInode(_ time.Duration, _ VMID, from, to PoolID, inode uint64) time.Duration {
+	b.migrates++
+	for k := range b.pools[from] {
+		if k.Inode == inode {
+			delete(b.pools[from], k)
+			b.pools[to][Key{Pool: to, Inode: k.Inode, Block: k.Block}] = true
+		}
+	}
+	return 0
+}
+
+func (b *fakeBackend) PoolStats(_ VMID, pool PoolID) PoolStats {
+	return PoolStats{Objects: int64(len(b.pools[pool]))}
+}
+
+var _ Backend = (*fakeBackend)(nil)
+
+func newTestFront() (*Front, *fakeBackend, *cgroup.Group) {
+	be := newFakeBackend()
+	f := NewFront(1, be, hypercall.NewChannel())
+	root := cgroup.NewRoot(1<<30, 0)
+	g := root.NewGroup("c1", 0, blockdev.NewHDD("sw"))
+	return f, be, g
+}
+
+func TestRegisterAssignsPool(t *testing.T) {
+	f, _, g := newTestFront()
+	lat := f.RegisterGroup(0, g)
+	if g.PoolID() == 0 {
+		t.Fatal("pool not assigned")
+	}
+	if lat <= 0 {
+		t.Fatal("registration should cost a hypercall")
+	}
+}
+
+func TestFilterRejectsNonMatching(t *testing.T) {
+	f, _, g := newTestFront()
+	f.SetFilter(func(name string) bool { return name == "other" })
+	f.RegisterGroup(0, g)
+	if g.PoolID() != 0 {
+		t.Fatal("filtered group got a pool")
+	}
+	if hit, lat := f.Get(0, g, 1, 1); hit || lat != 0 {
+		t.Fatal("filtered group should bypass cleancache")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	f, _, g := newTestFront()
+	f.RegisterGroup(0, g)
+	if ok, _ := f.Put(0, g, 42, 7, 0); !ok {
+		t.Fatal("put failed")
+	}
+	hit, lat := f.Get(0, g, 42, 7)
+	if !hit {
+		t.Fatal("get missed after put")
+	}
+	if lat < hypercall.DefaultCallCost {
+		t.Fatalf("get latency %v below transport floor", lat)
+	}
+	// Exclusive semantics: second get misses.
+	if hit, _ := f.Get(0, g, 42, 7); hit {
+		t.Fatal("second get should miss (exclusive cache)")
+	}
+	st := f.Stats()
+	if st.Puts != 1 || st.Gets != 2 || st.GetHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDisabledFrontIsInert(t *testing.T) {
+	f, _, g := newTestFront()
+	f.RegisterGroup(0, g)
+	f.SetEnabled(false)
+	if !f.Enabled() == false {
+		t.Fatal("Enabled() broken")
+	}
+	if ok, _ := f.Put(0, g, 1, 1, 0); ok {
+		t.Fatal("disabled front accepted put")
+	}
+	if hit, _ := f.Get(0, g, 1, 1); hit {
+		t.Fatal("disabled front returned hit")
+	}
+}
+
+func TestUnregisterDestroysPool(t *testing.T) {
+	f, be, g := newTestFront()
+	f.RegisterGroup(0, g)
+	f.UnregisterGroup(0, g)
+	if g.PoolID() != 0 {
+		t.Fatal("pool id not cleared")
+	}
+	if be.destroys != 1 {
+		t.Fatal("backend DestroyPool not called")
+	}
+}
+
+func TestUpdateSpecPropagates(t *testing.T) {
+	f, be, g := newTestFront()
+	f.RegisterGroup(0, g)
+	g.SetSpec(cgroup.HCacheSpec{Store: cgroup.StoreSSD, Weight: 30})
+	f.UpdateSpec(0, g)
+	if got := be.specs[PoolID(g.PoolID())]; got.Store != cgroup.StoreSSD || got.Weight != 30 {
+		t.Fatalf("backend spec = %+v", got)
+	}
+}
+
+func TestFlushInodeAndMigrate(t *testing.T) {
+	f, be, g := newTestFront()
+	f.RegisterGroup(0, g)
+	root := cgroup.NewRoot(1<<30, 0)
+	g2 := root.NewGroup("c2", 0, blockdev.NewHDD("sw"))
+	f.RegisterGroup(0, g2)
+
+	f.Put(0, g, 5, 0, 0)
+	f.Put(0, g, 5, 1, 0)
+	f.MigrateInode(0, g, g2, 5)
+	if be.migrates != 1 {
+		t.Fatal("migrate not forwarded")
+	}
+	if hit, _ := f.Get(0, g2, 5, 0); !hit {
+		t.Fatal("migrated block not in target pool")
+	}
+	f.Put(0, g, 6, 0, 0)
+	f.FlushInode(0, g, 6)
+	if hit, _ := f.Get(0, g, 6, 0); hit {
+		t.Fatal("flushed inode still cached")
+	}
+}
+
+func TestLookupToStoreRatio(t *testing.T) {
+	s := PoolStats{Puts: 200, GetHits: 50, Gets: 100}
+	if got := s.LookupToStoreRatio(); got != 25 {
+		t.Fatalf("LookupToStoreRatio = %v, want 25", got)
+	}
+	if got := s.HitRatio(); got != 50 {
+		t.Fatalf("HitRatio = %v, want 50", got)
+	}
+	var zero PoolStats
+	if zero.LookupToStoreRatio() != 0 || zero.HitRatio() != 0 {
+		t.Fatal("zero stats should not divide by zero")
+	}
+}
+
+func TestGroupStats(t *testing.T) {
+	f, _, g := newTestFront()
+	f.RegisterGroup(0, g)
+	f.Put(0, g, 1, 0, 0)
+	if got := f.GroupStats(g); got.Objects != 1 {
+		t.Fatalf("GroupStats.Objects = %d, want 1", got.Objects)
+	}
+	root := cgroup.NewRoot(1<<30, 0)
+	unreg := root.NewGroup("x", 0, blockdev.NewHDD("sw"))
+	if got := f.GroupStats(unreg); got != (PoolStats{}) {
+		t.Fatal("unregistered group should report zero stats")
+	}
+}

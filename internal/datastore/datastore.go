@@ -1,0 +1,231 @@
+// Package datastore models the three YCSB-backed data stores of the
+// paper's evaluation, distinguished by how they use memory — the property
+// that drives Figure 7, Table 1 and Table 4:
+//
+//   - Redis: a pure in-memory store; its whole dataset is anonymous
+//     memory. The hypervisor cache cannot help it, and when its working
+//     set exceeds the container limit it collapses into swap.
+//   - MongoDB: an mmap-style store; its dataset is file-backed and flows
+//     through the page cache, so it offloads beautifully to the
+//     hypervisor cache.
+//   - MySQL: an InnoDB-style store; a large anonymous buffer pool plus a
+//     synchronously-flushed redo log. Mostly anon, hence mostly
+//     swap-bound under memory pressure.
+//
+// Each store is a workload.Profile driven by a closed-loop YCSB-like
+// client.
+package datastore
+
+import (
+	"math/rand"
+	"time"
+
+	"doubledecker/internal/fsmodel"
+	"doubledecker/internal/guest"
+	"doubledecker/internal/workload"
+)
+
+// RedisConfig sizes a Redis-like store.
+type RedisConfig struct {
+	DatasetBytes  int64
+	TouchesPerOp  int64 // anon pages touched per YCSB op
+	Think         time.Duration
+	AOFAppendsPer int64 // append-only-file writes per op interval (0 = off)
+}
+
+// DefaultRedis returns a 512 MiB in-memory dataset.
+func DefaultRedis() RedisConfig {
+	return RedisConfig{DatasetBytes: 512 << 20, TouchesPerOp: 2, Think: 80 * time.Microsecond}
+}
+
+// Redis is the anonymous-memory data store.
+type Redis struct {
+	cfg RedisConfig
+	rng *rand.Rand
+	aof *fsmodel.File
+	ops int64
+}
+
+var _ workload.Profile = (*Redis)(nil)
+
+// NewRedis builds the profile.
+func NewRedis(cfg RedisConfig, rng *rand.Rand) *Redis {
+	return &Redis{cfg: cfg, rng: rng}
+}
+
+// Name implements workload.Profile.
+func (r *Redis) Name() string { return "redis" }
+
+// Prepare implements workload.Profile: load the dataset into anonymous
+// memory (under memory pressure this immediately spills to swap).
+func (r *Redis) Prepare(now time.Duration, c *guest.Container) {
+	c.GrowAnon(now, r.cfg.DatasetBytes/fsmodel.BlockSize)
+	if r.cfg.AOFAppendsPer > 0 {
+		r.aof = c.VM().Allocator().Alloc(1)
+	}
+}
+
+// Step implements workload.Profile: one YCSB op touches a handful of
+// anonymous pages; swapped pages stall the client on major faults.
+func (r *Redis) Step(now time.Duration, c *guest.Container, _ int) (time.Duration, int64) {
+	lat := c.TouchAnon(now, r.cfg.TouchesPerOp)
+	r.ops++
+	if r.cfg.AOFAppendsPer > 0 && r.ops%r.cfg.AOFAppendsPer == 0 {
+		r.aof.Blocks++
+		lat += c.Write(now+lat, r.aof, r.aof.Blocks-1, 1)
+	}
+	return lat + r.cfg.Think, 1024 // nominal 1 KiB record
+}
+
+// MongoConfig sizes a MongoDB-like store.
+type MongoConfig struct {
+	DatasetBytes int64
+	AnonBytes    int64 // server-side working memory
+	ReadsPerOp   int64 // file blocks read per YCSB op
+	WriteFrac    float64
+	// UniformFrac is the fraction of reads drawn uniformly over the whole
+	// dataset (YCSB's scan/cold tail); the rest are zipf-popular.
+	UniformFrac float64
+	// SkipLoadPhase disables the YCSB load phase. By default Prepare
+	// writes the dataset through the page cache, which is what seeds the
+	// hypervisor cache with the cold part of the set (as in the paper).
+	SkipLoadPhase bool
+	Think         time.Duration
+}
+
+// DefaultMongo returns a 768 MiB file-backed dataset.
+func DefaultMongo() MongoConfig {
+	return MongoConfig{
+		DatasetBytes: 768 << 20,
+		AnonBytes:    64 << 20,
+		ReadsPerOp:   2,
+		WriteFrac:    0.05,
+		UniformFrac:  0.3,
+		Think:        1500 * time.Microsecond,
+	}
+}
+
+// Mongo is the mmap-style file-backed data store.
+type Mongo struct {
+	cfg  MongoConfig
+	rng  *rand.Rand
+	data *fsmodel.File
+	zipf *rand.Zipf
+}
+
+var _ workload.Profile = (*Mongo)(nil)
+
+// NewMongo builds the profile.
+func NewMongo(cfg MongoConfig, rng *rand.Rand) *Mongo {
+	return &Mongo{cfg: cfg, rng: rng}
+}
+
+// Name implements workload.Profile.
+func (m *Mongo) Name() string { return "mongodb" }
+
+// Prepare implements workload.Profile: allocate server memory and run the
+// YCSB load phase — inserting every record writes the data file through
+// the page cache, spilling the cold tail into the hypervisor cache.
+func (m *Mongo) Prepare(now time.Duration, c *guest.Container) {
+	blocks := m.cfg.DatasetBytes / fsmodel.BlockSize
+	m.data = c.VM().Allocator().Alloc(blocks)
+	m.zipf = rand.NewZipf(m.rng, 1.1, 16, uint64(blocks-1))
+	if m.cfg.AnonBytes > 0 {
+		c.GrowAnon(now, m.cfg.AnonBytes/fsmodel.BlockSize)
+	}
+	if !m.cfg.SkipLoadPhase {
+		const chunk = 256
+		for b := int64(0); b < blocks; b += chunk {
+			n := chunk
+			if b+int64(n) > blocks {
+				n = int(blocks - b)
+			}
+			c.Write(now, m.data, b, int64(n))
+		}
+		c.Fsync(now, m.data)
+	}
+}
+
+// Step implements workload.Profile: read a few zipf-popular blocks of the
+// data file through the page cache; occasionally dirty one.
+func (m *Mongo) Step(now time.Duration, c *guest.Container, _ int) (time.Duration, int64) {
+	var lat time.Duration
+	for i := int64(0); i < m.cfg.ReadsPerOp; i++ {
+		block := int64(m.zipf.Uint64())
+		if m.rng.Float64() < m.cfg.UniformFrac {
+			block = m.rng.Int63n(m.data.Blocks)
+		}
+		lat += c.Read(now+lat, m.data, block, 1)
+	}
+	if m.rng.Float64() < m.cfg.WriteFrac {
+		lat += c.Write(now+lat, m.data, int64(m.zipf.Uint64()), 1)
+	}
+	return lat + m.cfg.Think, m.cfg.ReadsPerOp * 1024
+}
+
+// MySQLConfig sizes a MySQL/InnoDB-like store.
+type MySQLConfig struct {
+	BufferPoolBytes int64 // anonymous buffer pool
+	DatasetBytes    int64 // on-disk tablespace
+	TouchesPerOp    int64 // buffer pool pages touched per op
+	MissFrac        float64
+	LogSyncEvery    int64 // ops per redo-log fsync
+	Think           time.Duration
+}
+
+// DefaultMySQL returns a 640 MiB buffer pool over a 1 GiB tablespace.
+func DefaultMySQL() MySQLConfig {
+	return MySQLConfig{
+		BufferPoolBytes: 640 << 20,
+		DatasetBytes:    1 << 30,
+		TouchesPerOp:    3,
+		MissFrac:        0.02,
+		LogSyncEvery:    8,
+		Think:           600 * time.Microsecond,
+	}
+}
+
+// MySQL is the buffer-pool-based data store.
+type MySQL struct {
+	cfg   MySQLConfig
+	rng   *rand.Rand
+	table *fsmodel.File
+	log   *fsmodel.File
+	ops   int64
+}
+
+var _ workload.Profile = (*MySQL)(nil)
+
+// NewMySQL builds the profile.
+func NewMySQL(cfg MySQLConfig, rng *rand.Rand) *MySQL {
+	return &MySQL{cfg: cfg, rng: rng}
+}
+
+// Name implements workload.Profile.
+func (s *MySQL) Name() string { return "mysql" }
+
+// Prepare implements workload.Profile.
+func (s *MySQL) Prepare(now time.Duration, c *guest.Container) {
+	alloc := c.VM().Allocator()
+	s.table = alloc.Alloc(s.cfg.DatasetBytes / fsmodel.BlockSize)
+	s.log = alloc.Alloc(1)
+	c.GrowAnon(now, s.cfg.BufferPoolBytes/fsmodel.BlockSize)
+}
+
+// Step implements workload.Profile: touch buffer-pool pages (anon; major
+// faults when the pool is swapped), occasionally miss to the tablespace
+// with O_DIRECT-style reads, and periodically fsync the redo log.
+func (s *MySQL) Step(now time.Duration, c *guest.Container, _ int) (time.Duration, int64) {
+	lat := c.TouchAnon(now, s.cfg.TouchesPerOp)
+	if s.rng.Float64() < s.cfg.MissFrac {
+		block := s.rng.Int63n(s.table.Blocks)
+		lat += c.Read(now+lat, s.table, block, 1)
+	}
+	s.ops++
+	if s.cfg.LogSyncEvery > 0 && s.ops%s.cfg.LogSyncEvery == 0 {
+		s.log.Blocks++
+		lat += c.Write(now+lat, s.log, s.log.Blocks-1, 1)
+		lat += c.Fsync(now+lat, s.log)
+	}
+	return lat + s.cfg.Think, 1024
+}

@@ -1,0 +1,156 @@
+package datastore
+
+import (
+	"testing"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/workload"
+)
+
+const mib = int64(1) << 20
+
+func rig(t *testing.T, vmBytes, limitBytes, cacheBytes int64) (*sim.Engine, *hypervisor.Host, *workload.Runner, func(p workload.Profile, threads int) *workload.Runner) {
+	t.Helper()
+	engine := sim.New(1)
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeDD,
+		MemCacheBytes: cacheBytes,
+	})
+	vm := host.NewVM(1, vmBytes, 100)
+	start := func(p workload.Profile, threads int) *workload.Runner {
+		c := vm.NewContainer(p.Name(), limitBytes, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+		return workload.Start(engine, c, p, threads)
+	}
+	return engine, host, nil, start
+}
+
+func TestRedisFitsRunsFast(t *testing.T) {
+	engine, _, _, start := rig(t, 512*mib, 256*mib, 64*mib)
+	r := start(NewRedis(RedisConfig{DatasetBytes: 128 * mib, TouchesPerOp: 2, Think: 100 * time.Microsecond}, engine.Rand()), 2)
+	if err := engine.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ops := r.OpsPerSec(engine.Now())
+	if ops < 10000 {
+		t.Fatalf("in-memory redis at %f ops/s, want ~think-bound", ops)
+	}
+}
+
+func TestRedisSwapsWhenOversized(t *testing.T) {
+	engine, _, _, start := rig(t, 512*mib, 128*mib, 64*mib)
+	r := start(NewRedis(RedisConfig{DatasetBytes: 256 * mib, TouchesPerOp: 2, Think: 100 * time.Microsecond}, engine.Rand()), 2)
+	if err := engine.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g := r.Container().Group()
+	if g.Stats().SwapOutPages == 0 || g.Stats().SwapInPages == 0 {
+		t.Fatalf("oversized redis did not thrash swap: %+v", g.Stats())
+	}
+	if ops := r.OpsPerSec(engine.Now()); ops > 2000 {
+		t.Fatalf("swapping redis implausibly fast: %f ops/s", ops)
+	}
+}
+
+func TestRedisAOF(t *testing.T) {
+	engine, _, _, start := rig(t, 512*mib, 256*mib, 64*mib)
+	r := start(NewRedis(RedisConfig{DatasetBytes: 64 * mib, TouchesPerOp: 1, Think: 100 * time.Microsecond, AOFAppendsPer: 4}, engine.Rand()), 1)
+	if err := engine.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Container().IOStats().Misses == 0 {
+		t.Fatal("AOF writes never reached the page cache")
+	}
+}
+
+func TestMongoLoadPhaseSeedsCache(t *testing.T) {
+	engine, host, _, start := rig(t, 256*mib, 96*mib, 128*mib)
+	r := start(NewMongo(MongoConfig{
+		DatasetBytes: 192 * mib,
+		AnonBytes:    16 * mib,
+		ReadsPerOp:   2,
+		UniformFrac:  0.3,
+		Think:        500 * time.Microsecond,
+	}, engine.Rand()), 2)
+	// Load phase happens in Prepare: the cache already holds the spill.
+	if host.Manager().StoreUsedBytes(cgroup.StoreMem) == 0 {
+		t.Fatal("load phase did not seed the hypervisor cache")
+	}
+	if err := engine.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cs := r.Container().CacheStats()
+	if cs.GetHits == 0 {
+		t.Fatal("mongo reads never hit the second-chance cache")
+	}
+	if g := r.Container().Group(); g.Stats().SwapOutPages != 0 {
+		t.Fatal("file-backed mongo should not swap")
+	}
+}
+
+func TestMongoSkipLoadPhase(t *testing.T) {
+	engine, host, _, start := rig(t, 256*mib, 96*mib, 128*mib)
+	start(NewMongo(MongoConfig{
+		DatasetBytes:  192 * mib,
+		ReadsPerOp:    1,
+		SkipLoadPhase: true,
+		Think:         500 * time.Microsecond,
+	}, engine.Rand()), 1)
+	if host.Manager().StoreUsedBytes(cgroup.StoreMem) != 0 {
+		t.Fatal("SkipLoadPhase still seeded the cache")
+	}
+	_ = engine
+}
+
+func TestMySQLLogSyncAndSwap(t *testing.T) {
+	engine, _, _, start := rig(t, 512*mib, 128*mib, 64*mib)
+	r := start(NewMySQL(MySQLConfig{
+		BufferPoolBytes: 256 * mib, // 2x the container → swap-bound
+		DatasetBytes:    256 * mib,
+		TouchesPerOp:    3,
+		MissFrac:        0.05,
+		LogSyncEvery:    4,
+		Think:           200 * time.Microsecond,
+	}, engine.Rand()), 2)
+	if err := engine.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g := r.Container().Group()
+	if g.Stats().SwapOutPages == 0 {
+		t.Fatal("oversized buffer pool did not swap")
+	}
+	if r.Container().IOStats().DiskWrites == 0 {
+		t.Fatal("redo log never written back")
+	}
+}
+
+func TestMySQLFitsIsFast(t *testing.T) {
+	engine, _, _, start := rig(t, 512*mib, 256*mib, 64*mib)
+	r := start(NewMySQL(MySQLConfig{
+		BufferPoolBytes: 128 * mib,
+		DatasetBytes:    256 * mib,
+		TouchesPerOp:    3,
+		MissFrac:        0.0,
+		LogSyncEvery:    0, // no fsync
+		Think:           200 * time.Microsecond,
+	}, engine.Rand()), 2)
+	if err := engine.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ops := r.OpsPerSec(engine.Now()); ops < 5000 {
+		t.Fatalf("fitting mysql at %f ops/s, want think-bound", ops)
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	engine := sim.New(1)
+	rng := engine.Rand()
+	if NewRedis(DefaultRedis(), rng).Name() != "redis" ||
+		NewMongo(DefaultMongo(), rng).Name() != "mongodb" ||
+		NewMySQL(DefaultMySQL(), rng).Name() != "mysql" {
+		t.Fatal("profile names broken")
+	}
+}

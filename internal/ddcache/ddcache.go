@@ -1,0 +1,759 @@
+// Package ddcache implements the paper's primary contribution: the
+// DoubleDecker hypervisor cache store. It ties together the indexing
+// module (package index), the policy module (package policy) and the
+// storage module (package store) behind the cleancache.Backend interface,
+// and supports:
+//
+//   - two-level differentiated partitioning: per-VM weights set by the
+//     host administrator, per-container <T, W> tuples set from inside each
+//     VM;
+//   - memory and SSD cache stores, plus the hybrid (mem with SSD spill)
+//     configuration option the paper describes;
+//   - resource-conservative eviction: objects are evicted only when a
+//     store reaches capacity, using the paper's Algorithm 1 victim
+//     selection (VM level first, then container level) in 2 MiB batches;
+//   - dynamic reconfiguration of weights, store types and capacities;
+//   - the nesting-agnostic Global baseline (tmem-like): pools are still
+//     tracked per container (so experiments can observe occupancy, as the
+//     paper does), but eviction follows strict cross-pool FIFO order and
+//     ignores weights — no container fairness. This is the paper's
+//     comparison point in the motivation and evaluation sections.
+package ddcache
+
+import (
+	"fmt"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/index"
+	"doubledecker/internal/policy"
+	"doubledecker/internal/store"
+)
+
+// ObjectSize is the size of every cached object: one guest page.
+const ObjectSize = 4096
+
+// Mode selects container awareness.
+type Mode int
+
+// Modes of operation.
+const (
+	// ModeDD is full DoubleDecker: per-container pools and two-level
+	// weighted partitioning.
+	ModeDD Mode = iota + 1
+	// ModeGlobal is the nesting-agnostic baseline: every container of a
+	// VM shares one pool, evicted FIFO with no container fairness.
+	ModeGlobal
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDD:
+		return "doubledecker"
+	case ModeGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	Mode Mode
+	// Mem and SSD are the cache stores; either may be nil to disable
+	// that backend.
+	Mem store.Backend
+	SSD store.Backend
+	// EvictBatchBytes is the eviction granularity; the paper uses 2 MiB.
+	EvictBatchBytes int64
+	// OpOverhead is the manager-internal CPU cost per operation.
+	OpOverhead time.Duration
+	// VictimSelector allows the ablation benchmarks to swap out the
+	// Algorithm 1 variant; nil selects the paper's algorithm.
+	VictimSelector func(ents []policy.Entity, evictionSize int64) int
+	// Dedup enables content deduplication within each store: objects
+	// with the same content identity share one physical copy (the
+	// extension the paper names in its related-work discussion).
+	Dedup bool
+	// Inclusive disables the exclusive-caching protocol: gets leave the
+	// object in the cache, so guest page cache and hypervisor cache hold
+	// duplicate copies — the wasteful design the paper's §2 argues
+	// against. For the ablation benchmark only.
+	Inclusive bool
+}
+
+// DefaultEvictBatch is the paper's 2 MiB eviction batch.
+const DefaultEvictBatch = 2 << 20
+
+// vmState tracks one registered VM.
+type vmState struct {
+	id     cleancache.VMID
+	weight int64
+	pools  []*poolState // creation order, for deterministic iteration
+}
+
+func (v *vmState) usedBytes(st cgroup.StoreType) int64 {
+	var u int64
+	for _, p := range v.pools {
+		u += p.idx.UsedBytes(st)
+	}
+	return u
+}
+
+// poolState tracks one container pool.
+type poolState struct {
+	idx   *index.Pool
+	spec  cgroup.HCacheSpec
+	vm    *vmState
+	stats cleancache.PoolStats
+}
+
+// usesStore reports whether the pool may place objects in st.
+func (p *poolState) usesStore(st cgroup.StoreType) bool {
+	switch p.spec.Store {
+	case cgroup.StoreHybrid:
+		return st == cgroup.StoreMem || st == cgroup.StoreSSD
+	default:
+		return p.spec.Store == st
+	}
+}
+
+// Manager is the DoubleDecker hypervisor cache manager.
+type Manager struct {
+	cfg      Config
+	vms      map[cleancache.VMID]*vmState
+	vmOrder  []*vmState
+	pools    map[cleancache.PoolID]*poolState
+	nextPool cleancache.PoolID
+	nextSeq  uint64
+
+	// contentRefs counts logical references per (store, content) when
+	// deduplication is enabled; the physical copy is charged once.
+	contentRefs map[contentKey]int64
+
+	// run-wide counters
+	totalEvictions int64
+	dedupSaved     int64 // physical bytes avoided by deduplication
+}
+
+// contentKey identifies one deduplicated physical copy.
+type contentKey struct {
+	store   cgroup.StoreType
+	content uint64
+}
+
+var _ cleancache.Backend = (*Manager)(nil)
+
+// NewManager returns a manager over the configured stores.
+func NewManager(cfg Config) *Manager {
+	if cfg.EvictBatchBytes <= 0 {
+		cfg.EvictBatchBytes = DefaultEvictBatch
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeDD
+	}
+	if cfg.OpOverhead == 0 {
+		cfg.OpOverhead = 300 * time.Nanosecond
+	}
+	if cfg.VictimSelector == nil {
+		cfg.VictimSelector = policy.SelectVictim
+	}
+	return &Manager{
+		cfg:         cfg,
+		vms:         make(map[cleancache.VMID]*vmState),
+		pools:       make(map[cleancache.PoolID]*poolState),
+		nextPool:    1,
+		contentRefs: make(map[contentKey]int64),
+	}
+}
+
+// Mode reports the configured container-awareness mode.
+func (m *Manager) Mode() Mode { return m.cfg.Mode }
+
+// backend returns the store for st (hybrid resolves elsewhere).
+func (m *Manager) backend(st cgroup.StoreType) store.Backend {
+	switch st {
+	case cgroup.StoreMem:
+		return m.cfg.Mem
+	case cgroup.StoreSSD:
+		return m.cfg.SSD
+	default:
+		return nil
+	}
+}
+
+// --- host administrator interface -----------------------------------------
+
+// RegisterVM announces a VM with its cache-distribution weight.
+func (m *Manager) RegisterVM(id cleancache.VMID, weight int64) {
+	if _, ok := m.vms[id]; ok {
+		m.SetVMWeight(id, weight)
+		return
+	}
+	v := &vmState{id: id, weight: weight}
+	m.vms[id] = v
+	m.vmOrder = append(m.vmOrder, v)
+}
+
+// UnregisterVM drops a VM and all its pools.
+func (m *Manager) UnregisterVM(id cleancache.VMID) {
+	v, ok := m.vms[id]
+	if !ok {
+		return
+	}
+	for _, p := range append([]*poolState(nil), v.pools...) {
+		m.destroyPoolState(p)
+	}
+	delete(m.vms, id)
+	for i, other := range m.vmOrder {
+		if other == v {
+			m.vmOrder = append(m.vmOrder[:i], m.vmOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetVMWeight updates a VM's weight (dynamic re-provisioning, Figure 14).
+func (m *Manager) SetVMWeight(id cleancache.VMID, weight int64) {
+	if v, ok := m.vms[id]; ok {
+		v.weight = weight
+	}
+}
+
+// SetMemCapacity resizes the memory store at runtime and evicts down to
+// the new capacity if needed.
+func (m *Manager) SetMemCapacity(now time.Duration, n int64) {
+	if m.cfg.Mem == nil {
+		return
+	}
+	m.cfg.Mem.SetCapacityBytes(n)
+	m.enforceCapacity(now, cgroup.StoreMem, 0)
+}
+
+// SetSSDCapacity resizes the SSD store at runtime.
+func (m *Manager) SetSSDCapacity(now time.Duration, n int64) {
+	if m.cfg.SSD == nil {
+		return
+	}
+	m.cfg.SSD.SetCapacityBytes(n)
+	m.enforceCapacity(now, cgroup.StoreSSD, 0)
+}
+
+// --- cleancache.Backend ----------------------------------------------------
+
+// CreatePool implements cleancache.Backend (CREATE_CGROUP).
+func (m *Manager) CreatePool(_ time.Duration, vm cleancache.VMID, name string, spec cgroup.HCacheSpec) (cleancache.PoolID, time.Duration) {
+	v, ok := m.vms[vm]
+	if !ok {
+		// Auto-register unknown VMs with a default weight, mirroring a
+		// hypervisor admitting an unconfigured guest.
+		m.RegisterVM(vm, 100)
+		v = m.vms[vm]
+	}
+	p := m.newPoolState(v, name, spec)
+	return p.idx.ID, m.cfg.OpOverhead
+}
+
+func (m *Manager) newPoolState(v *vmState, name string, spec cgroup.HCacheSpec) *poolState {
+	id := m.nextPool
+	m.nextPool++
+	if spec.Store == 0 {
+		spec.Store = cgroup.StoreMem
+		if spec.Weight <= 0 {
+			spec.Weight = 100
+		}
+	}
+	if spec.Weight < 0 {
+		spec.Weight = 0
+	}
+	p := &poolState{idx: index.NewPool(id, v.id, name), spec: spec, vm: v}
+	m.pools[id] = p
+	v.pools = append(v.pools, p)
+	return p
+}
+
+// DestroyPool implements cleancache.Backend (DESTROY_CGROUP).
+func (m *Manager) DestroyPool(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID) time.Duration {
+	p, ok := m.pools[pool]
+	if !ok {
+		return 0
+	}
+	m.destroyPoolState(p)
+	return m.cfg.OpOverhead
+}
+
+func (m *Manager) destroyPoolState(p *poolState) {
+	for _, obj := range p.idx.DrainAll() {
+		m.releaseObject(obj)
+	}
+	delete(m.pools, p.idx.ID)
+	for i, other := range p.vm.pools {
+		if other == p {
+			p.vm.pools = append(p.vm.pools[:i], p.vm.pools[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetSpec implements cleancache.Backend (SET_CG_WEIGHT). Changing the
+// store type flushes objects from stores the pool no longer uses; the
+// freed share is redistributed implicitly by the entitlement math.
+func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, spec cgroup.HCacheSpec) time.Duration {
+	p, ok := m.pools[pool]
+	if !ok {
+		return 0
+	}
+	if m.cfg.Mode == ModeGlobal {
+		return m.cfg.OpOverhead // baseline ignores container policy
+	}
+	old := p.spec
+	if spec.Weight <= 0 {
+		spec.Weight = old.Weight
+	}
+	if spec.Store == 0 {
+		spec.Store = old.Store
+	}
+	p.spec = spec
+	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
+		if p.usesStore(st) || p.idx.UsedBytes(st) == 0 {
+			continue
+		}
+		// Drop objects stranded in a de-configured store.
+		for {
+			obj := p.idx.Oldest(st)
+			if obj == nil {
+				break
+			}
+			p.idx.Remove(obj)
+			m.releaseObject(obj)
+			p.stats.Evictions++
+			m.totalEvictions++
+		}
+	}
+	return m.cfg.OpOverhead
+}
+
+// Get implements cleancache.Backend: exclusive lookup — a hit removes the
+// object and pays the store's fetch latency.
+func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (bool, time.Duration) {
+	p, ok := m.pools[key.Pool]
+	if !ok {
+		return false, 0
+	}
+	p.stats.Gets++
+	lat := m.cfg.OpOverhead
+	obj := p.idx.Lookup(key.Inode, key.Block)
+	if obj == nil {
+		return false, lat
+	}
+	p.stats.GetHits++
+	if be := m.backend(obj.Store); be != nil {
+		lat += be.Fetch(now+lat, obj.Size)
+	}
+	if !m.cfg.Inclusive {
+		m.releaseObject(obj)
+		p.idx.Remove(obj)
+	}
+	return true, lat
+}
+
+// Put implements cleancache.Backend: stores a clean page evicted by the
+// guest, evicting per Algorithm 1 when the target store is full. With
+// deduplication enabled, an object whose content is already stored shares
+// the existing physical copy.
+func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
+	p, ok := m.pools[key.Pool]
+	if !ok {
+		return false, 0
+	}
+	p.stats.Puts++
+	lat := m.cfg.OpOverhead
+	st := m.placementStore(p)
+	be := m.backend(st)
+	if be == nil || be.CapacityBytes() <= 0 {
+		p.stats.PutRejects++
+		return false, lat
+	}
+	dedup := m.cfg.Dedup && content != 0
+	needsPhysical := !dedup || m.contentRefs[contentKey{st, content}] == 0
+	if needsPhysical && be.UsedBytes()+ObjectSize > be.CapacityBytes() {
+		lat += m.enforceCapacity(now+lat, st, ObjectSize)
+		if be.UsedBytes()+ObjectSize > be.CapacityBytes() {
+			p.stats.PutRejects++
+			return false, lat
+		}
+	}
+	m.nextSeq++
+	obj := &index.Object{Inode: key.Inode, Block: key.Block, Size: ObjectSize, Store: st, Seq: m.nextSeq}
+	if dedup {
+		obj.Content = content
+	}
+	if replaced := p.idx.Insert(obj); replaced != nil {
+		m.releaseObject(replaced)
+	}
+	if dedup {
+		ck := contentKey{st, content}
+		m.contentRefs[ck]++
+		if m.contentRefs[ck] > 1 {
+			// Shared copy: only the in-band comparison cost is paid.
+			m.dedupSaved += ObjectSize
+			return true, lat
+		}
+	}
+	lat += be.Store(now+lat, ObjectSize)
+	return true, lat
+}
+
+// releaseObject drops an object's physical storage, honouring shared
+// deduplicated copies.
+func (m *Manager) releaseObject(obj *index.Object) {
+	be := m.backend(obj.Store)
+	if be == nil {
+		return
+	}
+	if obj.Content != 0 {
+		ck := contentKey{obj.Store, obj.Content}
+		if m.contentRefs[ck] > 1 {
+			m.contentRefs[ck]--
+			return
+		}
+		delete(m.contentRefs, ck)
+	}
+	be.Release(obj.Size)
+}
+
+// placementStore resolves where a pool's next object goes: its configured
+// store, or for hybrid pools memory until the pool's memory entitlement is
+// exhausted, then SSD (the paper's hybrid-mode semantics).
+func (m *Manager) placementStore(p *poolState) cgroup.StoreType {
+	if m.cfg.Mode == ModeGlobal {
+		// The nesting-agnostic baseline is a plain memory cache.
+		return cgroup.StoreMem
+	}
+	if p.spec.Store != cgroup.StoreHybrid {
+		return p.spec.Store
+	}
+	if m.cfg.Mem != nil && p.idx.UsedBytes(cgroup.StoreMem)+ObjectSize <= m.poolEntitlement(p, cgroup.StoreMem) {
+		return cgroup.StoreMem
+	}
+	return cgroup.StoreSSD
+}
+
+// FlushPage implements cleancache.Backend.
+func (m *Manager) FlushPage(_ time.Duration, _ cleancache.VMID, key cleancache.Key) time.Duration {
+	p, ok := m.pools[key.Pool]
+	if !ok {
+		return 0
+	}
+	if obj := p.idx.Lookup(key.Inode, key.Block); obj != nil {
+		p.idx.Remove(obj)
+		m.releaseObject(obj)
+	}
+	return m.cfg.OpOverhead
+}
+
+// FlushInode implements cleancache.Backend.
+func (m *Manager) FlushInode(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, inode uint64) time.Duration {
+	p, ok := m.pools[pool]
+	if !ok {
+		return 0
+	}
+	for _, obj := range p.idx.RemoveInode(inode) {
+		m.releaseObject(obj)
+	}
+	return m.cfg.OpOverhead
+}
+
+// MigrateInode implements cleancache.Backend (MIGRATE_OBJECT): cached
+// blocks of a shared file change pool ownership without moving data.
+func (m *Manager) MigrateInode(_ time.Duration, _ cleancache.VMID, from, to cleancache.PoolID, inode uint64) time.Duration {
+	src, ok := m.pools[from]
+	if !ok {
+		return 0
+	}
+	dst, ok := m.pools[to]
+	if !ok {
+		return 0
+	}
+	for _, obj := range src.idx.RemoveInode(inode) {
+		if replaced := dst.idx.Insert(obj); replaced != nil {
+			m.releaseObject(replaced)
+		}
+	}
+	return m.cfg.OpOverhead
+}
+
+// PoolStats implements cleancache.Backend (GET_STATS).
+func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancache.PoolStats {
+	p, ok := m.pools[pool]
+	if !ok {
+		return cleancache.PoolStats{}
+	}
+	s := p.stats
+	s.UsedBytes = p.idx.TotalBytes()
+	s.Objects = p.idx.Count()
+	var ent int64
+	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
+		if p.usesStore(st) {
+			ent += m.poolEntitlement(p, st)
+		}
+	}
+	s.EntitlementBytes = ent
+	return s
+}
+
+// --- policy: entitlements and Algorithm 1 ----------------------------------
+
+// vmEntitlement computes a VM's share of the st store from the host-level
+// weights (the per-VM ratio applies to both stores, per the paper).
+func (m *Manager) vmEntitlement(v *vmState, st cgroup.StoreType) int64 {
+	be := m.backend(st)
+	if be == nil {
+		return 0
+	}
+	weights := make([]int64, len(m.vmOrder))
+	idx := -1
+	for i, other := range m.vmOrder {
+		weights[i] = other.weight
+		if other == v {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	return policy.Shares(be.CapacityBytes(), weights)[idx]
+}
+
+// poolEntitlement computes a container's share of its VM's st partition.
+func (m *Manager) poolEntitlement(p *poolState, st cgroup.StoreType) int64 {
+	if !p.usesStore(st) {
+		return 0
+	}
+	vmShare := m.vmEntitlement(p.vm, st)
+	weights := make([]int64, len(p.vm.pools))
+	idx := -1
+	for i, other := range p.vm.pools {
+		if other.usesStore(st) {
+			weights[i] = int64(other.spec.Weight)
+		}
+		if other == p {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	return policy.Shares(vmShare, weights)[idx]
+}
+
+// enforceCapacity evicts from the st store until incoming bytes fit,
+// selecting victims per Algorithm 1: first the victim VM, then the victim
+// container within it, then FIFO within the container's pool, in
+// EvictBatchBytes batches. Returns the (metadata) latency incurred.
+func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incoming int64) time.Duration {
+	be := m.backend(st)
+	if be == nil {
+		return 0
+	}
+	var lat time.Duration
+	for be.UsedBytes()+incoming > be.CapacityBytes() {
+		need := be.UsedBytes() + incoming - be.CapacityBytes()
+		batch := m.cfg.EvictBatchBytes
+		if batch < need {
+			batch = need
+		}
+		freed := m.evictBatch(st, batch)
+		if freed == 0 {
+			break
+		}
+		lat += m.cfg.OpOverhead
+	}
+	return lat
+}
+
+// evictBatch frees up to batch bytes from the st store and returns the
+// bytes actually freed.
+func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
+	if m.cfg.Mode == ModeGlobal {
+		return m.evictGlobalFIFO(st, batch)
+	}
+	victimVM := m.selectVictimVM(st, batch)
+	if victimVM == nil {
+		return 0
+	}
+	victim := m.selectVictimPool(victimVM, st, batch)
+	if victim == nil {
+		return 0
+	}
+	var freed int64
+	for freed < batch {
+		obj := victim.idx.Oldest(st)
+		if obj == nil {
+			break
+		}
+		victim.idx.Remove(obj)
+		m.releaseObject(obj)
+		freed += obj.Size
+		victim.stats.Evictions++
+		m.totalEvictions++
+	}
+	return freed
+}
+
+// evictGlobalFIFO implements the baseline's container-agnostic policy:
+// evict the globally oldest objects regardless of which container (or VM)
+// inserted them.
+func (m *Manager) evictGlobalFIFO(st cgroup.StoreType, batch int64) int64 {
+	var freed int64
+	for freed < batch {
+		var (
+			victim *poolState
+			oldest *index.Object
+		)
+		for _, v := range m.vmOrder {
+			for _, p := range v.pools {
+				obj := p.idx.Oldest(st)
+				if obj == nil {
+					continue
+				}
+				if oldest == nil || obj.Seq < oldest.Seq {
+					victim, oldest = p, obj
+				}
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.idx.Remove(oldest)
+		m.releaseObject(oldest)
+		freed += oldest.Size
+		victim.stats.Evictions++
+		m.totalEvictions++
+	}
+	return freed
+}
+
+func (m *Manager) selectVictimVM(st cgroup.StoreType, batch int64) *vmState {
+	candidates := make([]*vmState, 0, len(m.vmOrder))
+	ents := make([]policy.Entity, 0, len(m.vmOrder))
+	for _, v := range m.vmOrder {
+		used := v.usedBytes(st)
+		if used == 0 {
+			continue
+		}
+		candidates = append(candidates, v)
+		ents = append(ents, policy.Entity{
+			Weight:      v.weight,
+			Entitlement: m.vmEntitlement(v, st),
+			Used:        used,
+		})
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	i := m.cfg.VictimSelector(ents, batch)
+	if i < 0 {
+		i = largestUser(ents)
+	}
+	if i < 0 {
+		return nil
+	}
+	return candidates[i]
+}
+
+func (m *Manager) selectVictimPool(v *vmState, st cgroup.StoreType, batch int64) *poolState {
+	candidates := make([]*poolState, 0, len(v.pools))
+	ents := make([]policy.Entity, 0, len(v.pools))
+	for _, p := range v.pools {
+		used := p.idx.UsedBytes(st)
+		if used == 0 {
+			continue
+		}
+		candidates = append(candidates, p)
+		ents = append(ents, policy.Entity{
+			Weight:      int64(p.spec.Weight),
+			Entitlement: m.poolEntitlement(p, st),
+			Used:        used,
+		})
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	i := m.cfg.VictimSelector(ents, batch)
+	if i < 0 {
+		i = largestUser(ents)
+	}
+	if i < 0 {
+		return nil
+	}
+	return candidates[i]
+}
+
+func largestUser(ents []policy.Entity) int {
+	best, bestUsed := -1, int64(0)
+	for i, e := range ents {
+		if e.Used > bestUsed {
+			best, bestUsed = i, e.Used
+		}
+	}
+	return best
+}
+
+// --- observation helpers for experiments -----------------------------------
+
+// Contains reports whether a block is currently cached, without the
+// exclusive-get side effect — an inspection hook for tests and tooling.
+func (m *Manager) Contains(key cleancache.Key) bool {
+	p, ok := m.pools[key.Pool]
+	if !ok {
+		return false
+	}
+	return p.idx.Lookup(key.Inode, key.Block) != nil
+}
+
+// PoolUsedBytes reports a pool's occupancy in the given store.
+func (m *Manager) PoolUsedBytes(pool cleancache.PoolID, st cgroup.StoreType) int64 {
+	p, ok := m.pools[pool]
+	if !ok {
+		return 0
+	}
+	return p.idx.UsedBytes(st)
+}
+
+// PoolTotalBytes reports a pool's occupancy across stores.
+func (m *Manager) PoolTotalBytes(pool cleancache.PoolID) int64 {
+	p, ok := m.pools[pool]
+	if !ok {
+		return 0
+	}
+	return p.idx.TotalBytes()
+}
+
+// VMUsedBytes reports a VM's total occupancy in the given store.
+func (m *Manager) VMUsedBytes(vm cleancache.VMID, st cgroup.StoreType) int64 {
+	v, ok := m.vms[vm]
+	if !ok {
+		return 0
+	}
+	return v.usedBytes(st)
+}
+
+// StoreUsedBytes reports a store's total occupancy.
+func (m *Manager) StoreUsedBytes(st cgroup.StoreType) int64 {
+	be := m.backend(st)
+	if be == nil {
+		return 0
+	}
+	return be.UsedBytes()
+}
+
+// TotalEvictions reports objects evicted by capacity enforcement since
+// start.
+func (m *Manager) TotalEvictions() int64 { return m.totalEvictions }
+
+// DedupSavedBytes reports the cumulative physical bytes avoided by
+// content deduplication (0 unless Config.Dedup).
+func (m *Manager) DedupSavedBytes() int64 { return m.dedupSaved }

@@ -1,0 +1,319 @@
+// Package estimator implements the working-set and miss-ratio-curve
+// machinery the paper names as the basis for adaptive DoubleDecker
+// provisioning ("DD can employ well known techniques like MRC, WSS
+// estimation, SHARDS" — §5.2.1): an exact Mattson stack-distance MRC over
+// LRU, a SHARDS-style spatially-sampled MRC, a windowed working-set-size
+// estimator, and a marginal-gain cache partitioner that turns curves into
+// the <T, W> weights the in-VM policy controller pushes to the cache.
+package estimator
+
+import (
+	"math"
+	"time"
+)
+
+// fenwick is a binary indexed tree over access slots, counting live
+// "last access" markers — the classic O(log n) stack-distance structure.
+type fenwick struct {
+	tree []int64
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int64, n+1)} }
+
+func (f *fenwick) add(i int, delta int64) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [0, i].
+func (f *fenwick) sum(i int) int64 {
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+func (f *fenwick) grow(n int) {
+	if n+1 <= len(f.tree) {
+		return
+	}
+	// Rebuild by re-adding: cheap enough at doubling granularity.
+	bigger := make([]int64, maxInt(n+1, 2*len(f.tree)))
+	old := f.tree
+	f.tree = bigger
+	// Recover point values from the old tree via prefix differences.
+	prev := int64(0)
+	for i := 0; i < len(old)-1; i++ {
+		cur := (&fenwick{tree: old}).sum(i)
+		if d := cur - prev; d != 0 {
+			f.add(i, d)
+		}
+		prev = cur
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MRC computes an exact LRU miss-ratio curve with Mattson's stack
+// algorithm: for every access, the reuse (stack) distance is the number
+// of distinct keys touched since the previous access to the same key.
+type MRC struct {
+	lastIndex map[uint64]int // key → slot of its most recent access
+	live      *fenwick       // 1 at each key's latest slot
+	clock     int            // next slot
+	hist      map[int64]int64
+	cold      int64 // first-ever accesses
+	total     int64
+}
+
+// NewMRC returns an empty curve builder.
+func NewMRC() *MRC {
+	return &MRC{
+		lastIndex: make(map[uint64]int),
+		live:      newFenwick(1024),
+		hist:      make(map[int64]int64),
+	}
+}
+
+// Touch records one access to key.
+func (m *MRC) Touch(key uint64) {
+	m.total++
+	m.live.grow(m.clock + 1)
+	if prev, ok := m.lastIndex[key]; ok {
+		// Stack distance: distinct keys touched since the previous
+		// access (live markers strictly after prev), plus the key
+		// itself — its depth in the LRU stack.
+		dist := m.live.sum(m.clock) - m.live.sum(prev) + 1
+		m.hist[dist]++
+		m.live.add(prev, -1)
+	} else {
+		m.cold++
+	}
+	m.live.add(m.clock, 1)
+	m.lastIndex[key] = m.clock
+	m.clock++
+}
+
+// Accesses reports the number of touches recorded.
+func (m *MRC) Accesses() int64 { return m.total }
+
+// Unique reports the number of distinct keys seen.
+func (m *MRC) Unique() int64 { return m.cold }
+
+// MissRatio returns the LRU miss ratio for a cache of the given capacity
+// (in items). Cold misses always miss.
+func (m *MRC) MissRatio(capacity int64) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	hits := int64(0)
+	for dist, count := range m.hist {
+		if dist <= capacity {
+			hits += count
+		}
+	}
+	return 1 - float64(hits)/float64(m.total)
+}
+
+// Curve evaluates the miss ratio at each capacity.
+func (m *MRC) Curve(capacities []int64) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = m.MissRatio(c)
+	}
+	return out
+}
+
+// SHARDS is a sampled MRC: only keys whose hash falls under the sampling
+// threshold are tracked, and observed distances are scaled up by the
+// sampling rate (Waldspurger et al.'s spatially hashed sampling).
+type SHARDS struct {
+	rate      float64
+	threshold uint64
+	inner     *MRC
+	totalAll  int64
+}
+
+// NewSHARDS builds a sampled curve tracker. rate must be in (0, 1];
+// rate 0.01 tracks ~1% of keys at ~1% of the memory cost.
+func NewSHARDS(rate float64) *SHARDS {
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	threshold := uint64(math.MaxUint64)
+	if rate < 1 {
+		threshold = uint64(rate * float64(math.MaxUint64))
+	}
+	return &SHARDS{
+		rate:      rate,
+		threshold: threshold,
+		inner:     NewMRC(),
+	}
+}
+
+// hash64 is SplitMix64, a strong cheap mixer for spatial sampling.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Touch records one access.
+func (s *SHARDS) Touch(key uint64) {
+	s.totalAll++
+	if hash64(key) <= s.threshold {
+		s.inner.Touch(key)
+	}
+}
+
+// MissRatio estimates the miss ratio at capacity (items): the sampled
+// distances represent 1/rate of the real stack, so the capacity is scaled
+// down before the lookup.
+func (s *SHARDS) MissRatio(capacity int64) float64 {
+	scaled := int64(float64(capacity) * s.rate)
+	return s.inner.MissRatio(scaled)
+}
+
+// Curve evaluates the estimated miss ratio at each capacity.
+func (s *SHARDS) Curve(capacities []int64) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = s.MissRatio(c)
+	}
+	return out
+}
+
+// SampledAccesses reports how many accesses were actually tracked.
+func (s *SHARDS) SampledAccesses() int64 { return s.inner.Accesses() }
+
+// WSS estimates the working set size: the number of distinct keys touched
+// within a trailing window, using the two-epoch trick (O(1) per touch,
+// no per-window rescan).
+type WSS struct {
+	window     time.Duration
+	epochStart time.Duration
+	current    map[uint64]struct{}
+	previous   map[uint64]struct{}
+}
+
+// NewWSS builds an estimator over the given trailing window.
+func NewWSS(window time.Duration) *WSS {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &WSS{
+		window:   window,
+		current:  make(map[uint64]struct{}),
+		previous: make(map[uint64]struct{}),
+	}
+}
+
+// Touch records an access at virtual time now.
+func (w *WSS) Touch(now time.Duration, key uint64) {
+	w.rotate(now)
+	w.current[key] = struct{}{}
+}
+
+func (w *WSS) rotate(now time.Duration) {
+	for now-w.epochStart >= w.window {
+		w.previous = w.current
+		w.current = make(map[uint64]struct{})
+		if now-w.epochStart >= 2*w.window {
+			// Idle gap: both epochs stale.
+			w.previous = map[uint64]struct{}{}
+			w.epochStart = now
+			return
+		}
+		w.epochStart += w.window
+	}
+}
+
+// Estimate reports the distinct keys seen within roughly the trailing
+// window (union of the two epochs, an upper bound within 2x the window).
+func (w *WSS) Estimate(now time.Duration) int64 {
+	w.rotate(now)
+	n := int64(len(w.current))
+	for k := range w.previous {
+		if _, ok := w.current[k]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// CurveSource is any miss-ratio curve (exact or sampled).
+type CurveSource interface {
+	MissRatio(capacity int64) float64
+}
+
+// Partition allocates capacity units across consumers by greedy marginal
+// gain on their miss-ratio curves, in steps of granularity units. The
+// result sums to capacity/granularity*granularity and can be fed to the
+// DoubleDecker weight knobs. accessRates weight each consumer's curve by
+// its traffic so hot consumers win ties.
+func Partition(curves []CurveSource, accessRates []float64, capacity, granularity int64) []int64 {
+	n := len(curves)
+	alloc := make([]int64, n)
+	if n == 0 || capacity <= 0 {
+		return alloc
+	}
+	if granularity <= 0 {
+		granularity = 1
+	}
+	remaining := capacity / granularity * granularity
+	for remaining > 0 {
+		// Bang-for-buck greedy: for each consumer consider extending by
+		// 1, 2, 4, ... steps and pick the extension with the best gain
+		// per unit. The multi-step lookahead handles knee-shaped curves
+		// where single-step gains are zero until the knee.
+		best, bestSteps, bestRate := -1, int64(0), 0.0
+		for i, c := range curves {
+			rate := 1.0
+			if i < len(accessRates) && accessRates[i] > 0 {
+				rate = accessRates[i]
+			}
+			base := c.MissRatio(alloc[i])
+			for span := granularity; span <= remaining; span *= 2 {
+				gain := rate * (base - c.MissRatio(alloc[i]+span))
+				perUnit := gain / float64(span)
+				if perUnit > bestRate {
+					best, bestSteps, bestRate = i, span, perUnit
+				}
+			}
+		}
+		if best < 0 {
+			// No curve benefits from more cache; stop allocating (the
+			// remainder is better left to the resource-conservative
+			// overshoot mechanism).
+			break
+		}
+		alloc[best] += bestSteps
+		remaining -= bestSteps
+	}
+	return alloc
+}
+
+// WeightsFromAllocation converts absolute allocations into the percentage
+// weights the DoubleDecker policy interface expects.
+func WeightsFromAllocation(alloc []int64) []int {
+	var total int64
+	for _, a := range alloc {
+		total += a
+	}
+	out := make([]int, len(alloc))
+	if total == 0 {
+		return out
+	}
+	for i, a := range alloc {
+		out[i] = int(a * 100 / total)
+	}
+	return out
+}

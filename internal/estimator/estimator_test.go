@@ -1,0 +1,291 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMRCSequentialScanNeverHits(t *testing.T) {
+	m := NewMRC()
+	for i := 0; i < 1000; i++ {
+		m.Touch(uint64(i))
+	}
+	if got := m.MissRatio(1 << 30); got != 1 {
+		t.Fatalf("cold scan miss ratio = %v, want 1", got)
+	}
+	if m.Unique() != 1000 || m.Accesses() != 1000 {
+		t.Fatalf("unique/accesses = %d/%d", m.Unique(), m.Accesses())
+	}
+}
+
+func TestMRCSingleKeyAlwaysHits(t *testing.T) {
+	m := NewMRC()
+	for i := 0; i < 100; i++ {
+		m.Touch(42)
+	}
+	// 99 of 100 accesses hit at capacity 1.
+	if got := m.MissRatio(1); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("miss ratio = %v, want 0.01", got)
+	}
+}
+
+func TestMRCStackDepthSemantics(t *testing.T) {
+	m := NewMRC()
+	// A B A: the re-access to A has stack depth 2.
+	m.Touch(1)
+	m.Touch(2)
+	m.Touch(1)
+	if got := m.MissRatio(1); got != 1 {
+		t.Fatalf("capacity 1: miss ratio = %v, want 1 (B evicted A)", got)
+	}
+	want := 1 - 1.0/3.0
+	if got := m.MissRatio(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("capacity 2: miss ratio = %v, want %v", got, want)
+	}
+}
+
+func TestMRCCyclicScanKneesAtSetSize(t *testing.T) {
+	m := NewMRC()
+	const keys = 64
+	for round := 0; round < 20; round++ {
+		for k := 0; k < keys; k++ {
+			m.Touch(uint64(k))
+		}
+	}
+	// LRU on a cyclic scan: everything misses below the set size...
+	if got := m.MissRatio(keys - 1); got != 1 {
+		t.Fatalf("below knee: %v, want 1", got)
+	}
+	// ...and only cold misses at/above it.
+	atKnee := m.MissRatio(keys)
+	want := float64(keys) / float64(20*keys)
+	if math.Abs(atKnee-want) > 1e-12 {
+		t.Fatalf("at knee: %v, want %v", atKnee, want)
+	}
+}
+
+func TestMRCCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMRC()
+	for i := 0; i < 5000; i++ {
+		m.Touch(uint64(rng.Intn(300)))
+	}
+	caps := []int64{1, 10, 50, 100, 200, 300, 400}
+	curve := m.Curve(caps)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("curve not non-increasing: %v", curve)
+		}
+	}
+}
+
+// simulateLRU replays a trace against a real LRU of the given capacity
+// and returns the measured miss ratio (ground truth for the MRC).
+func simulateLRU(trace []uint64, capacity int) float64 {
+	type node struct {
+		prev, next *node
+		key        uint64
+	}
+	idx := make(map[uint64]*node)
+	var head, tail *node
+	remove := func(n *node) {
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			tail = n.prev
+		}
+	}
+	pushFront := func(n *node) {
+		n.prev, n.next = nil, head
+		if head != nil {
+			head.prev = n
+		}
+		head = n
+		if tail == nil {
+			tail = n
+		}
+	}
+	misses := 0
+	for _, k := range trace {
+		if n, ok := idx[k]; ok {
+			remove(n)
+			pushFront(n)
+			continue
+		}
+		misses++
+		if len(idx) == capacity {
+			delete(idx, tail.key)
+			remove(tail)
+		}
+		n := &node{key: k}
+		idx[k] = n
+		pushFront(n)
+	}
+	return float64(misses) / float64(len(trace))
+}
+
+// Property: the Mattson MRC matches a direct LRU simulation exactly.
+func TestPropertyMRCMatchesLRUSimulation(t *testing.T) {
+	prop := func(seed int64, capRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int(capRaw%40) + 1
+		trace := make([]uint64, 2000)
+		for i := range trace {
+			trace[i] = uint64(rng.Intn(100))
+		}
+		m := NewMRC()
+		for _, k := range trace {
+			m.Touch(k)
+		}
+		want := simulateLRU(trace, capacity)
+		got := m.MissRatio(int64(capacity))
+		return got > want-1e-9 && got < want+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSHARDSApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	exact := NewMRC()
+	sampled := NewSHARDS(0.25)
+	// Mixed locality over a key space large enough for spatial sampling
+	// to be representative: 70% of accesses to a hot 1000-key set, the
+	// rest uniform over 10000 keys.
+	for i := 0; i < 300000; i++ {
+		var k uint64
+		if rng.Float64() < 0.7 {
+			k = uint64(rng.Intn(1000))
+		} else {
+			k = uint64(rng.Intn(10000))
+		}
+		exact.Touch(k)
+		sampled.Touch(k)
+	}
+	if sampled.SampledAccesses() >= exact.Accesses() {
+		t.Fatal("sampling did not reduce tracked accesses")
+	}
+	for _, c := range []int64{500, 2000, 8000} {
+		e, s := exact.MissRatio(c), sampled.MissRatio(c)
+		if diff := math.Abs(e - s); diff > 0.1 {
+			t.Fatalf("capacity %d: exact %v vs shards %v", c, e, s)
+		}
+	}
+}
+
+func TestSHARDSInvalidRateFallsBack(t *testing.T) {
+	s := NewSHARDS(0)
+	s.Touch(1)
+	if s.SampledAccesses() != 1 {
+		t.Fatal("rate fallback to 1.0 broken")
+	}
+}
+
+func TestWSSWindowing(t *testing.T) {
+	w := NewWSS(10 * time.Second)
+	for k := uint64(0); k < 100; k++ {
+		w.Touch(time.Second, k)
+	}
+	if got := w.Estimate(2 * time.Second); got != 100 {
+		t.Fatalf("estimate = %d, want 100", got)
+	}
+	// After one window, the previous epoch still counts.
+	if got := w.Estimate(11 * time.Second); got != 100 {
+		t.Fatalf("estimate after 1 window = %d, want 100", got)
+	}
+	// After two idle windows, everything ages out.
+	if got := w.Estimate(25 * time.Second); got != 0 {
+		t.Fatalf("estimate after idle = %d, want 0", got)
+	}
+}
+
+func TestWSSDistinctCounting(t *testing.T) {
+	w := NewWSS(10 * time.Second)
+	w.Touch(0, 1)
+	w.Touch(time.Second, 1)
+	w.Touch(2*time.Second, 2)
+	if got := w.Estimate(3 * time.Second); got != 2 {
+		t.Fatalf("estimate = %d, want 2 distinct", got)
+	}
+}
+
+// flatCurve misses at a constant rate regardless of capacity.
+type flatCurve float64
+
+func (f flatCurve) MissRatio(int64) float64 { return float64(f) }
+
+// kneeCurve hits fully once capacity reaches the knee.
+type kneeCurve int64
+
+func (k kneeCurve) MissRatio(c int64) float64 {
+	if c >= int64(k) {
+		return 0
+	}
+	return 1
+}
+
+func TestPartitionPrefersUsefulCurve(t *testing.T) {
+	// Consumer 0 gains nothing from cache; consumer 1 has a knee at 100.
+	alloc := Partition([]CurveSource{flatCurve(0.5), kneeCurve(100)}, nil, 200, 10)
+	if alloc[1] < 100 {
+		t.Fatalf("knee consumer got %d, want ≥100", alloc[1])
+	}
+	if alloc[0] != 0 {
+		t.Fatalf("cache-indifferent consumer got %d, want 0", alloc[0])
+	}
+	if alloc[0]+alloc[1] > 200 {
+		t.Fatalf("over-allocated: %v", alloc)
+	}
+}
+
+// linearCurve falls linearly to zero at the given capacity.
+type linearCurve int64
+
+func (l linearCurve) MissRatio(c int64) float64 {
+	if c >= int64(l) {
+		return 0
+	}
+	return 1 - float64(c)/float64(l)
+}
+
+func TestPartitionAccessRateWeighting(t *testing.T) {
+	// Identical linear curves; consumer 1 is 10x hotter and must win
+	// every marginal unit.
+	curves := []CurveSource{linearCurve(200), linearCurve(200)}
+	alloc := Partition(curves, []float64{1, 10}, 100, 10)
+	if alloc[1] != 100 || alloc[0] != 0 {
+		t.Fatalf("hot consumer not prioritized: %v", alloc)
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	if got := Partition(nil, nil, 100, 10); len(got) != 0 {
+		t.Fatal("nil curves")
+	}
+	if got := Partition([]CurveSource{flatCurve(1)}, nil, 0, 10); got[0] != 0 {
+		t.Fatal("zero capacity")
+	}
+	got := Partition([]CurveSource{kneeCurve(5)}, nil, 100, 0) // granularity clamps to 1
+	if got[0] < 5 || got[0] > 100 {
+		t.Fatalf("granularity clamp: %v", got)
+	}
+}
+
+func TestWeightsFromAllocation(t *testing.T) {
+	w := WeightsFromAllocation([]int64{100, 300})
+	if w[0] != 25 || w[1] != 75 {
+		t.Fatalf("weights = %v", w)
+	}
+	if z := WeightsFromAllocation([]int64{0, 0}); z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero allocation")
+	}
+}

@@ -1,0 +1,199 @@
+// Efficacy of cooperative memory management (§5.2.1, Table 4): the
+// centralized Morai++ baseline (best hypervisor-cache partition found by
+// sweep, VM-level memory untouched) versus DoubleDecker's two-level
+// provisioning (in-VM cgroup limits plus cache weights).
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/datastore"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/guest"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/workload"
+)
+
+// cooperative geometry, scaled 1/4: VM 6 GB → 1.5 GiB, hypervisor cache
+// 2 GB → 512 MiB, container limits (DD case) 1/2/2/1 GB → 256/512/512/256.
+const (
+	coopVMBytes    = 1600 * MiB
+	coopCacheBytes = 512 * MiB
+	coopDuration   = 400 * time.Second
+)
+
+// coopApps in presentation order (as in Table 4).
+var coopApps = []string{"mongodb", "mysql", "redis", "webserver"}
+
+// coopSLA is each application's target throughput in ops/sec, scaled to
+// this simulator's operating point (the paper's absolute YCSB numbers are
+// testbed-specific; the experiment's point is which technique can meet
+// all four at once).
+var coopSLA = map[string]float64{
+	"mongodb":   150,
+	"mysql":     300,
+	"redis":     1000,
+	"webserver": 60,
+}
+
+func coopProfile(name string, engine *sim.Engine) (workload.Profile, int) {
+	rng := engine.Rand()
+	switch name {
+	case "mongodb":
+		return datastore.NewMongo(datastore.MongoConfig{
+			DatasetBytes: 450 * MiB,
+			AnonBytes:    48 * MiB,
+			ReadsPerOp:   2,
+			WriteFrac:    0.05,
+			UniformFrac:  0.3,
+			Think:        1500 * time.Microsecond,
+		}, rng), 2
+	case "mysql":
+		return datastore.NewMySQL(datastore.MySQLConfig{
+			BufferPoolBytes: 400 * MiB,
+			DatasetBytes:    512 * MiB,
+			TouchesPerOp:    3,
+			MissFrac:        0.02,
+			LogSyncEvery:    8,
+			Think:           600 * time.Microsecond,
+		}, rng), 2
+	case "redis":
+		return datastore.NewRedis(datastore.RedisConfig{
+			DatasetBytes: 480 * MiB,
+			TouchesPerOp: 2,
+			// YCSB clients pace near the SLA; a full-speed scan would
+			// keep the working set artificially hot under VM pressure.
+			Think: 1500 * time.Microsecond,
+		}, rng), 2
+	default: // webserver
+		return workload.NewWebserver(workload.WebserverConfig{
+			Files:      5600,
+			MeanBlocks: 32, // ~700 MiB: the in-VM memory hog of the paper's Table 4
+			AnonBytes:  22 * MiB,
+			Think:      time.Millisecond,
+		}, rng), 4
+	}
+}
+
+// coopOutcome is one configuration's result.
+type coopOutcome struct {
+	label      string
+	ops        map[string]float64 // steady ops/sec
+	appMemMiB  map[string]float64 // in-VM usage (file+anon) at end
+	hcacheMiB  map[string]float64
+	slaMet     int
+	aggregate  float64 // sum of ops/SLA ratios, the tie-breaker
+	cacheSplit string
+}
+
+// runCoop executes one configuration. limits maps app → cgroup limit
+// bytes (0 = VM-bound, the Morai++ case); weights maps app → hypervisor
+// cache weight.
+func runCoop(o Opts, label string, limits, weights map[string]int64, split string) coopOutcome {
+	engine := sim.New(o.Seed)
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeDD,
+		MemCacheBytes: coopCacheBytes,
+	})
+	vm := host.NewVM(1, coopVMBytes, 100)
+	runners := make(map[string]*workload.Runner, len(coopApps))
+	containers := make(map[string]*guest.Container, len(coopApps))
+	for _, app := range coopApps {
+		c := vm.NewContainer(app, limits[app],
+			cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: int(weights[app])})
+		profile, threads := coopProfile(app, engine)
+		runners[app] = workload.Start(engine, c, profile, threads)
+		containers[app] = c
+	}
+	duration := o.scaled(coopDuration)
+	engine.Run(duration * 2 / 5)
+	checkpoints := make(map[string]workload.Checkpoint, len(coopApps))
+	for app, r := range runners {
+		checkpoints[app] = r.CheckpointNow(engine.Now())
+	}
+	engine.Run(duration)
+	out := coopOutcome{
+		label:      label,
+		ops:        make(map[string]float64),
+		appMemMiB:  make(map[string]float64),
+		hcacheMiB:  make(map[string]float64),
+		cacheSplit: split,
+	}
+	for _, app := range coopApps {
+		r := runners[app]
+		c := containers[app]
+		out.ops[app] = r.OpsPerSecSince(checkpoints[app], engine.Now())
+		out.appMemMiB[app] = float64(c.Group().Usage()) * 4096 / float64(MiB)
+		out.hcacheMiB[app] = mib(c.CacheStats().UsedBytes)
+		ratio := out.ops[app] / coopSLA[app]
+		if ratio >= 1 {
+			out.slaMet++
+		}
+		out.aggregate += ratio
+	}
+	return out
+}
+
+// Table4 compares Morai++ (best centralized partition from a sweep) with
+// DoubleDecker's cooperative two-level provisioning.
+func Table4(o Opts) *Result {
+	r := newResult("table4", "Centralized (Morai++) vs cooperative (DoubleDecker) provisioning (Table 4)")
+
+	// Morai++: no per-container memory limits; sweep hypervisor cache
+	// partitions between the two file-backed apps (the others cannot use
+	// the cache, as the paper observes).
+	sweeps := []struct {
+		split       string
+		mongoWeight int64
+		webWeight   int64
+	}{
+		{"100:0", 100, 0}, {"80:20", 80, 20}, {"60:40", 60, 40}, {"40:60", 40, 60}, {"20:80", 20, 80},
+	}
+	var best coopOutcome
+	for i, sw := range sweeps {
+		limits := map[string]int64{"mongodb": 0, "mysql": 0, "redis": 0, "webserver": 0}
+		weights := map[string]int64{"mongodb": sw.mongoWeight, "mysql": 0, "redis": 0, "webserver": sw.webWeight}
+		out := runCoop(o, "Morai++", limits, weights, sw.split)
+		if i == 0 || out.slaMet > best.slaMet || (out.slaMet == best.slaMet && out.aggregate > best.aggregate) {
+			best = out
+		}
+	}
+
+	// DoubleDecker: the VM-level manager sets in-VM limits from the
+	// applications' memory types (anon-heavy apps get their working sets,
+	// file-backed apps offload to the cache) plus cache weights.
+	ddLimits := map[string]int64{
+		"mongodb": 256 * MiB, "mysql": 512 * MiB, "redis": 512 * MiB, "webserver": 256 * MiB,
+	}
+	ddWeights := map[string]int64{"mongodb": 60, "mysql": 0, "redis": 0, "webserver": 40}
+	dd := runCoop(o, "DoubleDecker", ddLimits, ddWeights, "60:40")
+
+	t := Table{
+		Columns: []string{"workload (SLA ops/s)", "technique", "throughput (ops/s)", "SLA met", "app mem (MiB)", "hcache (MiB)"},
+	}
+	for _, app := range coopApps {
+		for _, out := range []coopOutcome{best, dd} {
+			met := "no"
+			if out.ops[app] >= coopSLA[app] {
+				met = "yes"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%s (%.0f)", app, coopSLA[app]),
+				out.label,
+				f1(out.ops[app]),
+				met,
+				f1(out.appMemMiB[app]),
+				f1(out.hcacheMiB[app]),
+			})
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	r.note("Morai++ best partition: %s (SLAs met: %d/4, aggregate score %.2f)", best.cacheSplit, best.slaMet, best.aggregate)
+	r.note("DoubleDecker: SLAs met: %d/4, aggregate score %.2f", dd.slaMet, dd.aggregate)
+	r.note("paper shape: Morai++ cannot satisfy the anon-bound apps (Redis, MySQL) under VM-level pressure; DoubleDecker's two-level provisioning meets all four SLAs, with Redis improving by orders of magnitude once its working set fits")
+	return r
+}

@@ -1,0 +1,134 @@
+// Motivation experiments (§2.3): non-deterministic hypervisor cache
+// distribution across containers under the nesting-agnostic Global
+// policy — Figures 5 and 6.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/guest"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/metrics"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/workload"
+)
+
+// motivation geometry, scaled 1/4 from the paper (VM 2 GB → 512 MiB,
+// hypervisor cache 1 GB → 256 MiB).
+const (
+	motVMBytes        = 512 * MiB
+	motContainerBytes = 128 * MiB
+	motCacheBytes     = 256 * MiB
+	motDuration       = 800 * time.Second / 4
+	motOffset         = 200 * time.Second / 4
+)
+
+func motWebConfig() workload.WebserverConfig {
+	return workload.WebserverConfig{
+		Files:      3200,
+		MeanBlocks: 32, // ~400 MiB set per container
+		Think:      400 * time.Microsecond,
+	}
+}
+
+// motivationRig boots the single-VM Global-mode setup of §2.3.
+func motivationRig(o Opts) (*sim.Engine, *hypervisor.Host, *guest.VM) {
+	engine := sim.New(o.Seed)
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeGlobal,
+		MemCacheBytes: motCacheBytes,
+	})
+	vm := host.NewVM(1, motVMBytes, 100)
+	return engine, host, vm
+}
+
+// trackPool samples a container's hypervisor cache occupancy into series.
+func trackPool(engine *sim.Engine, host *hypervisor.Host, c *guest.Container, s *metrics.Series, every time.Duration) *sim.Event {
+	return engine.Every(every, func() {
+		used := host.Manager().PoolTotalBytes(cleancache.PoolID(c.Group().PoolID()))
+		s.Record(engine.Now(), mib(used))
+	})
+}
+
+// Fig5 runs the two webserver containers one at a time: each alone can
+// fill the entire hypervisor cache.
+func Fig5(o Opts) *Result {
+	r := newResult("fig5", "Hypervisor cache distribution, containers run separately (motivation)")
+	duration := o.scaled(motDuration)
+	for i, threads := range []int{2, 3} {
+		engine, host, vm := motivationRig(o)
+		name := fmt.Sprintf("container%d", i+1)
+		c := vm.NewContainer(name, motContainerBytes, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+		series := r.addSeries(name)
+		trackPool(engine, host, c, series, o.Sample)
+		workload.Start(engine, c, workload.NewWebserver(motWebConfig(), engine.Rand()), threads)
+		if err := engine.Run(duration); err != nil {
+			r.note("engine: %v", err)
+		}
+		peak := series.Max()
+		r.note("%s (%d threads) alone: peak cache %.0f MiB of %.0f MiB available",
+			name, threads, peak, mib(motCacheBytes))
+	}
+	return r
+}
+
+// Fig6 runs both containers together: (a) same start time, (b) container 2
+// offset — the cache splits disproportionately and order-dependently.
+func Fig6(o Opts) *Result {
+	r := newResult("fig6", "Hypervisor cache distribution, containers run together (motivation)")
+	duration := o.scaled(motDuration)
+	offset := o.scaled(motOffset)
+
+	run := func(label string, startDelay2 time.Duration) (*metrics.Series, *metrics.Series) {
+		engine, host, vm := motivationRig(o)
+		c1 := vm.NewContainer("container1", motContainerBytes, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+		c2 := vm.NewContainer("container2", motContainerBytes, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+		s1 := r.addSeries(label + "/container1")
+		s2 := r.addSeries(label + "/container2")
+		trackPool(engine, host, c1, s1, o.Sample)
+		trackPool(engine, host, c2, s2, o.Sample)
+		workload.Start(engine, c1, workload.NewWebserver(motWebConfig(), engine.Rand()), 2)
+		engine.Schedule(startDelay2, func() {
+			workload.Start(engine, c2, workload.NewWebserver(motWebConfig(), engine.Rand()), 3)
+		})
+		if err := engine.Run(duration); err != nil {
+			r.note("engine: %v", err)
+		}
+		return s1, s2
+	}
+
+	s1, s2 := run("same-start", 0)
+	steady := o.scaled(motDuration / 2)
+	m1, m2 := s1.MeanAfter(steady), s2.MeanAfter(steady)
+	r.Tables = append(r.Tables, Table{
+		Title:   "steady-state cache share, same start time (paper: ~2x disparity)",
+		Columns: []string{"container", "threads", "mean cache MiB", "share %"},
+		Rows: [][]string{
+			{"container1", "2", f1(m1), f1(100 * m1 / (m1 + m2))},
+			{"container2", "3", f1(m2), f1(100 * m2 / (m1 + m2))},
+		},
+	})
+
+	o1, o2 := run("offset-start", offset)
+	// Find the crossover: the first time container2's share exceeds
+	// container1's after its delayed start (paper: ~600 s).
+	cross := time.Duration(-1)
+	for _, p := range o2.Points() {
+		if p.At > offset && p.Value > o1.At(p.At) {
+			cross = p.At
+			break
+		}
+	}
+	if cross >= 0 {
+		r.note("offset run: container2 (started +%.0fs) overtakes container1 at t=%.0fs (paper: starts +200s, overtakes ~600s)",
+			offset.Seconds(), cross.Seconds())
+	} else {
+		r.note("offset run: container2 never overtakes container1 within %v", duration)
+	}
+	return r
+}

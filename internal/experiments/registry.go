@@ -1,0 +1,28 @@
+// Experiment registry: maps the paper's table/figure ids to runners.
+
+package experiments
+
+// defaultRunners lists every reproduced artifact.
+func defaultRunners() map[string]Runner {
+	return map[string]Runner{
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"table1": Table1,
+		"fig9":   Fig9,
+		"fig10":  Fig10,
+		"table2": Table2,
+		"table3": Table3,
+		"fig11":  Fig11,
+		"fig12":  Fig12,
+		"table4": Table4,
+		"fig13":  Fig13,
+		"fig14":  Fig14,
+	}
+}
+
+func init() {
+	for id, r := range defaultRunners() {
+		Register(id, r)
+	}
+}

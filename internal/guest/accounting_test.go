@@ -1,0 +1,102 @@
+package guest
+
+import (
+	"math/rand"
+	"testing"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/fsmodel"
+)
+
+// TestAccountingInvariantUnderRandomOps hammers a two-container VM with a
+// random operation mix and checks the cross-module accounting invariants
+// after every burst:
+//   - pagecache.TotalPages == Σ group FilePages
+//   - every group stays within its cgroup limit
+//   - anon residency never exceeds the working set
+//   - hypervisor cache usage equals Σ pool usage (checked via store)
+func TestAccountingInvariantUnderRandomOps(t *testing.T) {
+	engine, mgr, vm := rig(t, 16*mib)
+	c1 := vm.NewContainer("a", 8*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 60})
+	c2 := vm.NewContainer("b", 8*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 40})
+	rng := rand.New(rand.NewSource(99))
+
+	var files []*fsmodel.File
+	for i := 0; i < 12; i++ {
+		files = append(files, vm.Allocator().Alloc(int64(rng.Intn(1024)+16)))
+	}
+	containers := []*Container{c1, c2}
+
+	check := func(step int) {
+		t.Helper()
+		var sum int64
+		for _, c := range containers {
+			g := c.Group()
+			sum += g.FilePages()
+			if g.FilePages() < 0 || g.AnonResident() < 0 {
+				t.Fatalf("step %d: negative accounting", step)
+			}
+			if g.LimitPages() > 0 && g.Usage() > g.LimitPages()+128 {
+				t.Fatalf("step %d: group %s over limit: %d > %d",
+					step, g.Name(), g.Usage(), g.LimitPages())
+			}
+			if g.AnonResident() > g.AnonWorkingSet() {
+				t.Fatalf("step %d: anon resident exceeds working set", step)
+			}
+		}
+		if got := vm.PageCache().TotalPages(); got != sum {
+			t.Fatalf("step %d: page cache %d pages vs groups %d", step, got, sum)
+		}
+		var pools int64
+		for _, c := range containers {
+			pools += c.CacheStats().UsedBytes
+		}
+		if used := mgr.StoreUsedBytes(cgroup.StoreMem); used != pools {
+			t.Fatalf("step %d: store %d bytes vs pools %d", step, used, pools)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		c := containers[rng.Intn(len(containers))]
+		f := files[rng.Intn(len(files))]
+		now := engine.Now()
+		switch rng.Intn(6) {
+		case 0, 1:
+			start := rng.Int63n(f.Blocks)
+			c.Read(now, f, start, rng.Int63n(64)+1)
+		case 2:
+			start := rng.Int63n(f.Blocks)
+			c.Write(now, f, start, rng.Int63n(16)+1)
+		case 3:
+			c.Fsync(now, f)
+		case 4:
+			c.GrowAnon(now, rng.Int63n(256))
+		case 5:
+			c.TouchAnon(now, rng.Int63n(32))
+		}
+		if step%20 == 0 {
+			check(step)
+		}
+	}
+	check(400)
+}
+
+// TestDeleteKeepsAccountingConsistent mixes deletions into the churn.
+func TestDeleteKeepsAccountingConsistent(t *testing.T) {
+	engine, mgr, vm := rig(t, 16*mib)
+	c := vm.NewContainer("a", 8*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		f := vm.Allocator().Alloc(int64(rng.Intn(512) + 16))
+		c.Read(engine.Now(), f, 0, f.Blocks)
+		if rng.Intn(2) == 0 {
+			c.Delete(engine.Now(), f)
+		}
+	}
+	if got := vm.PageCache().TotalPages(); got != c.Group().FilePages() {
+		t.Fatalf("page cache %d vs group %d", got, c.Group().FilePages())
+	}
+	if used := mgr.StoreUsedBytes(cgroup.StoreMem); used != c.CacheStats().UsedBytes {
+		t.Fatalf("store %d vs pool %d", used, c.CacheStats().UsedBytes)
+	}
+}

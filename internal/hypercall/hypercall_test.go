@@ -1,0 +1,28 @@
+package hypercall
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostAndCounters(t *testing.T) {
+	c := NewChannel()
+	l0 := c.Cost(0)
+	if l0 != DefaultCallCost {
+		t.Fatalf("zero-page cost = %v, want %v", l0, DefaultCallCost)
+	}
+	l1 := c.Cost(1)
+	if l1 != DefaultCallCost+DefaultPageCopyCost {
+		t.Fatalf("one-page cost = %v", l1)
+	}
+	if c.Calls() != 2 || c.PagesCopied() != 1 {
+		t.Fatalf("counters = %d calls / %d pages", c.Calls(), c.PagesCopied())
+	}
+}
+
+func TestCustomCosts(t *testing.T) {
+	c := NewChannelWithCosts(time.Microsecond, 2*time.Microsecond)
+	if got := c.Cost(3); got != 7*time.Microsecond {
+		t.Fatalf("Cost(3) = %v, want 7µs", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package hypervisor models the host: the physical devices backing the
+// DoubleDecker cache stores, the cache manager itself, the VM registry and
+// the host-administrator policy controller (per-VM weights, store
+// capacities) — the hypervisor half of the cooperative design.
+package hypervisor
+
+import (
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/guest"
+	"doubledecker/internal/hypercall"
+	"doubledecker/internal/policy"
+	"doubledecker/internal/sim"
+	"doubledecker/internal/store"
+)
+
+// Config parameterizes a host.
+type Config struct {
+	// Mode selects DoubleDecker vs the nesting-agnostic Global baseline.
+	Mode ddcache.Mode
+	// MemCacheBytes is the memory store capacity (0 disables it).
+	MemCacheBytes int64
+	// SSDCacheBytes is the SSD store capacity (0 disables it).
+	SSDCacheBytes int64
+	// EvictBatchBytes overrides the paper's 2 MiB eviction batch.
+	EvictBatchBytes int64
+	// HypervisorCaching can be set false to disable the second-chance
+	// path entirely (pure guest-only caching).
+	DisableCaching bool
+	// VMDiskFactory builds each VM's virtual disk; nil selects the
+	// default 7200 RPM HDD per VM.
+	VMDiskFactory func(id cleancache.VMID) blockdev.Device
+	// VictimSelector overrides the eviction victim-selection algorithm
+	// (nil = the paper's Algorithm 1); used by ablation benchmarks.
+	VictimSelector func(ents []policy.Entity, evictionSize int64) int
+}
+
+// Host is a physical machine running the DoubleDecker-enabled hypervisor.
+type Host struct {
+	engine  *sim.Engine
+	manager *ddcache.Manager
+	ram     *blockdev.RAM
+	ssd     *blockdev.SSD
+	caching bool
+	diskFor func(id cleancache.VMID) blockdev.Device
+	vms     []*guest.VM
+}
+
+// New builds a host with the given cache configuration.
+func New(engine *sim.Engine, cfg Config) *Host {
+	h := &Host{
+		engine:  engine,
+		ram:     blockdev.NewRAM("host-ram"),
+		ssd:     blockdev.NewSSD("host-ssd"),
+		caching: !cfg.DisableCaching,
+		diskFor: cfg.VMDiskFactory,
+	}
+	mcfg := ddcache.Config{
+		Mode:            cfg.Mode,
+		EvictBatchBytes: cfg.EvictBatchBytes,
+		VictimSelector:  cfg.VictimSelector,
+	}
+	if cfg.MemCacheBytes > 0 {
+		mcfg.Mem = store.NewMem(h.ram, cfg.MemCacheBytes)
+	}
+	if cfg.SSDCacheBytes > 0 {
+		mcfg.SSD = store.NewSSD(h.ssd, cfg.SSDCacheBytes)
+	}
+	h.manager = ddcache.NewManager(mcfg)
+	return h
+}
+
+// Engine returns the simulation engine.
+func (h *Host) Engine() *sim.Engine { return h.engine }
+
+// Manager exposes the DoubleDecker cache manager.
+func (h *Host) Manager() *ddcache.Manager { return h.manager }
+
+// NewVM boots a VM with the given memory size and hypervisor cache
+// weight, wiring its cleancache front over a fresh hypercall channel.
+func (h *Host) NewVM(id cleancache.VMID, memBytes int64, weight int64) *guest.VM {
+	h.manager.RegisterVM(id, weight)
+	var front *cleancache.Front
+	if h.caching {
+		front = cleancache.NewFront(id, h.manager, hypercall.NewChannel())
+	}
+	gcfg := guest.Config{ID: id, MemBytes: memBytes}
+	if h.diskFor != nil {
+		gcfg.Disk = h.diskFor(id)
+	}
+	vm := guest.New(h.engine, gcfg, front)
+	h.vms = append(h.vms, vm)
+	return vm
+}
+
+// DestroyVM tears a VM down: its containers, pools and registration.
+func (h *Host) DestroyVM(vm *guest.VM) {
+	for _, c := range vm.Containers() {
+		vm.DestroyContainer(c)
+	}
+	vm.Shutdown()
+	h.manager.UnregisterVM(vm.ID())
+	for i, other := range h.vms {
+		if other == vm {
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			break
+		}
+	}
+}
+
+// VMs returns the live VMs in boot order.
+func (h *Host) VMs() []*guest.VM {
+	out := make([]*guest.VM, len(h.vms))
+	copy(out, h.vms)
+	return out
+}
+
+// SetVMWeight is the host-administrator policy knob for VM shares.
+func (h *Host) SetVMWeight(id cleancache.VMID, weight int64) {
+	h.manager.SetVMWeight(id, weight)
+}
+
+// SetMemCacheBytes resizes the memory store at runtime.
+func (h *Host) SetMemCacheBytes(n int64) {
+	h.manager.SetMemCapacity(h.engine.Now(), n)
+}
+
+// SetSSDCacheBytes resizes the SSD store at runtime.
+func (h *Host) SetSSDCacheBytes(n int64) {
+	h.manager.SetSSDCapacity(h.engine.Now(), n)
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (h *Host) RunFor(d time.Duration) error {
+	return h.engine.Run(h.engine.Now() + d)
+}

@@ -1,0 +1,194 @@
+// Package index implements the DoubleDecker indexing module: it maps the
+// (pool-id, inode-num, block-offset) keys arriving from guest VMs to
+// storage objects through a per-pool hierarchy — an inode hash table whose
+// entries are per-file radix trees — and keeps the per-pool FIFO order
+// (the paper's LRU-equivalent for exclusive caches) that eviction follows.
+package index
+
+import (
+	"container/list"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/radix"
+)
+
+// Object is one cached block owned by a pool and resident in a store.
+type Object struct {
+	Pool  cleancache.PoolID
+	Inode uint64
+	Block int64
+	Size  int64
+	Store cgroup.StoreType
+	// Seq is the manager-assigned insertion sequence number, used by the
+	// Global baseline to evict in strict cross-pool FIFO order.
+	Seq uint64
+	// Content is the block's content identity when deduplication is
+	// enabled (0 otherwise).
+	Content uint64
+
+	elem *list.Element
+}
+
+// Pool indexes the objects of one container.
+type Pool struct {
+	ID   cleancache.PoolID
+	VM   cleancache.VMID
+	Name string
+
+	files map[uint64]*radix.Tree
+	fifo  map[cgroup.StoreType]*list.List
+	used  map[cgroup.StoreType]int64
+	count int64
+}
+
+// NewPool returns an empty pool index.
+func NewPool(id cleancache.PoolID, vm cleancache.VMID, name string) *Pool {
+	return &Pool{
+		ID:    id,
+		VM:    vm,
+		Name:  name,
+		files: make(map[uint64]*radix.Tree),
+		fifo:  make(map[cgroup.StoreType]*list.List),
+		used:  make(map[cgroup.StoreType]int64),
+	}
+}
+
+// Lookup returns the object for (inode, block), or nil.
+func (p *Pool) Lookup(inode uint64, block int64) *Object {
+	tree, ok := p.files[inode]
+	if !ok {
+		return nil
+	}
+	obj, _ := tree.Get(block).(*Object)
+	return obj
+}
+
+// Insert adds obj to the index, replacing (and returning) any previous
+// object under the same key. The caller owns releasing the replaced
+// object's storage.
+func (p *Pool) Insert(obj *Object) *Object {
+	obj.Pool = p.ID
+	tree, ok := p.files[obj.Inode]
+	if !ok {
+		tree = radix.New()
+		p.files[obj.Inode] = tree
+	}
+	var replaced *Object
+	if prev := tree.Insert(obj.Block, obj); prev != nil {
+		replaced, _ = prev.(*Object)
+		if replaced != nil {
+			p.unlink(replaced)
+		}
+	}
+	q, ok := p.fifo[obj.Store]
+	if !ok {
+		q = list.New()
+		p.fifo[obj.Store] = q
+	}
+	obj.elem = q.PushBack(obj)
+	p.used[obj.Store] += obj.Size
+	p.count++
+	return replaced
+}
+
+// Remove deletes obj from the index. It reports whether the object was
+// present.
+func (p *Pool) Remove(obj *Object) bool {
+	tree, ok := p.files[obj.Inode]
+	if !ok {
+		return false
+	}
+	got, _ := tree.Delete(obj.Block).(*Object)
+	if got == nil {
+		return false
+	}
+	if got != obj {
+		// Key collision with a different object: put it back.
+		tree.Insert(obj.Block, got)
+		return false
+	}
+	if tree.Len() == 0 {
+		delete(p.files, obj.Inode)
+	}
+	p.unlink(obj)
+	return true
+}
+
+// unlink detaches obj from FIFO and accounting (index entry handled by
+// the caller).
+func (p *Pool) unlink(obj *Object) {
+	if obj.elem != nil {
+		p.fifo[obj.Store].Remove(obj.elem)
+		obj.elem = nil
+	}
+	p.used[obj.Store] -= obj.Size
+	if p.used[obj.Store] < 0 {
+		p.used[obj.Store] = 0
+	}
+	p.count--
+}
+
+// Oldest returns the pool's oldest object in the given store, or nil.
+func (p *Pool) Oldest(st cgroup.StoreType) *Object {
+	q, ok := p.fifo[st]
+	if !ok || q.Len() == 0 {
+		return nil
+	}
+	obj, _ := q.Front().Value.(*Object)
+	return obj
+}
+
+// RemoveInode removes and returns all objects of a file (FlushInode,
+// container teardown helpers).
+func (p *Pool) RemoveInode(inode uint64) []*Object {
+	tree, ok := p.files[inode]
+	if !ok {
+		return nil
+	}
+	objs := make([]*Object, 0, tree.Len())
+	tree.ForEach(func(_ int64, v any) bool {
+		if obj, ok := v.(*Object); ok {
+			objs = append(objs, obj)
+		}
+		return true
+	})
+	for _, obj := range objs {
+		p.unlink(obj)
+	}
+	delete(p.files, inode)
+	return objs
+}
+
+// DrainAll removes and returns every object in the pool (DestroyPool).
+func (p *Pool) DrainAll() []*Object {
+	objs := make([]*Object, 0, p.count)
+	for inode := range p.files {
+		objs = append(objs, p.RemoveInode(inode)...)
+	}
+	return objs
+}
+
+// Inodes returns the inode numbers currently indexed (order unspecified).
+func (p *Pool) Inodes() []uint64 {
+	out := make([]uint64, 0, len(p.files))
+	for ino := range p.files {
+		out = append(out, ino)
+	}
+	return out
+}
+
+// UsedBytes reports bytes held in the given store.
+func (p *Pool) UsedBytes(st cgroup.StoreType) int64 { return p.used[st] }
+
+// TotalBytes reports bytes held across all stores.
+func (p *Pool) TotalBytes() int64 {
+	var t int64
+	for _, u := range p.used {
+		t += u
+	}
+	return t
+}
+
+// Count reports the number of objects in the pool.
+func (p *Pool) Count() int64 { return p.count }

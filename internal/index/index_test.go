@@ -1,0 +1,191 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"doubledecker/internal/cgroup"
+)
+
+func obj(inode uint64, block int64, st cgroup.StoreType) *Object {
+	return &Object{Inode: inode, Block: block, Size: 4096, Store: st}
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	o := obj(10, 5, cgroup.StoreMem)
+	if replaced := p.Insert(o); replaced != nil {
+		t.Fatalf("Insert returned %v", replaced)
+	}
+	if got := p.Lookup(10, 5); got != o {
+		t.Fatal("Lookup missed inserted object")
+	}
+	if p.Count() != 1 || p.UsedBytes(cgroup.StoreMem) != 4096 {
+		t.Fatalf("count/used = %d/%d", p.Count(), p.UsedBytes(cgroup.StoreMem))
+	}
+	if !p.Remove(o) {
+		t.Fatal("Remove failed")
+	}
+	if p.Lookup(10, 5) != nil || p.Count() != 0 || p.UsedBytes(cgroup.StoreMem) != 0 {
+		t.Fatal("Remove left state behind")
+	}
+}
+
+func TestInsertReplacesSameKey(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	o1 := obj(10, 5, cgroup.StoreMem)
+	o2 := obj(10, 5, cgroup.StoreMem)
+	p.Insert(o1)
+	replaced := p.Insert(o2)
+	if replaced != o1 {
+		t.Fatalf("replaced = %v, want o1", replaced)
+	}
+	if p.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", p.Count())
+	}
+	if p.Lookup(10, 5) != o2 {
+		t.Fatal("lookup should find the new object")
+	}
+}
+
+func TestFIFOOrderPerStore(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	m1 := obj(1, 0, cgroup.StoreMem)
+	s1 := obj(2, 0, cgroup.StoreSSD)
+	m2 := obj(1, 1, cgroup.StoreMem)
+	p.Insert(m1)
+	p.Insert(s1)
+	p.Insert(m2)
+	if got := p.Oldest(cgroup.StoreMem); got != m1 {
+		t.Fatalf("Oldest(mem) = %v, want m1", got)
+	}
+	if got := p.Oldest(cgroup.StoreSSD); got != s1 {
+		t.Fatalf("Oldest(ssd) = %v, want s1", got)
+	}
+	p.Remove(m1)
+	if got := p.Oldest(cgroup.StoreMem); got != m2 {
+		t.Fatalf("Oldest after removal = %v, want m2", got)
+	}
+}
+
+func TestReinsertMovesToBack(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	a := obj(1, 0, cgroup.StoreMem)
+	b := obj(1, 1, cgroup.StoreMem)
+	p.Insert(a)
+	p.Insert(b)
+	// Re-put of the same key: fresh object, same key as a.
+	a2 := obj(1, 0, cgroup.StoreMem)
+	p.Insert(a2)
+	if got := p.Oldest(cgroup.StoreMem); got != b {
+		t.Fatal("re-inserted key should move to FIFO back")
+	}
+}
+
+func TestRemoveInode(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	for b := int64(0); b < 10; b++ {
+		p.Insert(obj(7, b, cgroup.StoreMem))
+	}
+	p.Insert(obj(8, 0, cgroup.StoreMem))
+	objs := p.RemoveInode(7)
+	if len(objs) != 10 {
+		t.Fatalf("RemoveInode returned %d objects, want 10", len(objs))
+	}
+	if p.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", p.Count())
+	}
+	if p.Lookup(7, 3) != nil {
+		t.Fatal("inode 7 blocks still indexed")
+	}
+	if p.RemoveInode(99) != nil {
+		t.Fatal("RemoveInode of absent inode should return nil")
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	p.Insert(obj(1, 0, cgroup.StoreMem))
+	p.Insert(obj(2, 0, cgroup.StoreSSD))
+	p.Insert(obj(2, 1, cgroup.StoreSSD))
+	objs := p.DrainAll()
+	if len(objs) != 3 {
+		t.Fatalf("DrainAll returned %d, want 3", len(objs))
+	}
+	if p.Count() != 0 || p.TotalBytes() != 0 {
+		t.Fatal("pool not empty after drain")
+	}
+}
+
+func TestRemoveForeignObject(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	in := obj(1, 0, cgroup.StoreMem)
+	p.Insert(in)
+	ghost := obj(1, 0, cgroup.StoreMem) // same key, never inserted
+	if p.Remove(ghost) {
+		t.Fatal("Remove of foreign object succeeded")
+	}
+	if p.Lookup(1, 0) != in {
+		t.Fatal("original object lost")
+	}
+}
+
+func TestInodes(t *testing.T) {
+	p := NewPool(1, 1, "c1")
+	p.Insert(obj(3, 0, cgroup.StoreMem))
+	p.Insert(obj(9, 0, cgroup.StoreMem))
+	inos := p.Inodes()
+	if len(inos) != 2 {
+		t.Fatalf("Inodes = %v", inos)
+	}
+}
+
+// Property: accounting (count, used bytes, FIFO membership) stays
+// consistent under random insert/remove sequences.
+func TestPropertyAccountingConsistent(t *testing.T) {
+	prop := func(ops []struct {
+		Inode uint8
+		Block uint8
+		SSD   bool
+		Del   bool
+	}) bool {
+		p := NewPool(1, 1, "p")
+		live := make(map[[2]uint64]*Object)
+		for _, op := range ops {
+			key := [2]uint64{uint64(op.Inode), uint64(op.Block)}
+			st := cgroup.StoreMem
+			if op.SSD {
+				st = cgroup.StoreSSD
+			}
+			if op.Del {
+				if o, ok := live[key]; ok {
+					if !p.Remove(o) {
+						return false
+					}
+					delete(live, key)
+				}
+				continue
+			}
+			o := obj(uint64(op.Inode), int64(op.Block), st)
+			p.Insert(o)
+			live[key] = o
+		}
+		if int(p.Count()) != len(live) {
+			return false
+		}
+		var wantMem, wantSSD int64
+		for _, o := range live {
+			if o.Store == cgroup.StoreMem {
+				wantMem += o.Size
+			} else {
+				wantSSD += o.Size
+			}
+		}
+		return p.UsedBytes(cgroup.StoreMem) == wantMem &&
+			p.UsedBytes(cgroup.StoreSSD) == wantSSD &&
+			p.TotalBytes() == wantMem+wantSSD
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

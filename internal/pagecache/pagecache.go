@@ -1,0 +1,569 @@
+// Package pagecache models the guest OS disk page cache with the
+// DoubleDecker extensions: pages are charged to the cgroup of the process
+// that faulted them, reclaim runs per-cgroup LRU lists (it implements
+// cgroup.FileReclaimer), clean evictions are offered to the second-chance
+// cache (cleancache put), lookup misses consult it (cleancache get), and
+// invalidations flush it — the exclusive-caching protocol of the paper's
+// Figure 1/2.
+package pagecache
+
+import (
+	"container/list"
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/fsmodel"
+)
+
+// PageHitCost is the CPU cost of serving one page from the page cache.
+const PageHitCost = 700 * time.Nanosecond
+
+// dirtyRatioDivisor caps the dirty-page backlog at 1/this of VM memory;
+// writers exceeding it are throttled into foreground writeback, as the
+// kernel's dirty_ratio mechanism does. Without this, writers outrun the
+// disk for free and starve every reader behind the unbounded async queue.
+const dirtyRatioDivisor = 10
+
+// page is one resident page-cache page.
+type page struct {
+	inode   uint64
+	block   int64
+	diskOff int64
+	content uint64 // content identity (for deduplicating cache stores)
+	g       *cgroup.Group
+	dirty   bool
+	elem    *list.Element // position in the group LRU
+	dirtyEl *list.Element // position in the dirty FIFO, nil when clean
+	touched time.Duration
+}
+
+// IOStats aggregates one group's page cache activity.
+type IOStats struct {
+	Hits       int64 // page cache hits
+	Misses     int64 // page cache misses (any source)
+	DiskReads  int64 // blocks read from the virtual disk
+	DiskWrites int64 // blocks written back
+	CCHits     int64 // misses served by the second-chance cache
+}
+
+// Cache is one VM's page cache.
+type Cache struct {
+	root  *cgroup.Root
+	front *cleancache.Front // may be nil: no second-chance cache
+	disk  blockdev.Device
+
+	pages map[uint64]map[int64]*page // inode → block → page
+	lrus  map[*cgroup.Group]*list.List
+	// dirty pages are tracked per group (as the kernel's per-bdi/task
+	// dirty accounting does) so one container's write flood throttles
+	// only itself.
+	dirty      map[*cgroup.Group]*list.List
+	dirtyTotal int
+	stats      map[*cgroup.Group]*IOStats
+
+	// accessHook, when set, observes every read access (hit or miss) —
+	// the feed for MRC/WSS estimators driving adaptive policies.
+	accessHook func(g *cgroup.Group, inode uint64, block int64)
+
+	// writeSeq makes written blocks' content unique: a dirtied page no
+	// longer matches any template content.
+	writeSeq uint64
+}
+
+var _ cgroup.FileReclaimer = (*Cache)(nil)
+
+// New wires a page cache to its VM's memory controller, second-chance
+// front (nil to disable) and virtual disk. It installs itself as the
+// root's file reclaimer.
+func New(root *cgroup.Root, front *cleancache.Front, disk blockdev.Device) *Cache {
+	c := &Cache{
+		root:  root,
+		front: front,
+		disk:  disk,
+		pages: make(map[uint64]map[int64]*page),
+		lrus:  make(map[*cgroup.Group]*list.List),
+		dirty: make(map[*cgroup.Group]*list.List),
+		stats: make(map[*cgroup.Group]*IOStats),
+	}
+	root.SetReclaimer(c)
+	return c
+}
+
+// SetAccessHook installs an observer for read accesses. Pass nil to
+// remove it.
+func (c *Cache) SetAccessHook(fn func(g *cgroup.Group, inode uint64, block int64)) {
+	c.accessHook = fn
+}
+
+// Stats returns the accumulated counters for g.
+func (c *Cache) Stats(g *cgroup.Group) IOStats {
+	if s, ok := c.stats[g]; ok {
+		return *s
+	}
+	return IOStats{}
+}
+
+func (c *Cache) statsFor(g *cgroup.Group) *IOStats {
+	s, ok := c.stats[g]
+	if !ok {
+		s = &IOStats{}
+		c.stats[g] = s
+	}
+	return s
+}
+
+func (c *Cache) lruFor(g *cgroup.Group) *list.List {
+	l, ok := c.lrus[g]
+	if !ok {
+		l = list.New()
+		c.lrus[g] = l
+	}
+	return l
+}
+
+func (c *Cache) dirtyFor(g *cgroup.Group) *list.List {
+	l, ok := c.dirty[g]
+	if !ok {
+		l = list.New()
+		c.dirty[g] = l
+	}
+	return l
+}
+
+func (c *Cache) markDirty(p *page) {
+	p.dirty = true
+	p.dirtyEl = c.dirtyFor(p.g).PushBack(p)
+	c.dirtyTotal++
+}
+
+func (c *Cache) lookup(inode uint64, block int64) *page {
+	blocks, ok := c.pages[inode]
+	if !ok {
+		return nil
+	}
+	return blocks[block]
+}
+
+// insert adds a page for g, making room under the cgroup and VM limits
+// first. Returns the reclaim latency incurred.
+func (c *Cache) insert(now time.Duration, g *cgroup.Group, inode uint64, block, diskOff int64, content uint64, dirty bool) (*page, time.Duration) {
+	lat := g.EnsureRoom(now, 1)
+	p := &page{inode: inode, block: block, diskOff: diskOff, content: content, g: g, dirty: dirty, touched: now + lat}
+	blocks, ok := c.pages[inode]
+	if !ok {
+		blocks = make(map[int64]*page)
+		c.pages[inode] = blocks
+	}
+	blocks[block] = p
+	p.elem = c.lruFor(g).PushFront(p)
+	if dirty {
+		p.dirty = false // markDirty sets it
+		c.markDirty(p)
+	}
+	g.ChargeFile(1)
+	return p, lat
+}
+
+// touch refreshes a page's LRU position.
+func (c *Cache) touch(now time.Duration, p *page) {
+	p.touched = now
+	c.lruFor(p.g).MoveToFront(p.elem)
+}
+
+// drop removes a page from all structures without writeback.
+func (c *Cache) drop(p *page) {
+	blocks := c.pages[p.inode]
+	delete(blocks, p.block)
+	if len(blocks) == 0 {
+		delete(c.pages, p.inode)
+	}
+	c.lruFor(p.g).Remove(p.elem)
+	if p.dirtyEl != nil {
+		c.dirtyFor(p.g).Remove(p.dirtyEl)
+		p.dirtyEl = nil
+		c.dirtyTotal--
+	}
+	p.g.UnchargeFile(1)
+}
+
+// Read serves n blocks of f starting at start on behalf of g, returning
+// the total latency: page cache hits at memory cost, second-chance hits at
+// hypercall+store cost, the rest from the virtual disk.
+func (c *Cache) Read(now time.Duration, g *cgroup.Group, f *fsmodel.File, start, n int64) time.Duration {
+	st := c.statsFor(g)
+	var lat time.Duration
+	end := start + n
+	if end > f.Blocks {
+		end = f.Blocks
+	}
+	for b := start; b < end; b++ {
+		at := now + lat
+		if c.accessHook != nil {
+			c.accessHook(g, uint64(f.Inode), b)
+		}
+		if p := c.lookup(uint64(f.Inode), b); p != nil {
+			c.touch(at, p)
+			lat += PageHitCost
+			st.Hits++
+			continue
+		}
+		st.Misses++
+		if c.front != nil {
+			hit, l := c.front.Get(at, g, uint64(f.Inode), b)
+			lat += l
+			if hit {
+				st.CCHits++
+				_, il := c.insert(at+l, g, uint64(f.Inode), b, f.BlockOffset(b), f.ContentKey(b), false)
+				lat += il + PageHitCost
+				continue
+			}
+		}
+		// Disk miss: extend the run across consecutive blocks that miss
+		// both caches (readahead — one seek serves the whole run). A
+		// block found in the second-chance cache during the scan is
+		// inserted, accounted, and terminates the run.
+		runEnd := b + 1
+		ccStopped := false
+		for runEnd < end {
+			if c.lookup(uint64(f.Inode), runEnd) != nil {
+				break
+			}
+			if c.front != nil {
+				hit, l := c.front.Get(now+lat, g, uint64(f.Inode), runEnd)
+				lat += l
+				if hit {
+					if c.accessHook != nil {
+						c.accessHook(g, uint64(f.Inode), runEnd)
+					}
+					st.Misses++
+					st.CCHits++
+					_, il := c.insert(now+lat, g, uint64(f.Inode), runEnd, f.BlockOffset(runEnd), f.ContentKey(runEnd), false)
+					lat += il + PageHitCost
+					ccStopped = true
+					break
+				}
+			}
+			runEnd++
+		}
+		runLen := runEnd - b
+		lat += c.disk.Read(now+lat, f.BlockOffset(b), runLen*fsmodel.BlockSize)
+		st.DiskReads += runLen
+		st.Misses += runLen - 1
+		for rb := b; rb < runEnd; rb++ {
+			if c.accessHook != nil && rb > b {
+				c.accessHook(g, uint64(f.Inode), rb)
+			}
+			_, il := c.insert(now+lat, g, uint64(f.Inode), rb, f.BlockOffset(rb), f.ContentKey(rb), false)
+			lat += il + PageHitCost
+		}
+		b = runEnd - 1
+		if ccStopped {
+			b = runEnd // the runEnd block was served by the second-chance hit
+		}
+	}
+	return lat
+}
+
+// Write dirties n blocks of f starting at start (whole-block writes, no
+// read-modify-write). Stale second-chance copies are invalidated.
+func (c *Cache) Write(now time.Duration, g *cgroup.Group, f *fsmodel.File, start, n int64) time.Duration {
+	st := c.statsFor(g)
+	lat := c.throttleDirty(now, g)
+	end := start + n
+	if end > f.Blocks {
+		end = f.Blocks
+	}
+	for b := start; b < end; b++ {
+		at := now + lat
+		if p := c.lookup(uint64(f.Inode), b); p != nil {
+			c.touch(at, p)
+			if !p.dirty {
+				c.markDirty(p)
+			}
+			c.writeSeq++
+			p.content = ^c.writeSeq // written content is unique
+			lat += PageHitCost
+			st.Hits++
+			continue
+		}
+		st.Misses++
+		// A stale copy may live in the second-chance cache; invalidate.
+		if c.front != nil {
+			lat += c.front.FlushPage(at, g, uint64(f.Inode), b)
+		}
+		c.writeSeq++
+		_, il := c.insert(now+lat, g, uint64(f.Inode), b, f.BlockOffset(b), ^c.writeSeq, true)
+		lat += il + PageHitCost
+	}
+	return lat
+}
+
+// Fsync synchronously writes back every dirty page of f, coalescing
+// contiguous runs into single disk writes.
+func (c *Cache) Fsync(now time.Duration, g *cgroup.Group, f *fsmodel.File) time.Duration {
+	blocks, ok := c.pages[uint64(f.Inode)]
+	if !ok {
+		return 0
+	}
+	// Collect dirty blocks in ascending order for run coalescing.
+	var dirtyBlocks []int64
+	for b, p := range blocks {
+		if p.dirty {
+			dirtyBlocks = append(dirtyBlocks, b)
+		}
+	}
+	if len(dirtyBlocks) == 0 {
+		return 0
+	}
+	sortInt64s(dirtyBlocks)
+	st := c.statsFor(g)
+	var lat time.Duration
+	runStart := dirtyBlocks[0]
+	runLen := int64(1)
+	flushRun := func(startBlock, length int64) {
+		lat += c.disk.Write(now+lat, f.BlockOffset(startBlock), length*fsmodel.BlockSize)
+		st.DiskWrites += length
+	}
+	for _, b := range dirtyBlocks[1:] {
+		if b == runStart+runLen {
+			runLen++
+			continue
+		}
+		flushRun(runStart, runLen)
+		runStart, runLen = b, 1
+	}
+	flushRun(runStart, runLen)
+	for _, b := range dirtyBlocks {
+		p := blocks[b]
+		p.dirty = false
+		if p.dirtyEl != nil {
+			c.dirtyFor(p.g).Remove(p.dirtyEl)
+			p.dirtyEl = nil
+			c.dirtyTotal--
+		}
+	}
+	return lat
+}
+
+// Invalidate drops all pages of f (file deletion/truncation) without
+// writeback and flushes the file from the second-chance cache.
+func (c *Cache) Invalidate(now time.Duration, g *cgroup.Group, f *fsmodel.File) time.Duration {
+	blocks, ok := c.pages[uint64(f.Inode)]
+	if ok {
+		pages := make([]*page, 0, len(blocks))
+		for _, p := range blocks {
+			pages = append(pages, p)
+		}
+		for _, p := range pages {
+			c.drop(p)
+		}
+	}
+	if c.front != nil {
+		return c.front.FlushInode(now, g, uint64(f.Inode))
+	}
+	return 0
+}
+
+// dirtyRun collects the oldest dirty page of l plus following entries
+// that are disk-contiguous with it (writeback clustering). It does not
+// mutate state.
+func dirtyRun(l *list.List, max int) []*page {
+	if l == nil || l.Len() == 0 {
+		return nil
+	}
+	first, ok := l.Front().Value.(*page)
+	if !ok {
+		return nil
+	}
+	run := []*page{first}
+	for e := first.dirtyEl.Next(); e != nil && len(run) < max; e = e.Next() {
+		q, ok := e.Value.(*page)
+		if !ok || q.inode != first.inode ||
+			q.diskOff != run[len(run)-1].diskOff+fsmodel.BlockSize {
+			break
+		}
+		run = append(run, q)
+	}
+	return run
+}
+
+// clean marks a writeback run clean.
+func (c *Cache) clean(run []*page) {
+	for _, p := range run {
+		c.statsFor(p.g).DiskWrites++
+		p.dirty = false
+		if p.dirtyEl != nil {
+			c.dirtyFor(p.g).Remove(p.dirtyEl)
+			p.dirtyEl = nil
+			c.dirtyTotal--
+		}
+	}
+}
+
+// dirtyLimit returns the dirty-page threshold for this VM.
+func (c *Cache) dirtyLimit() int {
+	limit := int(c.root.LimitPages() / dirtyRatioDivisor)
+	if limit < 256 {
+		limit = 256
+	}
+	return limit
+}
+
+// throttleDirty blocks a writer in foreground writeback of its own dirty
+// pages until its backlog is back under its share of the threshold,
+// returning the stall time. Other groups' dirt never stalls this writer.
+func (c *Cache) throttleDirty(now time.Duration, g *cgroup.Group) time.Duration {
+	limit := c.dirtyLimit() / 2
+	var lat time.Duration
+	l := c.dirty[g]
+	for l != nil && l.Len() > limit {
+		run := dirtyRun(l, 256)
+		if len(run) == 0 {
+			break
+		}
+		lat += c.disk.Write(now+lat, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
+		c.clean(run)
+	}
+	return lat
+}
+
+// FlushDirty writes back up to max dirty pages (oldest first),
+// asynchronously — the background flusher thread. Contiguous dirty runs
+// (files written in order dirty adjacent pages back-to-back) are issued as
+// single device writes, as the kernel's writeback clustering does.
+// Returns pages cleaned.
+func (c *Cache) FlushDirty(now time.Duration, max int) int {
+	n := 0
+	// Drain every group each round so one container's write flood cannot
+	// starve another's few dirty pages (which would otherwise stall that
+	// container in reclaim-time writeback). Each round splits the budget
+	// across the groups that have dirt.
+	for n < max && c.dirtyTotal > 0 {
+		dirtyGroups := 0
+		for _, l := range c.dirty {
+			if l.Len() > 0 {
+				dirtyGroups++
+			}
+		}
+		if dirtyGroups == 0 {
+			break
+		}
+		quota := (max - n) / dirtyGroups
+		if quota < 1 {
+			quota = 1
+		}
+		progressed := false
+		for _, g := range c.root.Groups() {
+			l := c.dirty[g]
+			if l == nil || l.Len() == 0 || n >= max {
+				continue
+			}
+			limit := quota
+			if rem := max - n; limit > rem {
+				limit = rem
+			}
+			run := dirtyRun(l, limit)
+			if len(run) == 0 {
+				continue
+			}
+			c.disk.WriteAsync(now, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
+			c.clean(run)
+			n += len(run)
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return n
+}
+
+// DirtyPages reports the number of dirty pages pending writeback.
+func (c *Cache) DirtyPages() int { return c.dirtyTotal }
+
+// Resident reports whether a block is currently in the page cache,
+// without touching LRU state — an inspection hook for tests and tooling.
+func (c *Cache) Resident(inode uint64, block int64) bool {
+	return c.lookup(inode, block) != nil
+}
+
+// TotalPages reports resident file pages across all groups.
+func (c *Cache) TotalPages() int64 {
+	var n int64
+	for _, l := range c.lrus {
+		n += int64(l.Len())
+	}
+	return n
+}
+
+// --- cgroup.FileReclaimer ---------------------------------------------------
+
+// ReclaimFile implements cgroup.FileReclaimer: it evicts up to want of
+// g's coldest file pages. Dirty pages are written back synchronously
+// first (direct reclaim stalls on dirty pages, which keeps writers from
+// outrunning the disk through the reclaim path); clean pages are offered
+// to the second-chance cache (the paper's put on clean evict).
+func (c *Cache) ReclaimFile(now time.Duration, g *cgroup.Group, want int64) (int64, time.Duration) {
+	l, ok := c.lrus[g]
+	if !ok {
+		return 0, 0
+	}
+	var (
+		freed int64
+		lat   time.Duration
+	)
+	for freed < want && l.Len() > 0 {
+		p, ok := l.Back().Value.(*page)
+		if !ok {
+			break
+		}
+		if p.dirty {
+			// Cluster the writeback: walk up the LRU for contiguous
+			// dirty pages of the same file (they aged together) and
+			// clean them with one device write.
+			run := []*page{p}
+			for e := p.elem.Prev(); e != nil; e = e.Prev() {
+				q, ok := e.Value.(*page)
+				if !ok || !q.dirty || q.inode != p.inode ||
+					q.diskOff != run[len(run)-1].diskOff+fsmodel.BlockSize {
+					break
+				}
+				run = append(run, q)
+			}
+			lat += c.disk.Write(now+lat, p.diskOff, int64(len(run))*fsmodel.BlockSize)
+			c.clean(run)
+		}
+		if c.front != nil {
+			_, pl := c.front.Put(now+lat, g, p.inode, p.block, p.content)
+			lat += pl
+		}
+		c.drop(p)
+		freed++
+	}
+	return freed, lat
+}
+
+// OldestFilePage implements cgroup.FileReclaimer.
+func (c *Cache) OldestFilePage(g *cgroup.Group) (time.Duration, bool) {
+	l, ok := c.lrus[g]
+	if !ok || l.Len() == 0 {
+		return 0, false
+	}
+	p, ok := l.Back().Value.(*page)
+	if !ok {
+		return 0, false
+	}
+	return p.touched, true
+}
+
+// sortInt64s is a small insertion-capable sort to avoid pulling reflect-
+// based sorting into the hot fsync path for tiny slices.
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package pagecache
+
+import (
+	"testing"
+	"time"
+
+	"doubledecker/internal/cgroup"
+)
+
+func TestReadaheadCoalescesDiskRuns(t *testing.T) {
+	r := newRig(64*mib, 0)
+	g := r.newGroup("c1", 0)
+	f := r.newFile(64)
+	reads := r.disk.Stats().Reads
+	r.cache.Read(0, g, f, 0, 64)
+	delta := r.disk.Stats().Reads - reads
+	if delta != 1 {
+		t.Fatalf("sequential cold read issued %d device reads, want 1 (readahead)", delta)
+	}
+}
+
+func TestReadaheadStopsAtResidentBlock(t *testing.T) {
+	r := newRig(64*mib, 0)
+	g := r.newGroup("c1", 0)
+	f := r.newFile(64)
+	r.cache.Read(0, g, f, 32, 1) // block 32 resident
+	reads := r.disk.Stats().Reads
+	r.cache.Read(time.Second, g, f, 0, 64)
+	delta := r.disk.Stats().Reads - reads
+	if delta != 2 {
+		t.Fatalf("run should split around the resident block: %d device reads, want 2", delta)
+	}
+}
+
+func TestDirtyThrottlingBoundsBacklog(t *testing.T) {
+	r := newRig(32*mib, 0) // dirty limit = 32 MiB/10 = ~819 pages
+	g := r.newGroup("writer", 0)
+	f := r.newFile(8192)
+	var stalled bool
+	for i := int64(0); i < 8192; i += 64 {
+		lat := r.cache.Write(0, g, f, i, 64)
+		if lat > 5*time.Millisecond {
+			stalled = true
+		}
+	}
+	if !stalled {
+		t.Fatal("writer never stalled in foreground writeback")
+	}
+	limit := r.cache.dirtyLimit()
+	if got := r.cache.DirtyPages(); got > limit+256 {
+		t.Fatalf("dirty backlog %d far above limit %d", got, limit)
+	}
+}
+
+func TestDirtyThrottlingIsPerGroup(t *testing.T) {
+	r := newRig(32*mib, 0)
+	hog := r.newGroup("hog", 0)
+	meek := r.newGroup("meek", 0)
+	big := r.newFile(8192)
+	small := r.newFile(4)
+	// The hog floods its own dirty list past the threshold.
+	for i := int64(0); i < 8192; i += 64 {
+		r.cache.Write(0, hog, big, i, 64)
+	}
+	// The meek writer's tiny write must not pay the hog's debt.
+	lat := r.cache.Write(0, meek, small, 0, 4)
+	if lat > time.Millisecond {
+		t.Fatalf("innocent writer stalled %v behind another group's dirt", lat)
+	}
+}
+
+func TestFlusherFairAcrossGroups(t *testing.T) {
+	r := newRig(64*mib, 0)
+	a := r.newGroup("a", 0)
+	b := r.newGroup("b", 0)
+	fa := r.newFile(512)
+	fb := r.newFile(512)
+	r.cache.Write(0, a, fa, 0, 512)
+	r.cache.Write(0, b, fb, 0, 512)
+	// A small flush budget must clean some of BOTH groups.
+	r.cache.FlushDirty(0, 256)
+	sa := r.cache.Stats(a).DiskWrites
+	sb := r.cache.Stats(b).DiskWrites
+	if sa == 0 || sb == 0 {
+		t.Fatalf("flusher starved a group: a=%d b=%d", sa, sb)
+	}
+}
+
+func TestAccessHookObservesReads(t *testing.T) {
+	r := newRig(64*mib, 0)
+	g := r.newGroup("c1", 0)
+	f := r.newFile(8)
+	var seen []int64
+	r.cache.SetAccessHook(func(hg *cgroup.Group, inode uint64, block int64) {
+		if hg != g || inode != uint64(f.Inode) {
+			t.Fatalf("hook saw wrong identity: %v %d", hg, inode)
+		}
+		seen = append(seen, block)
+	})
+	r.cache.Read(0, g, f, 2, 3)
+	if len(seen) != 3 || seen[0] != 2 || seen[2] != 4 {
+		t.Fatalf("hook observed %v", seen)
+	}
+	r.cache.SetAccessHook(nil)
+	r.cache.Read(0, g, f, 0, 1)
+	if len(seen) != 3 {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+func TestResidentProbeDoesNotTouch(t *testing.T) {
+	r := newRig(64*mib, 0)
+	g := r.newGroup("c1", 0)
+	f := r.newFile(4)
+	r.cache.Read(0, g, f, 0, 4)
+	before := r.cache.Stats(g)
+	if !r.cache.Resident(uint64(f.Inode), 0) {
+		t.Fatal("block should be resident")
+	}
+	if r.cache.Resident(uint64(f.Inode), 99) {
+		t.Fatal("absent block reported resident")
+	}
+	if after := r.cache.Stats(g); after != before {
+		t.Fatal("Resident probe mutated stats")
+	}
+}

@@ -1,0 +1,133 @@
+// Package policy implements the DoubleDecker policy module: weighted
+// entitlement computation for the two-level cache partitioning (per-VM
+// and per-container) and the victim-selection procedure of the paper's
+// Algorithm 1, used whenever a store reaches capacity.
+package policy
+
+// Entity is one cache-consuming party — a VM at the first level, a
+// container pool at the second — as seen by the victim selector.
+type Entity struct {
+	// Weight is the relative weight among peers (the paper's percentage;
+	// any positive scale works, shares are normalized).
+	Weight int64
+	// Entitlement is the entity's share of the store in bytes, derived
+	// from the weights via Shares.
+	Entitlement int64
+	// Used is the entity's current occupancy in bytes.
+	Used int64
+}
+
+// Shares splits capacity proportionally to weights, in bytes. Entities
+// with non-positive weight receive zero. Rounding remainders are assigned
+// to the earliest entities so that the shares always sum to capacity when
+// any weight is positive.
+func Shares(capacity int64, weights []int64) []int64 {
+	out := make([]int64, len(weights))
+	var total int64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 || capacity <= 0 {
+		return out
+	}
+	var assigned int64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		out[i] = capacity * w / total
+		assigned += out[i]
+	}
+	// Distribute the rounding remainder deterministically.
+	rem := capacity - assigned
+	for i := 0; rem > 0 && i < len(weights); i++ {
+		if weights[i] > 0 {
+			out[i]++
+			rem--
+		}
+	}
+	return out
+}
+
+// SelectVictim implements the paper's Algorithm 1 (GETVICTIM): among
+// entities whose usage would exceed their entitlement after accounting for
+// evictionSize, pick the one with the largest exceed value, where unused
+// entitlement of comfortably-under entities is redistributed to the
+// overused ones in proportion to their weights:
+//
+//	exceed(E, b, cw) = E.Used + evictionSize - (E.Entitlement + b*E.Weight/cw)
+//
+// It returns the index of the victim, or -1 when no entity is over its
+// entitlement (the caller then falls back to the largest user, preserving
+// the resource-conservative behaviour).
+func SelectVictim(entities []Entity, evictionSize int64) int {
+	var (
+		overused   []int
+		cumlWeight int64
+		underBuf   int64
+	)
+	for i, e := range entities {
+		if e.Entitlement < e.Used+evictionSize {
+			overused = append(overused, i)
+			cumlWeight += e.Weight
+		}
+		if e.Entitlement-e.Used > 2*evictionSize {
+			underBuf += e.Entitlement - e.Used
+		}
+	}
+	if len(overused) == 0 {
+		return -1
+	}
+	exceed := func(e Entity) float64 {
+		bonus := 0.0
+		if cumlWeight > 0 {
+			bonus = float64(underBuf) * float64(e.Weight) / float64(cumlWeight)
+		}
+		return float64(e.Used+evictionSize) - (float64(e.Entitlement) + bonus)
+	}
+	best := overused[0]
+	bestVal := exceed(entities[best])
+	for _, i := range overused[1:] {
+		if v := exceed(entities[i]); v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// SelectVictimOrLargest applies SelectVictim and falls back to the entity
+// with the largest usage when none is over-entitlement (for example when
+// the store capacity shrank below the sum of entitlements).
+func SelectVictimOrLargest(entities []Entity, evictionSize int64) int {
+	if v := SelectVictim(entities, evictionSize); v >= 0 {
+		return v
+	}
+	best, bestUsed := -1, int64(0)
+	for i, e := range entities {
+		if e.Used > bestUsed {
+			best, bestUsed = i, e.Used
+		}
+	}
+	return best
+}
+
+// SelectVictimNoRedistribution is the ablation variant used by the
+// benchmark suite: Algorithm 1 without the unused-entitlement
+// redistribution term (b = 0). Exposed so experiments can quantify the
+// contribution of the redistribution step.
+func SelectVictimNoRedistribution(entities []Entity, evictionSize int64) int {
+	best := -1
+	var bestVal float64
+	for i, e := range entities {
+		if e.Entitlement >= e.Used+evictionSize {
+			continue
+		}
+		v := float64(e.Used+evictionSize) - float64(e.Entitlement)
+		if best == -1 || v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSharesProportional(t *testing.T) {
+	got := Shares(300, []int64{1, 2})
+	if got[0] != 100 || got[1] != 200 {
+		t.Fatalf("Shares = %v, want [100 200]", got)
+	}
+}
+
+func TestSharesRemainderAssigned(t *testing.T) {
+	got := Shares(100, []int64{1, 1, 1})
+	sum := got[0] + got[1] + got[2]
+	if sum != 100 {
+		t.Fatalf("shares sum to %d, want 100: %v", sum, got)
+	}
+	for _, s := range got {
+		if s < 33 || s > 34 {
+			t.Fatalf("unbalanced shares %v", got)
+		}
+	}
+}
+
+func TestSharesZeroAndNegativeWeights(t *testing.T) {
+	got := Shares(100, []int64{0, 4, -5})
+	if got[0] != 0 || got[2] != 0 {
+		t.Fatalf("non-positive weights got shares: %v", got)
+	}
+	if got[1] != 100 {
+		t.Fatalf("sole positive weight should get all: %v", got)
+	}
+	if out := Shares(0, []int64{1}); out[0] != 0 {
+		t.Fatalf("zero capacity: %v", out)
+	}
+	if out := Shares(100, nil); len(out) != 0 {
+		t.Fatalf("nil weights: %v", out)
+	}
+}
+
+func TestSelectVictimPaperSemantics(t *testing.T) {
+	// Two equal-weight entities, one well over its entitlement.
+	ents := []Entity{
+		{Weight: 50, Entitlement: 500, Used: 900},
+		{Weight: 50, Entitlement: 500, Used: 100},
+	}
+	if v := SelectVictim(ents, 10); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+}
+
+func TestSelectVictimNoneOver(t *testing.T) {
+	ents := []Entity{
+		{Weight: 50, Entitlement: 500, Used: 100},
+		{Weight: 50, Entitlement: 500, Used: 200},
+	}
+	if v := SelectVictim(ents, 10); v != -1 {
+		t.Fatalf("victim = %d, want -1", v)
+	}
+	if v := SelectVictimOrLargest(ents, 10); v != 1 {
+		t.Fatalf("fallback victim = %d, want 1 (largest user)", v)
+	}
+}
+
+func TestSelectVictimRedistributionProtectsHighWeight(t *testing.T) {
+	// Both A and B are over their entitlement by the same absolute
+	// amount, but A has much higher weight, so A receives more of the
+	// unused buffer from C and B becomes the victim.
+	ents := []Entity{
+		{Weight: 90, Entitlement: 300, Used: 500}, // A
+		{Weight: 10, Entitlement: 300, Used: 500}, // B
+		{Weight: 50, Entitlement: 400, Used: 0},   // C: 400 unused
+	}
+	if v := SelectVictim(ents, 10); v != 1 {
+		t.Fatalf("victim = %d, want 1 (low-weight overuser)", v)
+	}
+	// Without redistribution the tie is broken by order: A picked first.
+	if v := SelectVictimNoRedistribution(ents, 10); v != 0 {
+		t.Fatalf("no-redistribution victim = %d, want 0", v)
+	}
+}
+
+func TestSelectVictimEvictionSizePushesBoundary(t *testing.T) {
+	// Used exactly at entitlement: still overused because the pending
+	// eviction size tips it over (paper line 8: entitlement < used+size).
+	ents := []Entity{{Weight: 1, Entitlement: 100, Used: 100}}
+	if v := SelectVictim(ents, 1); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+	if v := SelectVictim(ents, 0); v != -1 {
+		t.Fatalf("victim = %d, want -1 at zero eviction size", v)
+	}
+}
+
+func TestSelectVictimUnderusedBufferThreshold(t *testing.T) {
+	// An entity must be under by MORE than 2*evictionSize to donate.
+	evict := int64(100)
+	ents := []Entity{
+		{Weight: 50, Entitlement: 1000, Used: 1500},           // over
+		{Weight: 50, Entitlement: 1000, Used: 1000 - 2*evict}, // exactly 2x under: no donation
+	}
+	// Only entity 0 is overused either way.
+	if v := SelectVictim(ents, evict); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+}
+
+func TestSelectVictimOrLargestEmpty(t *testing.T) {
+	if v := SelectVictimOrLargest(nil, 10); v != -1 {
+		t.Fatalf("empty entity list: victim = %d, want -1", v)
+	}
+	ents := []Entity{{Weight: 1, Entitlement: 10, Used: 0}}
+	if v := SelectVictimOrLargest(ents, 0); v != -1 {
+		t.Fatalf("all-zero usage: victim = %d, want -1", v)
+	}
+}
+
+// Property: shares sum to capacity whenever some weight is positive, and
+// each share is monotone in its weight.
+func TestPropertySharesSumAndMonotone(t *testing.T) {
+	prop := func(capRaw uint32, ws []uint8) bool {
+		capacity := int64(capRaw % 1_000_000)
+		weights := make([]int64, len(ws))
+		var anyPos bool
+		for i, w := range ws {
+			weights[i] = int64(w)
+			if w > 0 {
+				anyPos = true
+			}
+		}
+		shares := Shares(capacity, weights)
+		var sum int64
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		if anyPos && capacity > 0 && sum != capacity {
+			return false
+		}
+		for i := range weights {
+			for j := range weights {
+				if weights[i] > weights[j] && shares[i] < shares[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the selected victim is always over-entitlement (per the
+// paper's definition including eviction size), and -1 only when no entity
+// is over.
+func TestPropertyVictimIsOverused(t *testing.T) {
+	prop := func(raw []struct {
+		W, E, U uint16
+	}, evict uint8) bool {
+		ents := make([]Entity, len(raw))
+		anyOver := false
+		size := int64(evict)
+		for i, r := range raw {
+			ents[i] = Entity{Weight: int64(r.W%100) + 1, Entitlement: int64(r.E), Used: int64(r.U)}
+			if ents[i].Entitlement < ents[i].Used+size {
+				anyOver = true
+			}
+		}
+		v := SelectVictim(ents, size)
+		if !anyOver {
+			return v == -1
+		}
+		return v >= 0 && ents[v].Entitlement < ents[v].Used+size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

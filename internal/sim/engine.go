@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All DoubleDecker experiments run on virtual time: an Engine owns a
+// monotonically increasing virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, which —
+// together with a seeded PRNG — makes every run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly
+// via Stop rather than by reaching the horizon or draining the queue.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created via Engine.Schedule and friends.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() { ev.cancel = true }
+
+// Engine is a discrete-event simulator with a virtual clock.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns an engine whose PRNG is seeded with seed. The virtual clock
+// starts at zero.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time (elapsed since the start of the run).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic PRNG. All stochastic choices in a
+// simulation must draw from this source to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule enqueues fn to run after delay of virtual time. A negative delay
+// is treated as zero. It returns the event so callers may cancel it.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn to run at absolute virtual time at. Times in the
+// past are clamped to the current instant.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Every schedules fn to run every interval of virtual time, starting one
+// interval from now, until the returned event's Cancel method is called.
+// The returned event stays valid across firings.
+func (e *Engine) Every(interval time.Duration, fn func()) *Event {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	// ticker is re-armed by reference so Cancel on the handle sticks.
+	handle := &Event{index: -1}
+	var arm func()
+	arm = func() {
+		if handle.cancel {
+			return
+		}
+		fn()
+		if handle.cancel {
+			return
+		}
+		e.Schedule(interval, arm)
+	}
+	e.Schedule(interval, arm)
+	return handle
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the virtual clock would pass horizon, the queue
+// drains, or Stop is called. The clock is left at min(horizon, last event).
+// It returns ErrStopped when stopped explicitly, nil otherwise.
+func (e *Engine) Run(horizon time.Duration) error {
+	e.stopped = false
+	for e.queue.Len() > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Stop aborts a Run in progress after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// eventQueue implements heap.Interface ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.Schedule(42*time.Millisecond, func() { at = e.Now() })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 42*time.Millisecond {
+		t.Fatalf("event fired at %v, want 42ms", at)
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock = %v after Run, want horizon 1s", e.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	if err := e.Run(time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestHorizonStopsBeforeEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(2*time.Second, func() { fired = true })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+	// Resuming past the event fires it.
+	if err := e.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire on resumed run")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New(1)
+	count := 0
+	handle := e.Every(100*time.Millisecond, func() { count++ })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("ticker fired %d times in 1s at 100ms, want 10", count)
+	}
+	handle.Cancel()
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("ticker fired after cancel: %d", count)
+	}
+}
+
+func TestEveryCancelInsideCallback(t *testing.T) {
+	e := New(1)
+	count := 0
+	var handle *Event
+	handle = e.Every(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			handle.Cancel()
+		}
+	})
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Every(time.Millisecond, func() {
+		count++
+		if count == 5 {
+			e.Stop()
+		}
+	})
+	err := e.Run(time.Second)
+	if err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestChainedScheduling(t *testing.T) {
+	// A closed-loop "thread": each activation schedules the next.
+	e := New(1)
+	ops := 0
+	var loop func()
+	loop = func() {
+		ops++
+		e.Schedule(10*time.Millisecond, loop)
+	}
+	e.Schedule(0, loop)
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ops != 101 { // t=0ms,10ms,...,1000ms inclusive
+		t.Fatalf("ops = %d, want 101", ops)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var vals []int64
+		e.Every(time.Millisecond, func() {
+			vals = append(vals, e.Rand().Int63n(1000))
+		})
+		if err := e.Run(50 * time.Millisecond); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New(1)
+	ev1 := e.Schedule(time.Millisecond, func() {})
+	e.Schedule(2*time.Millisecond, func() {})
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	ev1.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+// Property: no matter what delays are scheduled, events fire in
+// non-decreasing time order and the clock never moves backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := New(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		if err := e.Run(time.Second); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleAtAbsolute(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.ScheduleAt(500*time.Millisecond, func() { at = e.Now() })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 500*time.Millisecond {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := New(1)
+	e.Schedule(100*time.Millisecond, func() {
+		fired := false
+		e.ScheduleAt(10*time.Millisecond, func() { fired = true })
+		_ = fired
+	})
+	// The past-dated event must fire at/after now, not violate ordering.
+	var last time.Duration
+	e.Every(20*time.Millisecond, func() {
+		if e.Now() < last {
+			t.Fatal("clock went backwards")
+		}
+		last = e.Now()
+	})
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventsDuringRunAreHonored(t *testing.T) {
+	// Scheduling from inside a callback (as dynamic experiments do when
+	// booting VMs mid-run) must work.
+	e := New(1)
+	var booted bool
+	e.Schedule(time.Second, func() {
+		e.Schedule(time.Second, func() { booted = true })
+	})
+	if err := e.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !booted {
+		t.Fatal("nested scheduling lost")
+	}
+}

@@ -1,0 +1,140 @@
+// Package store implements the DoubleDecker storage module: backend-
+// independent services to allocate, read and free cache objects, with a
+// memory backend (page allocation + memcpy) and an SSD backend (raw block
+// I/O: synchronous reads for gets, asynchronous writes for puts) as in the
+// paper's implementation.
+package store
+
+import (
+	"fmt"
+
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/cgroup"
+)
+
+// Backend stores opaque cache objects and accounts capacity.
+type Backend interface {
+	Type() cgroup.StoreType
+	CapacityBytes() int64
+	// SetCapacityBytes reconfigures the store size at runtime (the
+	// paper's dynamic cache-capacity changes). Shrinking below current
+	// usage is allowed; the cache manager evicts down to the new limit.
+	SetCapacityBytes(n int64)
+	UsedBytes() int64
+	// Store allocates and copies an object in, returning the latency the
+	// storing path observes.
+	Store(now time.Duration, size int64) time.Duration
+	// Fetch reads an object out (a get), returning the read latency.
+	Fetch(now time.Duration, size int64) time.Duration
+	// Release frees an object's space (eviction or flush); free of charge.
+	Release(size int64)
+}
+
+// Mem is the in-memory cache store: page_alloc + memcpy semantics.
+type Mem struct {
+	ram      *blockdev.RAM
+	capacity int64
+	used     int64
+}
+
+// NewMem returns a memory store of the given capacity backed by ram.
+func NewMem(ram *blockdev.RAM, capacity int64) *Mem {
+	return &Mem{ram: ram, capacity: capacity}
+}
+
+// Type implements Backend.
+func (m *Mem) Type() cgroup.StoreType { return cgroup.StoreMem }
+
+// CapacityBytes implements Backend.
+func (m *Mem) CapacityBytes() int64 { return m.capacity }
+
+// SetCapacityBytes implements Backend.
+func (m *Mem) SetCapacityBytes(n int64) { m.capacity = n }
+
+// UsedBytes implements Backend.
+func (m *Mem) UsedBytes() int64 { return m.used }
+
+// Store implements Backend: a synchronous page copy into host memory.
+func (m *Mem) Store(now time.Duration, size int64) time.Duration {
+	m.used += size
+	return m.ram.Write(now, 0, size)
+}
+
+// Fetch implements Backend: a synchronous page copy out; the object is
+// removed by the subsequent Release from the cache manager (exclusive
+// caching).
+func (m *Mem) Fetch(now time.Duration, size int64) time.Duration {
+	return m.ram.Read(now, 0, size)
+}
+
+// Release implements Backend.
+func (m *Mem) Release(size int64) {
+	m.used -= size
+	if m.used < 0 {
+		m.used = 0
+	}
+}
+
+// SSD is the solid-state cache store: synchronous reads, asynchronous
+// writes on the raw block device, per the paper's implementation.
+type SSD struct {
+	dev      *blockdev.SSD
+	capacity int64
+	used     int64
+	cursor   int64 // log-structured write cursor (latency-neutral)
+}
+
+// NewSSD returns an SSD store of the given capacity backed by dev.
+func NewSSD(dev *blockdev.SSD, capacity int64) *SSD {
+	return &SSD{dev: dev, capacity: capacity}
+}
+
+// Type implements Backend.
+func (s *SSD) Type() cgroup.StoreType { return cgroup.StoreSSD }
+
+// CapacityBytes implements Backend.
+func (s *SSD) CapacityBytes() int64 { return s.capacity }
+
+// SetCapacityBytes implements Backend.
+func (s *SSD) SetCapacityBytes(n int64) { s.capacity = n }
+
+// UsedBytes implements Backend.
+func (s *SSD) UsedBytes() int64 { return s.used }
+
+// Store implements Backend: the write is issued asynchronously, so the
+// caller pays only the submission cost while the device absorbs the work.
+func (s *SSD) Store(now time.Duration, size int64) time.Duration {
+	s.used += size
+	s.dev.WriteAsync(now, s.cursor, size)
+	s.cursor += size
+	if s.capacity > 0 {
+		s.cursor %= s.capacity
+	}
+	return time.Microsecond // submission overhead
+}
+
+// Fetch implements Backend: a synchronous block read.
+func (s *SSD) Fetch(now time.Duration, size int64) time.Duration {
+	return s.dev.Read(now, 0, size)
+}
+
+// Release implements Backend.
+func (s *SSD) Release(size int64) {
+	s.used -= size
+	if s.used < 0 {
+		s.used = 0
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Backend = (*Mem)(nil)
+	_ Backend = (*SSD)(nil)
+)
+
+// Describe renders a backend's occupancy for logs.
+func Describe(b Backend) string {
+	return fmt.Sprintf("%s store: %d/%d bytes", b.Type(), b.UsedBytes(), b.CapacityBytes())
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/cgroup"
+)
+
+func TestMemStoreAccounting(t *testing.T) {
+	m := NewMem(blockdev.NewRAM("hostram"), 1<<20)
+	if m.Type() != cgroup.StoreMem {
+		t.Fatalf("Type = %v", m.Type())
+	}
+	lat := m.Store(0, 4096)
+	if lat <= 0 {
+		t.Fatal("memcpy should cost time")
+	}
+	if m.UsedBytes() != 4096 {
+		t.Fatalf("Used = %d", m.UsedBytes())
+	}
+	m.Release(4096)
+	if m.UsedBytes() != 0 {
+		t.Fatalf("Used after release = %d", m.UsedBytes())
+	}
+	m.Release(4096) // over-release clamps
+	if m.UsedBytes() != 0 {
+		t.Fatal("over-release went negative")
+	}
+}
+
+func TestSSDStoreAsyncWriteSyncRead(t *testing.T) {
+	dev := blockdev.NewSSD("ssd")
+	s := NewSSD(dev, 240<<30)
+	wlat := s.Store(0, 4096)
+	if wlat > 10*time.Microsecond {
+		t.Fatalf("async store latency %v too high", wlat)
+	}
+	rlat := s.Fetch(0, 4096)
+	if rlat < 60*time.Microsecond {
+		t.Fatalf("sync fetch latency %v too low for SSD", rlat)
+	}
+	if s.UsedBytes() != 4096 {
+		t.Fatalf("Used = %d", s.UsedBytes())
+	}
+}
+
+func TestSSDFetchQueuesBehindWrites(t *testing.T) {
+	dev := blockdev.NewSSD("ssd")
+	s := NewSSD(dev, 1<<30)
+	for i := 0; i < 100; i++ {
+		s.Store(0, 4096)
+	}
+	blocked := s.Fetch(0, 4096)
+	idle := NewSSD(blockdev.NewSSD("x"), 1<<30).Fetch(0, 4096)
+	if blocked <= idle {
+		t.Fatalf("read should queue behind async writes: %v vs %v", blocked, idle)
+	}
+}
+
+func TestSetCapacity(t *testing.T) {
+	m := NewMem(blockdev.NewRAM("r"), 100)
+	m.SetCapacityBytes(200)
+	if m.CapacityBytes() != 200 {
+		t.Fatalf("Capacity = %d", m.CapacityBytes())
+	}
+	s := NewSSD(blockdev.NewSSD("s"), 100)
+	s.SetCapacityBytes(300)
+	if s.CapacityBytes() != 300 {
+		t.Fatalf("Capacity = %d", s.CapacityBytes())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := NewMem(blockdev.NewRAM("r"), 100)
+	m.Store(0, 10)
+	if got := Describe(m); !strings.Contains(got, "mem store: 10/100") {
+		t.Fatalf("Describe = %q", got)
+	}
+}

@@ -1,0 +1,271 @@
+// Package trace records and replays guest I/O traces: the access stream
+// of a container's page cache, captured live, serialized compactly, and
+// replayable into the estimator package's MRC/WSS builders or through a
+// fresh simulation. It gives policy authors the same offline workflow the
+// paper's adaptive-provisioning citations (MRC, SHARDS) assume.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind classifies a trace record.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindRead Kind = iota + 1
+	KindWrite
+	KindDelete
+	KindFsync
+	KindAnonTouch
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindDelete:
+		return "delete"
+	case KindFsync:
+		return "fsync"
+	case KindAnonTouch:
+		return "anon"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one traced operation.
+type Record struct {
+	At        time.Duration
+	Kind      Kind
+	Container uint16 // dense container index, assigned by the Log
+	Inode     uint64
+	Block     int64
+	Count     int64 // blocks or pages covered
+}
+
+// Log is an in-memory trace with container-name interning.
+type Log struct {
+	names   []string
+	nameIdx map[string]uint16
+	records []Record
+}
+
+// NewLog returns an empty trace log.
+func NewLog() *Log {
+	return &Log{nameIdx: make(map[string]uint16)}
+}
+
+// ContainerID interns a container name, returning its dense index.
+func (l *Log) ContainerID(name string) uint16 {
+	if id, ok := l.nameIdx[name]; ok {
+		return id
+	}
+	id := uint16(len(l.names))
+	l.names = append(l.names, name)
+	l.nameIdx[name] = id
+	return id
+}
+
+// ContainerName resolves a dense index back to the name ("" if unknown).
+func (l *Log) ContainerName(id uint16) string {
+	if int(id) >= len(l.names) {
+		return ""
+	}
+	return l.names[id]
+}
+
+// Append adds a record.
+func (l *Log) Append(r Record) { l.records = append(l.records, r) }
+
+// Len reports the number of records.
+func (l *Log) Len() int { return len(l.records) }
+
+// Records returns the records (shared slice; treat as read-only).
+func (l *Log) Records() []Record { return l.records }
+
+// Replay invokes fn for every record in order; returning false stops.
+func (l *Log) Replay(fn func(Record) bool) {
+	for _, r := range l.records {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Summary counts records per kind.
+func (l *Log) Summary() map[Kind]int64 {
+	out := make(map[Kind]int64)
+	for _, r := range l.records {
+		out[r.Kind]++
+	}
+	return out
+}
+
+// --- serialization -----------------------------------------------------------
+
+// magic identifies the trace format; bump version on layout changes.
+const (
+	magic   = "DDTRACE"
+	version = 1
+)
+
+var (
+	// ErrBadMagic marks a stream that is not a DoubleDecker trace.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrBadVersion marks an unsupported trace version.
+	ErrBadVersion = errors.New("trace: unsupported version")
+)
+
+// Encode writes the log in a compact varint format.
+func (l *Log) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(version); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(l.names))); err != nil {
+		return err
+	}
+	for _, name := range l.names {
+		if err := writeUvarint(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(l.records))); err != nil {
+		return err
+	}
+	// Delta-encode timestamps: traces are time-ordered.
+	var prev time.Duration
+	for _, r := range l.records {
+		if err := writeUvarint(uint64(r.At - prev)); err != nil {
+			return err
+		}
+		prev = r.At
+		if err := writeUvarint(uint64(r.Kind)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.Container)); err != nil {
+			return err
+		}
+		if err := writeUvarint(r.Inode); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.Block)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.Count)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace previously written by Encode.
+func Decode(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	l := NewLog()
+	nNames, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nNames; i++ {
+		ln, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, ln)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		l.ContainerID(string(name))
+	}
+	nRecs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	var prev time.Duration
+	for i := uint64(0); i < nRecs; i++ {
+		var rec Record
+		fields := [6]*uint64{}
+		var raw [6]uint64
+		for j := range raw {
+			fields[j] = &raw[j]
+		}
+		for j := 0; j < 6; j++ {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			raw[j] = v
+		}
+		prev += time.Duration(raw[0])
+		rec.At = prev
+		rec.Kind = Kind(raw[1])
+		rec.Container = uint16(raw[2])
+		rec.Inode = raw[3]
+		rec.Block = int64(raw[4])
+		rec.Count = int64(raw[5])
+		l.Append(rec)
+	}
+	return l, nil
+}
+
+// BlockKey builds the estimator key for a record's first block, matching
+// the key scheme the adaptive example uses.
+func BlockKey(r Record) uint64 { return r.Inode<<32 | uint64(r.Block) }
+
+// FeedTouches replays a container's read/anon records into touch (e.g.
+// estimator.MRC.Touch or SHARDS.Touch), expanding multi-block records.
+func (l *Log) FeedTouches(container uint16, touch func(key uint64)) {
+	for _, r := range l.records {
+		if r.Container != container {
+			continue
+		}
+		if r.Kind != KindRead && r.Kind != KindAnonTouch {
+			continue
+		}
+		n := r.Count
+		if n < 1 {
+			n = 1
+		}
+		for b := int64(0); b < n; b++ {
+			touch(r.Inode<<32 | uint64(r.Block+b))
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"doubledecker/internal/estimator"
+)
+
+func sample() *Log {
+	l := NewLog()
+	web := l.ContainerID("web")
+	db := l.ContainerID("db")
+	l.Append(Record{At: time.Second, Kind: KindRead, Container: web, Inode: 10, Block: 0, Count: 4})
+	l.Append(Record{At: 2 * time.Second, Kind: KindWrite, Container: db, Inode: 20, Block: 5, Count: 1})
+	l.Append(Record{At: 3 * time.Second, Kind: KindFsync, Container: db, Inode: 20})
+	l.Append(Record{At: 4 * time.Second, Kind: KindRead, Container: web, Inode: 10, Block: 0, Count: 4})
+	l.Append(Record{At: 5 * time.Second, Kind: KindAnonTouch, Container: db, Inode: 0, Block: 7, Count: 2})
+	return l
+}
+
+func TestInterning(t *testing.T) {
+	l := NewLog()
+	a := l.ContainerID("a")
+	b := l.ContainerID("b")
+	if a == b {
+		t.Fatal("distinct names share id")
+	}
+	if l.ContainerID("a") != a {
+		t.Fatal("re-interning changed id")
+	}
+	if l.ContainerName(a) != "a" || l.ContainerName(99) != "" {
+		t.Fatal("name resolution broken")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := sample()
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), l.Len())
+	}
+	for i, want := range l.Records() {
+		if got.Records()[i] != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got.Records()[i], want)
+		}
+	}
+	if got.ContainerName(0) != "web" || got.ContainerName(1) != "db" {
+		t.Fatal("names lost in round trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("NOTATRACE-----")); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Corrupt version.
+	var buf bytes.Buffer
+	buf.WriteString("DDTRACE")
+	buf.WriteByte(99)
+	if _, err := Decode(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReplayAndSummary(t *testing.T) {
+	l := sample()
+	n := 0
+	l.Replay(func(Record) bool { n++; return true })
+	if n != l.Len() {
+		t.Fatalf("replayed %d of %d", n, l.Len())
+	}
+	n = 0
+	l.Replay(func(Record) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop replayed %d", n)
+	}
+	s := l.Summary()
+	if s[KindRead] != 2 || s[KindWrite] != 1 || s[KindFsync] != 1 || s[KindAnonTouch] != 1 {
+		t.Fatalf("summary = %v", s)
+	}
+}
+
+func TestFeedTouchesBuildsMRC(t *testing.T) {
+	l := sample()
+	m := estimator.NewMRC()
+	l.FeedTouches(0, m.Touch) // web: two reads of the same 4 blocks
+	if m.Accesses() != 8 {
+		t.Fatalf("accesses = %d, want 8", m.Accesses())
+	}
+	if m.Unique() != 4 {
+		t.Fatalf("unique = %d, want 4", m.Unique())
+	}
+	// The second pass hits fully at capacity ≥ 4.
+	if got := m.MissRatio(4); got != 0.5 {
+		t.Fatalf("miss ratio = %v, want 0.5", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindRead: "read", KindWrite: "write", KindDelete: "delete",
+		KindFsync: "fsync", KindAnonTouch: "anon", Kind(9): "Kind(9)",
+	} {
+		if k.String() != want {
+			t.Fatalf("String(%d) = %q", k, k.String())
+		}
+	}
+}
+
+// Property: Encode/Decode is the identity on arbitrary time-ordered logs.
+func TestPropertyRoundTrip(t *testing.T) {
+	prop := func(raw []struct {
+		Delta uint16
+		Kind  uint8
+		Cont  uint8
+		Inode uint32
+		Block uint16
+		Count uint8
+	}) bool {
+		l := NewLog()
+		l.ContainerID("c0")
+		l.ContainerID("c1")
+		var at time.Duration
+		for _, r := range raw {
+			at += time.Duration(r.Delta)
+			l.Append(Record{
+				At:        at,
+				Kind:      Kind(r.Kind%5) + 1,
+				Container: uint16(r.Cont % 2),
+				Inode:     uint64(r.Inode),
+				Block:     int64(r.Block),
+				Count:     int64(r.Count),
+			})
+		}
+		var buf bytes.Buffer
+		if err := l.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || got.Len() != l.Len() {
+			return false
+		}
+		for i := range l.Records() {
+			if got.Records()[i] != l.Records()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

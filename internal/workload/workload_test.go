@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/hypervisor"
+	"doubledecker/internal/sim"
+)
+
+const mib = 1 << 20
+
+// smallRig boots one VM with one container and a small DD memory cache.
+func smallRig(t *testing.T, seed int64) (*sim.Engine, *hypervisor.Host) {
+	t.Helper()
+	engine := sim.New(seed)
+	host := hypervisor.New(engine, hypervisor.Config{
+		Mode:          ddcache.ModeDD,
+		MemCacheBytes: 64 * mib,
+	})
+	return engine, host
+}
+
+func TestWebserverRuns(t *testing.T) {
+	engine, host := smallRig(t, 1)
+	vm := host.NewVM(1, 256*mib, 100)
+	c := vm.NewContainer("web", 64*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := WebserverConfig{Files: 200, MeanBlocks: 8, Think: 100 * time.Microsecond}
+	r := Start(engine, c, NewWebserver(cfg, engine.Rand()), 2)
+	if err := engine.Run(30 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Ops() == 0 {
+		t.Fatal("no operations completed")
+	}
+	if r.MBPerSec(engine.Now()) <= 0 {
+		t.Fatal("zero throughput")
+	}
+	st := c.IOStats()
+	if st.Hits == 0 {
+		t.Fatal("no page cache hits for a zipf-read workload")
+	}
+}
+
+func TestWebserverSpillsToHypervisorCache(t *testing.T) {
+	engine, host := smallRig(t, 2)
+	vm := host.NewVM(1, 256*mib, 100)
+	// Container limit far below the file set size → must spill.
+	c := vm.NewContainer("web", 16*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := WebserverConfig{Files: 400, MeanBlocks: 16, Think: 100 * time.Microsecond} // ~25 MiB set
+	Start(engine, c, NewWebserver(cfg, engine.Rand()), 2)
+	if err := engine.Run(30 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cs := c.CacheStats()
+	if cs.Puts == 0 {
+		t.Fatal("nothing spilled to the hypervisor cache")
+	}
+	if cs.GetHits == 0 {
+		t.Fatal("no second-chance hits: exclusive caching loop broken")
+	}
+	if cs.UsedBytes == 0 {
+		t.Fatal("hypervisor cache empty at steady state")
+	}
+}
+
+func TestWebproxyChurns(t *testing.T) {
+	engine, host := smallRig(t, 3)
+	vm := host.NewVM(1, 256*mib, 100)
+	c := vm.NewContainer("proxy", 32*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := WebproxyConfig{Files: 500, MeanBlocks: 4, Think: 100 * time.Microsecond}
+	r := Start(engine, c, NewWebproxy(cfg, engine.Rand()), 2)
+	if err := engine.Run(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Ops() == 0 {
+		t.Fatal("no proxy ops")
+	}
+	st := c.IOStats()
+	if st.DiskWrites == 0 {
+		t.Fatal("proxy churn produced no writeback")
+	}
+}
+
+func TestVarmailFsyncBound(t *testing.T) {
+	engine, host := smallRig(t, 4)
+	vm := host.NewVM(1, 256*mib, 100)
+	c := vm.NewContainer("mail", 32*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := VarmailConfig{Files: 500, MeanBlocks: 4, Think: 100 * time.Microsecond}
+	r := Start(engine, c, NewVarmail(cfg, engine.Rand()), 2)
+	if err := engine.Run(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Ops() == 0 {
+		t.Fatal("no mail ops")
+	}
+	// Mail latency must be disk-write bound (fsyncs ≥ ~9ms each).
+	if r.Latency().Mean() < 5*time.Millisecond {
+		t.Fatalf("mail mean latency %v implausibly low for fsync-heavy load", r.Latency().Mean())
+	}
+}
+
+func TestVideoserverStreams(t *testing.T) {
+	engine, host := smallRig(t, 5)
+	vm := host.NewVM(1, 512*mib, 100)
+	c := vm.NewContainer("video", 128*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := VideoserverConfig{
+		ActiveVideos:  4,
+		PassiveVideos: 4,
+		VideoBlocks:   4096, // 16 MiB videos
+		ChunkBlocks:   64,
+		WriterThreads: 1,
+		WriterThink:   10 * time.Millisecond,
+		Think:         150 * time.Microsecond,
+	}
+	r := Start(engine, c, NewVideoserver(cfg, engine.Rand()), 3)
+	if err := engine.Run(30 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.MBPerSec(engine.Now()) < 1 {
+		t.Fatalf("video throughput %.2f MB/s too low", r.MBPerSec(engine.Now()))
+	}
+	if c.IOStats().DiskWrites == 0 {
+		t.Fatal("vidwriter never wrote")
+	}
+}
+
+func TestRunnerStopHalts(t *testing.T) {
+	engine, host := smallRig(t, 6)
+	vm := host.NewVM(1, 256*mib, 100)
+	c := vm.NewContainer("web", 32*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	r := Start(engine, c, NewWebserver(WebserverConfig{Files: 50, MeanBlocks: 4, Think: time.Millisecond}, engine.Rand()), 1)
+	if err := engine.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r.Stop()
+	at := r.Ops()
+	if err := engine.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Ops() != at {
+		t.Fatalf("runner kept going after Stop: %d → %d", at, r.Ops())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		engine, host := smallRig(t, 42)
+		vm := host.NewVM(1, 256*mib, 100)
+		c := vm.NewContainer("web", 32*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+		r := Start(engine, c, NewWebserver(WebserverConfig{Files: 300, MeanBlocks: 8, Think: 200 * time.Microsecond}, engine.Rand()), 2)
+		if err := engine.Run(10 * time.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return r.Ops(), r.Bytes()
+	}
+	ops1, bytes1 := run()
+	ops2, bytes2 := run()
+	if ops1 != ops2 || bytes1 != bytes2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", ops1, bytes1, ops2, bytes2)
+	}
+}
+
+func TestOpsPerSecAndMBPerSec(t *testing.T) {
+	engine, host := smallRig(t, 7)
+	vm := host.NewVM(1, 256*mib, 100)
+	c := vm.NewContainer("web", 32*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	r := Start(engine, c, NewWebserver(WebserverConfig{Files: 100, MeanBlocks: 4, Think: time.Millisecond}, engine.Rand()), 1)
+	if r.OpsPerSec(0) != 0 {
+		t.Fatal("zero-elapsed throughput should be 0")
+	}
+	if err := engine.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ops := r.OpsPerSec(engine.Now())
+	if ops <= 0 || ops > 1e6 {
+		t.Fatalf("OpsPerSec = %v", ops)
+	}
+}
+
+func TestVideoserverWriterThreadOnlyWrites(t *testing.T) {
+	engine, host := smallRig(t, 8)
+	vm := host.NewVM(1, 512*mib, 100)
+	c := vm.NewContainer("video", 128*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := VideoserverConfig{
+		ActiveVideos:  2,
+		PassiveVideos: 2,
+		VideoBlocks:   2048,
+		ChunkBlocks:   64,
+		WriterThreads: 1,
+		WriterThink:   5 * time.Millisecond,
+		Think:         time.Millisecond,
+	}
+	// Only the writer thread runs: all traffic must be writes.
+	Start(engine, c, NewVideoserver(cfg, engine.Rand()), 1)
+	if err := engine.Run(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := c.IOStats()
+	if st.DiskWrites == 0 {
+		t.Fatal("writer produced no writeback")
+	}
+	if st.DiskReads != 0 {
+		t.Fatalf("writer-only run read %d blocks from disk", st.DiskReads)
+	}
+}
+
+func TestVideoserverRecirculatesThroughCache(t *testing.T) {
+	engine, host := smallRig(t, 9)
+	vm := host.NewVM(1, 512*mib, 100)
+	// Container far smaller than the video set: streams and re-reads
+	// must recirculate through the hypervisor cache.
+	c := vm.NewContainer("video", 16*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := VideoserverConfig{
+		ActiveVideos:    2,
+		PassiveVideos:   4,
+		VideoBlocks:     4096, // 16 MiB videos
+		ChunkBlocks:     64,
+		WriterThreads:   1,
+		WriterThink:     2 * time.Millisecond,
+		PassiveReadFrac: 0.5,
+		Think:           time.Millisecond,
+	}
+	Start(engine, c, NewVideoserver(cfg, engine.Rand()), 3)
+	if err := engine.Run(60 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cs := c.CacheStats()
+	if cs.Puts == 0 {
+		t.Fatal("write spill never reached the hypervisor cache")
+	}
+	if cs.GetHits == 0 {
+		t.Fatal("streams never recirculated through the hypervisor cache")
+	}
+}
+
+func TestWebproxyDeleteInvalidatesEverywhere(t *testing.T) {
+	engine, host := smallRig(t, 10)
+	vm := host.NewVM(1, 256*mib, 100)
+	c := vm.NewContainer("proxy", 16*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	cfg := WebproxyConfig{Files: 2000, MeanBlocks: 8, Think: 500 * time.Microsecond}
+	Start(engine, c, NewWebproxy(cfg, engine.Rand()), 2)
+	if err := engine.Run(30 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Churn flushes deleted inodes: the front must have seen flushes.
+	if vm.Front().Stats().Flushes == 0 {
+		t.Fatal("proxy churn never flushed the second-chance cache")
+	}
+}
+
+func TestCheckpointWindows(t *testing.T) {
+	engine, host := smallRig(t, 11)
+	vm := host.NewVM(1, 256*mib, 100)
+	c := vm.NewContainer("web", 32*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	r := Start(engine, c, NewWebserver(WebserverConfig{Files: 200, MeanBlocks: 8, Think: time.Millisecond}, engine.Rand()), 2)
+	if err := engine.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cp := r.CheckpointNow(engine.Now())
+	if cp.Ops != r.Ops() || cp.At != engine.Now() {
+		t.Fatalf("checkpoint mismatch: %+v", cp)
+	}
+	if r.OpsPerSecSince(cp, engine.Now()) != 0 {
+		t.Fatal("zero-width window should report 0")
+	}
+	if err := engine.Run(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	since := r.OpsPerSecSince(cp, engine.Now())
+	total := r.OpsPerSec(engine.Now())
+	if since <= 0 {
+		t.Fatal("windowed throughput zero after running")
+	}
+	// The warm window should be at least as fast as the lifetime average.
+	if since < total*0.5 {
+		t.Fatalf("windowed %f vs lifetime %f implausible", since, total)
+	}
+	if r.MBPerSecSince(cp, engine.Now()) <= 0 {
+		t.Fatal("windowed MB/s zero")
+	}
+}
