@@ -6,6 +6,12 @@
 //	ddbench -list
 //	ddbench [-quick] [-seed N] <experiment-id>...
 //	ddbench [-quick] all
+//	ddbench -parallel N
+//
+// -parallel N skips the experiments and instead drives the concurrent
+// stress workload (4 guest VMs, N goroutines each, mixed traffic with
+// pool churn) against one shared cache manager, reporting aggregate
+// throughput. Useful for eyeballing lock-contention scaling.
 package main
 
 import (
@@ -14,7 +20,10 @@ import (
 	"os"
 	"time"
 
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/ddcache"
 	"doubledecker/internal/experiments"
+	"doubledecker/internal/store"
 )
 
 func main() {
@@ -30,8 +39,12 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "run shortened smoke versions")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	stretch := fs.Float64("stretch", 0, "override duration stretch factor (0 = default)")
+	parallel := fs.Int("parallel", 0, "run the concurrent stress driver with N workers per VM and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel > 0 {
+		return runParallel(*parallel, *seed)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -64,5 +77,29 @@ func run(args []string) error {
 		fmt.Print(res.Format())
 		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
 	}
+	return nil
+}
+
+// runParallel exercises the concurrent stress driver: 4 guest VMs with n
+// workers each issue mixed Get/Put/Flush/SetSpec traffic while churn
+// goroutines create and destroy pools, all against one shared manager.
+func runParallel(n int, seed int64) error {
+	m := ddcache.NewManager(ddcache.Config{
+		Mode: ddcache.ModeDD,
+		Mem:  store.NewMem(blockdev.NewRAM("ram"), 256<<20),
+		SSD:  store.NewSSD(blockdev.NewSSD("ssd"), 1<<30),
+	})
+	res := ddcache.RunStress(m, ddcache.StressOptions{
+		VMs:          4,
+		WorkersPerVM: n,
+		PoolsPerVM:   3,
+		Ops:          50000,
+		Seed:         seed,
+		PoolChurn:    true,
+	})
+	fmt.Printf("parallel stress: 4 VMs x %d workers, %d ops in %.2fs (%.0f ops/s)\n",
+		n, res.Ops, res.Wall.Seconds(), res.OpsPerSec())
+	fmt.Printf("  puts accepted %d, get hits %d, pool create/destroy cycles %d\n",
+		res.Puts, res.GetHits, res.PoolOps)
 	return nil
 }

@@ -12,6 +12,7 @@ package blockdev
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -36,14 +37,18 @@ type Stats struct {
 	BusyTime     time.Duration
 }
 
-// queue models the FCFS server shared by all device types.
+// queue models the FCFS server shared by all device types. Devices are
+// self-locking: q.mu serializes admission and statistics, so one device
+// may be shared by any number of goroutines (concurrent guests of one
+// hypervisor cache store contend here, as they would on real hardware).
 type queue struct {
+	mu        sync.Mutex
 	busyUntil time.Duration
 	stats     Stats
 }
 
 // serve admits a request at now with the given service time and returns the
-// caller-visible latency.
+// caller-visible latency. Callers hold q.mu.
 func (q *queue) serve(now, service time.Duration) time.Duration {
 	start := now
 	if q.busyUntil > start {
@@ -55,7 +60,7 @@ func (q *queue) serve(now, service time.Duration) time.Duration {
 }
 
 // absorb admits asynchronous work: it occupies the device but the caller
-// does not wait.
+// does not wait. Callers hold q.mu.
 func (q *queue) absorb(now, service time.Duration) {
 	start := now
 	if q.busyUntil > start {
@@ -92,6 +97,8 @@ func (r *RAM) Name() string { return r.name }
 
 // Read implements Device.
 func (r *RAM) Read(now time.Duration, _ int64, size int64) time.Duration {
+	r.q.mu.Lock()
+	defer r.q.mu.Unlock()
 	r.q.stats.Reads++
 	r.q.stats.BytesRead += size
 	return r.q.serve(now, r.perOp+transferTime(size, r.bandwidth))
@@ -99,6 +106,8 @@ func (r *RAM) Read(now time.Duration, _ int64, size int64) time.Duration {
 
 // Write implements Device.
 func (r *RAM) Write(now time.Duration, _ int64, size int64) time.Duration {
+	r.q.mu.Lock()
+	defer r.q.mu.Unlock()
 	r.q.stats.Writes++
 	r.q.stats.BytesWritten += size
 	return r.q.serve(now, r.perOp+transferTime(size, r.bandwidth))
@@ -106,13 +115,19 @@ func (r *RAM) Write(now time.Duration, _ int64, size int64) time.Duration {
 
 // WriteAsync implements Device. RAM writes are so cheap they are absorbed.
 func (r *RAM) WriteAsync(now time.Duration, _ int64, size int64) {
+	r.q.mu.Lock()
+	defer r.q.mu.Unlock()
 	r.q.stats.Writes++
 	r.q.stats.BytesWritten += size
 	r.q.absorb(now, r.perOp+transferTime(size, r.bandwidth))
 }
 
 // Stats implements Device.
-func (r *RAM) Stats() Stats { return r.q.stats }
+func (r *RAM) Stats() Stats {
+	r.q.mu.Lock()
+	defer r.q.mu.Unlock()
+	return r.q.stats
+}
 
 // SSD models a SATA solid-state disk in the class of the paper's Kingston
 // V300: ~90 µs 4 KiB random reads, ~60 µs program latency with write-back
@@ -140,6 +155,8 @@ func (s *SSD) Name() string { return s.name }
 
 // Read implements Device.
 func (s *SSD) Read(now time.Duration, _ int64, size int64) time.Duration {
+	s.q.mu.Lock()
+	defer s.q.mu.Unlock()
 	s.q.stats.Reads++
 	s.q.stats.BytesRead += size
 	return s.q.serve(now, s.readLatency+transferTime(size, s.bandwidth))
@@ -147,6 +164,8 @@ func (s *SSD) Read(now time.Duration, _ int64, size int64) time.Duration {
 
 // Write implements Device.
 func (s *SSD) Write(now time.Duration, _ int64, size int64) time.Duration {
+	s.q.mu.Lock()
+	defer s.q.mu.Unlock()
 	s.q.stats.Writes++
 	s.q.stats.BytesWritten += size
 	return s.q.serve(now, s.writeLatency+transferTime(size, s.bandwidth))
@@ -156,13 +175,19 @@ func (s *SSD) Write(now time.Duration, _ int64, size int64) time.Duration {
 // asynchronously, so the caller does not wait but the device time is spent
 // and delays subsequent reads.
 func (s *SSD) WriteAsync(now time.Duration, _ int64, size int64) {
+	s.q.mu.Lock()
+	defer s.q.mu.Unlock()
 	s.q.stats.Writes++
 	s.q.stats.BytesWritten += size
 	s.q.absorb(now, s.writeLatency+transferTime(size, s.bandwidth))
 }
 
 // Stats implements Device.
-func (s *SSD) Stats() Stats { return s.q.stats }
+func (s *SSD) Stats() Stats {
+	s.q.mu.Lock()
+	defer s.q.mu.Unlock()
+	return s.q.stats
+}
 
 // HDD models a 7200 RPM rotating disk: average seek plus half-rotation for
 // random requests, pure transfer for sequential ones. Guest virtual disks
@@ -206,6 +231,8 @@ func NewArrayHDD(name string) *HDD {
 // Name implements Device.
 func (h *HDD) Name() string { return h.name }
 
+// service computes positioning plus transfer time. Callers hold h.q.mu
+// (it advances the head-position state).
 func (h *HDD) service(offset, size int64) time.Duration {
 	svc := transferTime(size, h.bandwidth)
 	if h.firstAccess || offset != h.lastEnd {
@@ -218,6 +245,8 @@ func (h *HDD) service(offset, size int64) time.Duration {
 
 // Read implements Device.
 func (h *HDD) Read(now time.Duration, offset, size int64) time.Duration {
+	h.q.mu.Lock()
+	defer h.q.mu.Unlock()
 	h.q.stats.Reads++
 	h.q.stats.BytesRead += size
 	return h.q.serve(now, h.service(offset, size))
@@ -225,6 +254,8 @@ func (h *HDD) Read(now time.Duration, offset, size int64) time.Duration {
 
 // Write implements Device.
 func (h *HDD) Write(now time.Duration, offset, size int64) time.Duration {
+	h.q.mu.Lock()
+	defer h.q.mu.Unlock()
 	h.q.stats.Writes++
 	h.q.stats.BytesWritten += size
 	return h.q.serve(now, h.service(offset, size))
@@ -233,13 +264,19 @@ func (h *HDD) Write(now time.Duration, offset, size int64) time.Duration {
 // WriteAsync implements Device: writeback flushes occupy the disk without
 // stalling the flusher.
 func (h *HDD) WriteAsync(now time.Duration, offset, size int64) {
+	h.q.mu.Lock()
+	defer h.q.mu.Unlock()
 	h.q.stats.Writes++
 	h.q.stats.BytesWritten += size
 	h.q.absorb(now, h.service(offset, size))
 }
 
 // Stats implements Device.
-func (h *HDD) Stats() Stats { return h.q.stats }
+func (h *HDD) Stats() Stats {
+	h.q.mu.Lock()
+	defer h.q.mu.Unlock()
+	return h.q.stats
+}
 
 // Compile-time interface checks.
 var (

@@ -18,10 +18,44 @@
 //     paper does), but eviction follows strict cross-pool FIFO order and
 //     ignores weights — no container fairness. This is the paper's
 //     comparison point in the motivation and evaluation sections.
+//
+// # Concurrency model
+//
+// A Manager is safe for use by any number of goroutines — the intended
+// deployment is one or more goroutines per guest VM all sharing one
+// manager, exactly as concurrent guests share the hypervisor cache. The
+// lock hierarchy, from outermost to innermost:
+//
+//  1. Manager.mu (store-level RWMutex). Held for writing by structural
+//     and cross-VM operations: VM registration, pool create/destroy,
+//     weight and capacity changes, eviction, and cross-VM migration. Held
+//     for reading by every per-VM data operation.
+//  2. vmState.mu (per-VM mutex). Acquired only while holding Manager.mu
+//     for reading; guards one VM's pool indexes, specs and entitlement
+//     inputs. Get/Put/Flush/SetSpec for different VMs therefore never
+//     contend beyond the shared read lock. Two VM locks are never held at
+//     once: any operation spanning VMs upgrades to Manager.mu instead.
+//  3. Manager.dedupMu (leaf mutex) guards the cross-VM content-reference
+//     table used by deduplication.
+//
+// Hot counters — eviction and dedup totals, per-pool statistics, per-pool
+// and per-store byte accounting — are atomics, so the read-only
+// observation paths (PoolUsedBytes, VMUsedBytes, StoreUsedBytes,
+// TotalEvictions, DedupSavedBytes) never take a VM lock and never block
+// the data path.
+//
+// Capacity checks on the Put fast path are check-then-act under the read
+// lock: concurrent putters may transiently overshoot a full store by up
+// to one object each before the next put takes the write lock and evicts.
+// The index (package index) and storage (package store) modules document
+// their own sides of this contract: index relies on the locks above,
+// store and blockdev are self-locking.
 package ddcache
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"doubledecker/internal/cgroup"
@@ -89,9 +123,16 @@ const DefaultEvictBatch = 2 << 20
 
 // vmState tracks one registered VM.
 type vmState struct {
-	id     cleancache.VMID
+	id cleancache.VMID
+	// weight is guarded by Manager.mu: written under the write lock,
+	// read under either lock mode.
 	weight int64
-	pools  []*poolState // creation order, for deterministic iteration
+	// mu is the per-VM lock (level 2 of the hierarchy); acquired only
+	// while holding Manager.mu for reading.
+	mu sync.Mutex
+	// pools is mutated only under Manager.mu held for writing; data-path
+	// readers hold Manager.mu for reading.
+	pools []*poolState // creation order, for deterministic iteration
 }
 
 func (v *vmState) usedBytes(st cgroup.StoreType) int64 {
@@ -102,12 +143,33 @@ func (v *vmState) usedBytes(st cgroup.StoreType) int64 {
 	return u
 }
 
-// poolState tracks one container pool.
+// poolCounters are the per-pool statistics, atomic so GET_STATS snapshots
+// never block the data path.
+type poolCounters struct {
+	gets       atomic.Int64
+	getHits    atomic.Int64
+	puts       atomic.Int64
+	putRejects atomic.Int64
+	evictions  atomic.Int64
+}
+
+func (c *poolCounters) snapshot() cleancache.PoolStats {
+	return cleancache.PoolStats{
+		Gets:       c.gets.Load(),
+		GetHits:    c.getHits.Load(),
+		Puts:       c.puts.Load(),
+		PutRejects: c.putRejects.Load(),
+		Evictions:  c.evictions.Load(),
+	}
+}
+
+// poolState tracks one container pool. spec and idx structure are guarded
+// by the owning VM's lock (or Manager.mu held for writing).
 type poolState struct {
-	idx   *index.Pool
-	spec  cgroup.HCacheSpec
-	vm    *vmState
-	stats cleancache.PoolStats
+	idx      *index.Pool
+	spec     cgroup.HCacheSpec
+	vm       *vmState
+	counters poolCounters
 }
 
 // usesStore reports whether the pool may place objects in st.
@@ -120,22 +182,28 @@ func (p *poolState) usesStore(st cgroup.StoreType) bool {
 	}
 }
 
-// Manager is the DoubleDecker hypervisor cache manager.
+// Manager is the DoubleDecker hypervisor cache manager. See the package
+// documentation for the concurrency model.
 type Manager struct {
-	cfg      Config
+	cfg Config
+
+	// mu is the store-level lock (level 1 of the hierarchy). It guards
+	// the vms/pools maps, vmOrder, nextPool and every VM weight.
+	mu       sync.RWMutex
 	vms      map[cleancache.VMID]*vmState
 	vmOrder  []*vmState
 	pools    map[cleancache.PoolID]*poolState
 	nextPool cleancache.PoolID
-	nextSeq  uint64
 
-	// contentRefs counts logical references per (store, content) when
-	// deduplication is enabled; the physical copy is charged once.
+	// dedupMu (leaf lock) guards contentRefs, the logical reference
+	// counts per (store, content); the physical copy is charged once.
+	dedupMu     sync.Mutex
 	contentRefs map[contentKey]int64
 
 	// run-wide counters
-	totalEvictions int64
-	dedupSaved     int64 // physical bytes avoided by deduplication
+	nextSeq        atomic.Uint64
+	totalEvictions atomic.Int64
+	dedupSaved     atomic.Int64 // physical bytes avoided by deduplication
 }
 
 // contentKey identifies one deduplicated physical copy.
@@ -188,23 +256,32 @@ func (m *Manager) backend(st cgroup.StoreType) store.Backend {
 
 // RegisterVM announces a VM with its cache-distribution weight.
 func (m *Manager) RegisterVM(id cleancache.VMID, weight int64) {
-	if _, ok := m.vms[id]; ok {
-		m.SetVMWeight(id, weight)
-		return
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerVMLocked(id, weight)
+}
+
+func (m *Manager) registerVMLocked(id cleancache.VMID, weight int64) *vmState {
+	if v, ok := m.vms[id]; ok {
+		v.weight = weight
+		return v
 	}
 	v := &vmState{id: id, weight: weight}
 	m.vms[id] = v
 	m.vmOrder = append(m.vmOrder, v)
+	return v
 }
 
 // UnregisterVM drops a VM and all its pools.
 func (m *Manager) UnregisterVM(id cleancache.VMID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v, ok := m.vms[id]
 	if !ok {
 		return
 	}
 	for _, p := range append([]*poolState(nil), v.pools...) {
-		m.destroyPoolState(p)
+		m.destroyPoolLocked(p)
 	}
 	delete(m.vms, id)
 	for i, other := range m.vmOrder {
@@ -217,6 +294,8 @@ func (m *Manager) UnregisterVM(id cleancache.VMID) {
 
 // SetVMWeight updates a VM's weight (dynamic re-provisioning, Figure 14).
 func (m *Manager) SetVMWeight(id cleancache.VMID, weight int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if v, ok := m.vms[id]; ok {
 		v.weight = weight
 	}
@@ -228,6 +307,8 @@ func (m *Manager) SetMemCapacity(now time.Duration, n int64) {
 	if m.cfg.Mem == nil {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cfg.Mem.SetCapacityBytes(n)
 	m.enforceCapacity(now, cgroup.StoreMem, 0)
 }
@@ -237,6 +318,8 @@ func (m *Manager) SetSSDCapacity(now time.Duration, n int64) {
 	if m.cfg.SSD == nil {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cfg.SSD.SetCapacityBytes(n)
 	m.enforceCapacity(now, cgroup.StoreSSD, 0)
 }
@@ -245,18 +328,19 @@ func (m *Manager) SetSSDCapacity(now time.Duration, n int64) {
 
 // CreatePool implements cleancache.Backend (CREATE_CGROUP).
 func (m *Manager) CreatePool(_ time.Duration, vm cleancache.VMID, name string, spec cgroup.HCacheSpec) (cleancache.PoolID, time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v, ok := m.vms[vm]
 	if !ok {
 		// Auto-register unknown VMs with a default weight, mirroring a
 		// hypervisor admitting an unconfigured guest.
-		m.RegisterVM(vm, 100)
-		v = m.vms[vm]
+		v = m.registerVMLocked(vm, 100)
 	}
-	p := m.newPoolState(v, name, spec)
+	p := m.newPoolLocked(v, name, spec)
 	return p.idx.ID, m.cfg.OpOverhead
 }
 
-func (m *Manager) newPoolState(v *vmState, name string, spec cgroup.HCacheSpec) *poolState {
+func (m *Manager) newPoolLocked(v *vmState, name string, spec cgroup.HCacheSpec) *poolState {
 	id := m.nextPool
 	m.nextPool++
 	if spec.Store == 0 {
@@ -276,15 +360,18 @@ func (m *Manager) newPoolState(v *vmState, name string, spec cgroup.HCacheSpec) 
 
 // DestroyPool implements cleancache.Backend (DESTROY_CGROUP).
 func (m *Manager) DestroyPool(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	p, ok := m.pools[pool]
 	if !ok {
 		return 0
 	}
-	m.destroyPoolState(p)
+	m.destroyPoolLocked(p)
 	return m.cfg.OpOverhead
 }
 
-func (m *Manager) destroyPoolState(p *poolState) {
+// destroyPoolLocked requires Manager.mu held for writing.
+func (m *Manager) destroyPoolLocked(p *poolState) {
 	for _, obj := range p.idx.DrainAll() {
 		m.releaseObject(obj)
 	}
@@ -301,6 +388,8 @@ func (m *Manager) destroyPoolState(p *poolState) {
 // store type flushes objects from stores the pool no longer uses; the
 // freed share is redistributed implicitly by the entitlement math.
 func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, spec cgroup.HCacheSpec) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[pool]
 	if !ok {
 		return 0
@@ -308,6 +397,9 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 	if m.cfg.Mode == ModeGlobal {
 		return m.cfg.OpOverhead // baseline ignores container policy
 	}
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	old := p.spec
 	if spec.Weight <= 0 {
 		spec.Weight = old.Weight
@@ -328,8 +420,8 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 			}
 			p.idx.Remove(obj)
 			m.releaseObject(obj)
-			p.stats.Evictions++
-			m.totalEvictions++
+			p.counters.evictions.Add(1)
+			m.totalEvictions.Add(1)
 		}
 	}
 	return m.cfg.OpOverhead
@@ -338,17 +430,22 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 // Get implements cleancache.Backend: exclusive lookup — a hit removes the
 // object and pays the store's fetch latency.
 func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (bool, time.Duration) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[key.Pool]
 	if !ok {
 		return false, 0
 	}
-	p.stats.Gets++
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p.counters.gets.Add(1)
 	lat := m.cfg.OpOverhead
 	obj := p.idx.Lookup(key.Inode, key.Block)
 	if obj == nil {
 		return false, lat
 	}
-	p.stats.GetHits++
+	p.counters.getHits.Add(1)
 	if be := m.backend(obj.Store); be != nil {
 		lat += be.Fetch(now+lat, obj.Size)
 	}
@@ -363,30 +460,87 @@ func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) 
 // guest, evicting per Algorithm 1 when the target store is full. With
 // deduplication enabled, an object whose content is already stored shares
 // the existing physical copy.
+//
+// The fast path runs under the read lock plus the VM lock; only when the
+// target store is full does Put upgrade to the store-level write lock to
+// evict, re-validating everything after the lock switch.
 func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
+	m.mu.RLock()
 	p, ok := m.pools[key.Pool]
 	if !ok {
+		m.mu.RUnlock()
 		return false, 0
 	}
-	p.stats.Puts++
+	v := p.vm
+	v.mu.Lock()
+	p.counters.puts.Add(1)
 	lat := m.cfg.OpOverhead
 	st := m.placementStore(p)
 	be := m.backend(st)
 	if be == nil || be.CapacityBytes() <= 0 {
-		p.stats.PutRejects++
+		p.counters.putRejects.Add(1)
+		v.mu.Unlock()
+		m.mu.RUnlock()
 		return false, lat
 	}
 	dedup := m.cfg.Dedup && content != 0
-	needsPhysical := !dedup || m.contentRefs[contentKey{st, content}] == 0
-	if needsPhysical && be.UsedBytes()+ObjectSize > be.CapacityBytes() {
+	if m.needsPhysical(st, content, dedup) && be.UsedBytes()+ObjectSize > be.CapacityBytes() {
+		// Eviction needs the store-level write lock; drop the data-path
+		// locks (never upgrade in place) and retry on the slow path.
+		v.mu.Unlock()
+		m.mu.RUnlock()
+		return m.putSlow(now, key, content, lat)
+	}
+	m.commitPut(now, p, st, be, key, content, dedup, &lat)
+	v.mu.Unlock()
+	m.mu.RUnlock()
+	return true, lat
+}
+
+// putSlow is the eviction path of Put: it re-resolves the pool under the
+// store-level write lock (the pool may have been destroyed while the
+// data-path locks were dropped), evicts per Algorithm 1 and stores.
+func (m *Manager) putSlow(now time.Duration, key cleancache.Key, content uint64, lat time.Duration) (bool, time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[key.Pool]
+	if !ok {
+		return false, lat
+	}
+	st := m.placementStore(p)
+	be := m.backend(st)
+	if be == nil || be.CapacityBytes() <= 0 {
+		p.counters.putRejects.Add(1)
+		return false, lat
+	}
+	dedup := m.cfg.Dedup && content != 0
+	if m.needsPhysical(st, content, dedup) && be.UsedBytes()+ObjectSize > be.CapacityBytes() {
 		lat += m.enforceCapacity(now+lat, st, ObjectSize)
 		if be.UsedBytes()+ObjectSize > be.CapacityBytes() {
-			p.stats.PutRejects++
+			p.counters.putRejects.Add(1)
 			return false, lat
 		}
 	}
-	m.nextSeq++
-	obj := &index.Object{Inode: key.Inode, Block: key.Block, Size: ObjectSize, Store: st, Seq: m.nextSeq}
+	m.commitPut(now, p, st, be, key, content, dedup, &lat)
+	return true, lat
+}
+
+// needsPhysical reports whether a put of content into st must allocate a
+// physical copy (true when deduplication is off or no copy exists yet).
+func (m *Manager) needsPhysical(st cgroup.StoreType, content uint64, dedup bool) bool {
+	if !dedup {
+		return true
+	}
+	m.dedupMu.Lock()
+	n := m.contentRefs[contentKey{st, content}]
+	m.dedupMu.Unlock()
+	return n == 0
+}
+
+// commitPut indexes the object and charges the store. Callers hold either
+// the data-path locks (read lock + VM lock) or the write lock.
+func (m *Manager) commitPut(now time.Duration, p *poolState, st cgroup.StoreType, be store.Backend, key cleancache.Key, content uint64, dedup bool, lat *time.Duration) {
+	obj := &index.Object{Inode: key.Inode, Block: key.Block, Size: ObjectSize, Store: st, Seq: m.nextSeq.Add(1)}
 	if dedup {
 		obj.Content = content
 	}
@@ -395,15 +549,17 @@ func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, 
 	}
 	if dedup {
 		ck := contentKey{st, content}
+		m.dedupMu.Lock()
 		m.contentRefs[ck]++
-		if m.contentRefs[ck] > 1 {
+		shared := m.contentRefs[ck] > 1
+		m.dedupMu.Unlock()
+		if shared {
 			// Shared copy: only the in-band comparison cost is paid.
-			m.dedupSaved += ObjectSize
-			return true, lat
+			m.dedupSaved.Add(ObjectSize)
+			return
 		}
 	}
-	lat += be.Store(now+lat, ObjectSize)
-	return true, lat
+	*lat += be.Store(now+*lat, ObjectSize)
 }
 
 // releaseObject drops an object's physical storage, honouring shared
@@ -415,18 +571,22 @@ func (m *Manager) releaseObject(obj *index.Object) {
 	}
 	if obj.Content != 0 {
 		ck := contentKey{obj.Store, obj.Content}
+		m.dedupMu.Lock()
 		if m.contentRefs[ck] > 1 {
 			m.contentRefs[ck]--
+			m.dedupMu.Unlock()
 			return
 		}
 		delete(m.contentRefs, ck)
+		m.dedupMu.Unlock()
 	}
 	be.Release(obj.Size)
 }
 
 // placementStore resolves where a pool's next object goes: its configured
 // store, or for hybrid pools memory until the pool's memory entitlement is
-// exhausted, then SSD (the paper's hybrid-mode semantics).
+// exhausted, then SSD (the paper's hybrid-mode semantics). Callers hold
+// the pool's VM lock or the store-level write lock.
 func (m *Manager) placementStore(p *poolState) cgroup.StoreType {
 	if m.cfg.Mode == ModeGlobal {
 		// The nesting-agnostic baseline is a plain memory cache.
@@ -443,10 +603,15 @@ func (m *Manager) placementStore(p *poolState) cgroup.StoreType {
 
 // FlushPage implements cleancache.Backend.
 func (m *Manager) FlushPage(_ time.Duration, _ cleancache.VMID, key cleancache.Key) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[key.Pool]
 	if !ok {
 		return 0
 	}
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if obj := p.idx.Lookup(key.Inode, key.Block); obj != nil {
 		p.idx.Remove(obj)
 		m.releaseObject(obj)
@@ -456,10 +621,15 @@ func (m *Manager) FlushPage(_ time.Duration, _ cleancache.VMID, key cleancache.K
 
 // FlushInode implements cleancache.Backend.
 func (m *Manager) FlushInode(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, inode uint64) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[pool]
 	if !ok {
 		return 0
 	}
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for _, obj := range p.idx.RemoveInode(inode) {
 		m.releaseObject(obj)
 	}
@@ -468,30 +638,58 @@ func (m *Manager) FlushInode(_ time.Duration, _ cleancache.VMID, pool cleancache
 
 // MigrateInode implements cleancache.Backend (MIGRATE_OBJECT): cached
 // blocks of a shared file change pool ownership without moving data.
+// Migration within one VM runs on the data path; the cross-VM case takes
+// the store-level write lock, because two VM locks are never held at once.
 func (m *Manager) MigrateInode(_ time.Duration, _ cleancache.VMID, from, to cleancache.PoolID, inode uint64) time.Duration {
-	src, ok := m.pools[from]
-	if !ok {
+	m.mu.RLock()
+	src, okSrc := m.pools[from]
+	dst, okDst := m.pools[to]
+	if !okSrc || !okDst {
+		m.mu.RUnlock()
 		return 0
 	}
-	dst, ok := m.pools[to]
-	if !ok {
+	if src.vm == dst.vm {
+		v := src.vm
+		v.mu.Lock()
+		m.migrateLocked(src, dst, inode)
+		v.mu.Unlock()
+		m.mu.RUnlock()
+		return m.cfg.OpOverhead
+	}
+	m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src, okSrc = m.pools[from]
+	dst, okDst = m.pools[to]
+	if !okSrc || !okDst {
 		return 0
 	}
+	m.migrateLocked(src, dst, inode)
+	return m.cfg.OpOverhead
+}
+
+func (m *Manager) migrateLocked(src, dst *poolState, inode uint64) {
 	for _, obj := range src.idx.RemoveInode(inode) {
 		if replaced := dst.idx.Insert(obj); replaced != nil {
 			m.releaseObject(replaced)
 		}
 	}
-	return m.cfg.OpOverhead
 }
 
-// PoolStats implements cleancache.Backend (GET_STATS).
+// PoolStats implements cleancache.Backend (GET_STATS). Counters are
+// atomic snapshots; the entitlement figure needs the VM lock because it
+// reads the sibling pools' specs.
 func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancache.PoolStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[pool]
 	if !ok {
 		return cleancache.PoolStats{}
 	}
-	s := p.stats
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := p.counters.snapshot()
 	s.UsedBytes = p.idx.TotalBytes()
 	s.Objects = p.idx.Count()
 	var ent int64
@@ -508,6 +706,7 @@ func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancach
 
 // vmEntitlement computes a VM's share of the st store from the host-level
 // weights (the per-VM ratio applies to both stores, per the paper).
+// Callers hold Manager.mu in either mode.
 func (m *Manager) vmEntitlement(v *vmState, st cgroup.StoreType) int64 {
 	be := m.backend(st)
 	if be == nil {
@@ -528,6 +727,8 @@ func (m *Manager) vmEntitlement(v *vmState, st cgroup.StoreType) int64 {
 }
 
 // poolEntitlement computes a container's share of its VM's st partition.
+// Callers hold the pool's VM lock or the store-level write lock (sibling
+// specs are read).
 func (m *Manager) poolEntitlement(p *poolState, st cgroup.StoreType) int64 {
 	if !p.usesStore(st) {
 		return 0
@@ -553,6 +754,7 @@ func (m *Manager) poolEntitlement(p *poolState, st cgroup.StoreType) int64 {
 // selecting victims per Algorithm 1: first the victim VM, then the victim
 // container within it, then FIFO within the container's pool, in
 // EvictBatchBytes batches. Returns the (metadata) latency incurred.
+// Requires Manager.mu held for writing.
 func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incoming int64) time.Duration {
 	be := m.backend(st)
 	if be == nil {
@@ -575,7 +777,7 @@ func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incomi
 }
 
 // evictBatch frees up to batch bytes from the st store and returns the
-// bytes actually freed.
+// bytes actually freed. Requires Manager.mu held for writing.
 func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 	if m.cfg.Mode == ModeGlobal {
 		return m.evictGlobalFIFO(st, batch)
@@ -597,15 +799,15 @@ func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 		victim.idx.Remove(obj)
 		m.releaseObject(obj)
 		freed += obj.Size
-		victim.stats.Evictions++
-		m.totalEvictions++
+		victim.counters.evictions.Add(1)
+		m.totalEvictions.Add(1)
 	}
 	return freed
 }
 
 // evictGlobalFIFO implements the baseline's container-agnostic policy:
 // evict the globally oldest objects regardless of which container (or VM)
-// inserted them.
+// inserted them. Requires Manager.mu held for writing.
 func (m *Manager) evictGlobalFIFO(st cgroup.StoreType, batch int64) int64 {
 	var freed int64
 	for freed < batch {
@@ -630,8 +832,8 @@ func (m *Manager) evictGlobalFIFO(st cgroup.StoreType, batch int64) int64 {
 		victim.idx.Remove(oldest)
 		m.releaseObject(oldest)
 		freed += oldest.Size
-		victim.stats.Evictions++
-		m.totalEvictions++
+		victim.counters.evictions.Add(1)
+		m.totalEvictions.Add(1)
 	}
 	return freed
 }
@@ -707,15 +909,23 @@ func largestUser(ents []policy.Entity) int {
 // Contains reports whether a block is currently cached, without the
 // exclusive-get side effect — an inspection hook for tests and tooling.
 func (m *Manager) Contains(key cleancache.Key) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[key.Pool]
 	if !ok {
 		return false
 	}
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	return p.idx.Lookup(key.Inode, key.Block) != nil
 }
 
-// PoolUsedBytes reports a pool's occupancy in the given store.
+// PoolUsedBytes reports a pool's occupancy in the given store. Byte
+// accounting is atomic, so this never blocks the data path.
 func (m *Manager) PoolUsedBytes(pool cleancache.PoolID, st cgroup.StoreType) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[pool]
 	if !ok {
 		return 0
@@ -725,6 +935,8 @@ func (m *Manager) PoolUsedBytes(pool cleancache.PoolID, st cgroup.StoreType) int
 
 // PoolTotalBytes reports a pool's occupancy across stores.
 func (m *Manager) PoolTotalBytes(pool cleancache.PoolID) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pools[pool]
 	if !ok {
 		return 0
@@ -734,6 +946,8 @@ func (m *Manager) PoolTotalBytes(pool cleancache.PoolID) int64 {
 
 // VMUsedBytes reports a VM's total occupancy in the given store.
 func (m *Manager) VMUsedBytes(vm cleancache.VMID, st cgroup.StoreType) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	v, ok := m.vms[vm]
 	if !ok {
 		return 0
@@ -752,8 +966,8 @@ func (m *Manager) StoreUsedBytes(st cgroup.StoreType) int64 {
 
 // TotalEvictions reports objects evicted by capacity enforcement since
 // start.
-func (m *Manager) TotalEvictions() int64 { return m.totalEvictions }
+func (m *Manager) TotalEvictions() int64 { return m.totalEvictions.Load() }
 
 // DedupSavedBytes reports the cumulative physical bytes avoided by
 // content deduplication (0 unless Config.Dedup).
-func (m *Manager) DedupSavedBytes() int64 { return m.dedupSaved }
+func (m *Manager) DedupSavedBytes() int64 { return m.dedupSaved.Load() }

@@ -3,10 +3,20 @@
 // storage objects through a per-pool hierarchy — an inode hash table whose
 // entries are per-file radix trees — and keeps the per-pool FIFO order
 // (the paper's LRU-equivalent for exclusive caches) that eviction follows.
+//
+// Concurrency contract: a Pool does NOT self-lock. All structural
+// operations (Lookup, Insert, Remove, Oldest, RemoveInode, DrainAll,
+// Inodes) must be serialized by the caller — the cache manager
+// (internal/ddcache) does so under its per-VM lock or its store-level
+// write lock. The byte and object accounting (UsedBytes, TotalBytes,
+// Count) is atomic, so those read-only queries are safe from any
+// goroutine without holding the caller's locks; this is what keeps the
+// manager's stat paths off the data path's locks.
 package index
 
 import (
 	"container/list"
+	"sync/atomic"
 
 	"doubledecker/internal/cgroup"
 	"doubledecker/internal/cleancache"
@@ -30,6 +40,10 @@ type Object struct {
 	elem *list.Element
 }
 
+// storeSlots bounds the per-store accounting array: store types are
+// small consecutive constants (mem, SSD, hybrid).
+const storeSlots = 4
+
 // Pool indexes the objects of one container.
 type Pool struct {
 	ID   cleancache.PoolID
@@ -38,8 +52,10 @@ type Pool struct {
 
 	files map[uint64]*radix.Tree
 	fifo  map[cgroup.StoreType]*list.List
-	used  map[cgroup.StoreType]int64
-	count int64
+	// used and count are atomic only for lock-free reads; writes happen
+	// on the caller-serialized structural paths.
+	used  [storeSlots]atomic.Int64
+	count atomic.Int64
 }
 
 // NewPool returns an empty pool index.
@@ -50,7 +66,6 @@ func NewPool(id cleancache.PoolID, vm cleancache.VMID, name string) *Pool {
 		Name:  name,
 		files: make(map[uint64]*radix.Tree),
 		fifo:  make(map[cgroup.StoreType]*list.List),
-		used:  make(map[cgroup.StoreType]int64),
 	}
 }
 
@@ -87,9 +102,18 @@ func (p *Pool) Insert(obj *Object) *Object {
 		p.fifo[obj.Store] = q
 	}
 	obj.elem = q.PushBack(obj)
-	p.used[obj.Store] += obj.Size
-	p.count++
+	p.used[storeSlot(obj.Store)].Add(obj.Size)
+	p.count.Add(1)
 	return replaced
+}
+
+// storeSlot maps a store type onto the accounting array, folding
+// out-of-range values onto slot 0.
+func storeSlot(st cgroup.StoreType) int {
+	if st < 0 || int(st) >= storeSlots {
+		return 0
+	}
+	return int(st)
 }
 
 // Remove deletes obj from the index. It reports whether the object was
@@ -122,11 +146,13 @@ func (p *Pool) unlink(obj *Object) {
 		p.fifo[obj.Store].Remove(obj.elem)
 		obj.elem = nil
 	}
-	p.used[obj.Store] -= obj.Size
-	if p.used[obj.Store] < 0 {
-		p.used[obj.Store] = 0
+	slot := storeSlot(obj.Store)
+	if n := p.used[slot].Add(-obj.Size); n < 0 {
+		// Defensive clamp, as before the atomics: structural mutations
+		// are caller-serialized, so no concurrent writer can interleave.
+		p.used[slot].Store(0)
 	}
-	p.count--
+	p.count.Add(-1)
 }
 
 // Oldest returns the pool's oldest object in the given store, or nil.
@@ -162,7 +188,7 @@ func (p *Pool) RemoveInode(inode uint64) []*Object {
 
 // DrainAll removes and returns every object in the pool (DestroyPool).
 func (p *Pool) DrainAll() []*Object {
-	objs := make([]*Object, 0, p.count)
+	objs := make([]*Object, 0, p.count.Load())
 	for inode := range p.files {
 		objs = append(objs, p.RemoveInode(inode)...)
 	}
@@ -178,17 +204,22 @@ func (p *Pool) Inodes() []uint64 {
 	return out
 }
 
-// UsedBytes reports bytes held in the given store.
-func (p *Pool) UsedBytes(st cgroup.StoreType) int64 { return p.used[st] }
+// UsedBytes reports bytes held in the given store. Safe without the
+// caller's locks.
+func (p *Pool) UsedBytes(st cgroup.StoreType) int64 {
+	return p.used[storeSlot(st)].Load()
+}
 
-// TotalBytes reports bytes held across all stores.
+// TotalBytes reports bytes held across all stores. Safe without the
+// caller's locks.
 func (p *Pool) TotalBytes() int64 {
 	var t int64
-	for _, u := range p.used {
-		t += u
+	for i := range p.used {
+		t += p.used[i].Load()
 	}
 	return t
 }
 
-// Count reports the number of objects in the pool.
-func (p *Pool) Count() int64 { return p.count }
+// Count reports the number of objects in the pool. Safe without the
+// caller's locks.
+func (p *Pool) Count() int64 { return p.count.Load() }

@@ -2,6 +2,11 @@
 // DoubleDecker simulator: counters, time-series samplers for occupancy
 // plots (the paper's cache-distribution figures), and latency histograms
 // for the throughput/latency tables.
+//
+// Concurrency contract: every type in this package is self-locking.
+// Counter and Gauge are single atomics; Series, Histogram and Registry
+// serialize internally with a mutex, so metrics may be recorded from the
+// cache manager's concurrent data paths without external locks.
 package metrics
 
 import (
@@ -9,40 +14,44 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count, safe for concurrent
+// use.
 type Counter struct {
-	n int64
+	n atomic.Int64
 }
 
 // Add increments the counter by delta; negative deltas are ignored.
 func (c *Counter) Add(delta int64) {
 	if delta > 0 {
-		c.n += delta
+		c.n.Add(delta)
 	}
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value reports the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Gauge is an instantaneous value that can move in both directions.
+// Gauge is an instantaneous value that can move in both directions, safe
+// for concurrent use.
 type Gauge struct {
-	v int64
+	v atomic.Int64
 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v int64) { g.v = v }
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add moves the gauge by delta (may be negative).
-func (g *Gauge) Add(delta int64) { g.v += delta }
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value reports the current gauge value.
-func (g *Gauge) Value() int64 { return g.v }
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Point is one sample of a time series.
 type Point struct {
@@ -51,9 +60,12 @@ type Point struct {
 }
 
 // Series is an append-only time series, used to record cache occupancy
-// over virtual time for the paper's distribution figures.
+// over virtual time for the paper's distribution figures. Safe for
+// concurrent use.
 type Series struct {
-	Name   string
+	Name string
+
+	mu     sync.Mutex
 	points []Point
 }
 
@@ -62,21 +74,31 @@ func NewSeries(name string) *Series { return &Series{Name: name} }
 
 // Record appends a sample taken at virtual time at.
 func (s *Series) Record(at time.Duration, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.points = append(s.points, Point{At: at, Value: v})
 }
 
 // Points returns a copy of the recorded samples.
 func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Point, len(s.points))
 	copy(out, s.points)
 	return out
 }
 
 // Len reports the number of samples.
-func (s *Series) Len() int { return len(s.points) }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
 
 // Last returns the most recent sample, or a zero Point if empty.
 func (s *Series) Last() Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.points) == 0 {
 		return Point{}
 	}
@@ -85,6 +107,8 @@ func (s *Series) Last() Point {
 
 // Max returns the maximum sampled value, or 0 if empty.
 func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := 0.0
 	for _, p := range s.points {
 		if p.Value > m {
@@ -96,6 +120,8 @@ func (s *Series) Max() float64 {
 
 // Mean returns the arithmetic mean of sampled values, or 0 if empty.
 func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.points) == 0 {
 		return 0
 	}
@@ -109,6 +135,8 @@ func (s *Series) Mean() float64 {
 // MeanAfter returns the mean of samples taken at or after cutoff. It is
 // used to report steady-state occupancy, skipping warm-up.
 func (s *Series) MeanAfter(cutoff time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sum, n := 0.0, 0
 	for _, p := range s.points {
 		if p.At >= cutoff {
@@ -125,6 +153,8 @@ func (s *Series) MeanAfter(cutoff time.Duration) float64 {
 // At returns the latest sample value at or before t (step interpolation),
 // or 0 when t precedes all samples.
 func (s *Series) At(t time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := 0.0
 	for _, p := range s.points {
 		if p.At > t {
@@ -137,8 +167,10 @@ func (s *Series) At(t time.Duration) float64 {
 
 // Histogram accumulates latency observations with fixed precision. It
 // retains enough structure to answer mean and quantile queries without
-// storing every sample: observations are bucketed on a log scale.
+// storing every sample: observations are bucketed on a log scale. Safe
+// for concurrent use.
 type Histogram struct {
+	mu      sync.Mutex
 	count   int64
 	sum     time.Duration
 	min     time.Duration
@@ -170,6 +202,8 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 || d < h.min {
 		h.min = d
 	}
@@ -182,13 +216,23 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // Count reports the number of observations.
-func (h *Histogram) Count() int64 { return h.count }
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum reports the total of all observations.
-func (h *Histogram) Sum() time.Duration { return h.sum }
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean reports the average observation, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -196,14 +240,24 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Min reports the smallest observation, or 0 when empty.
-func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
 
 // Max reports the largest observation, or 0 when empty.
-func (h *Histogram) Max() time.Duration { return h.max }
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Quantile reports an approximation of the q-th quantile (0 ≤ q ≤ 1).
 // Resolution is the bucket width (~4%).
 func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -233,8 +287,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
-// Registry is a named collection of metrics for one simulation run.
+// Registry is a named collection of metrics for one simulation run. Safe
+// for concurrent use: lookups share one mutex, and the returned metrics
+// self-lock.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	series   map[string]*Series
@@ -253,6 +310,8 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -263,6 +322,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -273,6 +334,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Series returns the named series, creating it on first use.
 func (r *Registry) Series(name string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s, ok := r.series[name]
 	if !ok {
 		s = NewSeries(name)
@@ -283,6 +346,8 @@ func (r *Registry) Series(name string) *Series {
 
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
 		h = NewHistogram()
@@ -293,6 +358,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // SeriesNames returns the sorted names of all recorded series.
 func (r *Registry) SeriesNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.series))
 	for n := range r.series {
 		names = append(names, n)
@@ -303,6 +370,8 @@ func (r *Registry) SeriesNames() []string {
 
 // Summary renders a sorted human-readable dump of counters and gauges.
 func (r *Registry) Summary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {

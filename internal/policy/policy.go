@@ -4,6 +4,12 @@
 // Algorithm 1, used whenever a store reaches capacity.
 package policy
 
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
 // Entity is one cache-consuming party — a VM at the first level, a
 // container pool at the second — as seen by the victim selector.
 type Entity struct {
@@ -18,37 +24,73 @@ type Entity struct {
 }
 
 // Shares splits capacity proportionally to weights, in bytes. Entities
-// with non-positive weight receive zero. Rounding remainders are assigned
-// to the earliest entities so that the shares always sum to capacity when
-// any weight is positive.
+// with non-positive weight receive zero. Rounding is resolved with the
+// largest-remainder method (ties broken by larger weight, then lower
+// index), which keeps shares weight-monotone — a higher weight never
+// receives a smaller share — while still summing exactly to capacity
+// whenever any weight is positive. The capacity*weight products are
+// computed in 128 bits, so shares are exact for any positive int64
+// capacity and weights.
 func Shares(capacity int64, weights []int64) []int64 {
 	out := make([]int64, len(weights))
 	var total int64
 	for _, w := range weights {
 		if w > 0 {
+			// Saturate rather than wrap: with a saturated total the floor
+			// shares come out slightly small and the cyclic remainder pass
+			// below still tops them up to capacity.
+			if total > math.MaxInt64-w {
+				total = math.MaxInt64
+				break
+			}
 			total += w
 		}
 	}
 	if total <= 0 || capacity <= 0 {
 		return out
 	}
+	// Floor shares plus the division remainders that rank who rounds up.
+	type claim struct {
+		idx int
+		rem int64 // capacity*weight mod total
+	}
+	claims := make([]claim, 0, len(weights))
 	var assigned int64
 	for i, w := range weights {
 		if w <= 0 {
 			continue
 		}
-		out[i] = capacity * w / total
-		assigned += out[i]
+		q, r := mulDiv(capacity, w, total)
+		out[i] = q
+		assigned += q
+		claims = append(claims, claim{idx: i, rem: r})
 	}
-	// Distribute the rounding remainder deterministically.
-	rem := capacity - assigned
-	for i := 0; rem > 0 && i < len(weights); i++ {
-		if weights[i] > 0 {
-			out[i]++
-			rem--
+	sort.Slice(claims, func(a, b int) bool {
+		ca, cb := claims[a], claims[b]
+		if ca.rem != cb.rem {
+			return ca.rem > cb.rem
 		}
+		if weights[ca.idx] != weights[cb.idx] {
+			return weights[ca.idx] > weights[cb.idx]
+		}
+		return ca.idx < cb.idx
+	})
+	// Hand out the leftover bytes by descending remainder. The pass is
+	// cyclic for the saturated-total case, where the leftover can exceed
+	// one byte per entity; in the exact case it terminates within one lap.
+	for left, i := capacity-assigned, 0; left > 0; i = (i + 1) % len(claims) {
+		out[claims[i].idx]++
+		left--
 	}
 	return out
+}
+
+// mulDiv returns (a*b)/d and (a*b)%d with a 128-bit intermediate product,
+// for positive a, b and d with b <= d (so the quotient fits int64).
+func mulDiv(a, b, d int64) (q, r int64) {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	uq, ur := bits.Div64(hi, lo, uint64(d))
+	return int64(uq), int64(ur)
 }
 
 // SelectVictim implements the paper's Algorithm 1 (GETVICTIM): among
@@ -58,6 +100,15 @@ func Shares(capacity int64, weights []int64) []int64 {
 // overused ones in proportion to their weights:
 //
 //	exceed(E, b, cw) = E.Used + evictionSize - (E.Entitlement + b*E.Weight/cw)
+//
+// An entity donates to the buffer b only when its slack exceeds
+// 2*evictionSize, and it donates only the portion above that reserve: the
+// reserve is what keeps the donor from itself becoming an eviction
+// candidate on the next call after its donation is consumed. (PAPER.md's
+// Algorithm 1 summary fixes only "redistribute unused entitlement by
+// weight"; donating full slack would let an entity whose headroom is
+// barely over the threshold swing the victim choice with bytes it cannot
+// actually spare.)
 //
 // It returns the index of the victim, or -1 when no entity is over its
 // entitlement (the caller then falls back to the largest user, preserving
@@ -73,8 +124,8 @@ func SelectVictim(entities []Entity, evictionSize int64) int {
 			overused = append(overused, i)
 			cumlWeight += e.Weight
 		}
-		if e.Entitlement-e.Used > 2*evictionSize {
-			underBuf += e.Entitlement - e.Used
+		if slack := e.Entitlement - e.Used; slack > 2*evictionSize {
+			underBuf += slack - 2*evictionSize
 		}
 	}
 	if len(overused) == 0 {

@@ -118,6 +118,141 @@ func TestSelectVictimOrLargestEmpty(t *testing.T) {
 	}
 }
 
+// TestSharesMonotoneRegression pins the quick-check counterexample that
+// exposed the remainder bug in the original implementation: weights drawn
+// from the generator bytes {0x5, 0x6e, 0xa3, ...} with capacity
+// 0xdfef4f15 % 1e6 = 2517. Handing remainders to the earliest positive
+// weights gave the weight-214 entity (index 5) a larger share than the
+// weight-215 entity (index 6).
+func TestSharesMonotoneRegression(t *testing.T) {
+	capacity := int64(0xdfef4f15 % 1_000_000)
+	weights := []int64{0x5, 0x6e, 0xa3, 0xf9, 0xfb, 0xd6, 0xd7, 0xcf, 0xa4, 0xd3, 0xbe, 0x7d, 0xa8, 0x96, 0xda}
+	shares := Shares(capacity, weights)
+	var sum int64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum != capacity {
+		t.Fatalf("shares sum to %d, want %d: %v", sum, capacity, shares)
+	}
+	for i := range weights {
+		for j := range weights {
+			if weights[i] > weights[j] && shares[i] < shares[j] {
+				t.Fatalf("weight %d (share %d) < weight %d (share %d): %v",
+					weights[i], shares[i], weights[j], shares[j], shares)
+			}
+		}
+	}
+}
+
+// TestSharesLargeCapacityNoOverflow checks the 128-bit multiply path:
+// capacity*weight overflows int64 here, which the original implementation
+// turned into negative shares.
+func TestSharesLargeCapacityNoOverflow(t *testing.T) {
+	capacity := int64(1) << 62
+	cases := [][]int64{
+		{3, 1, 1},
+		{1 << 40, 1 << 40},
+		{1<<62 - 1, 1, 7},
+	}
+	for _, weights := range cases {
+		shares := Shares(capacity, weights)
+		var sum int64
+		for i, s := range shares {
+			if s < 0 {
+				t.Fatalf("weights %v: negative share %d at %d", weights, s, i)
+			}
+			sum += s
+		}
+		if sum != capacity {
+			t.Fatalf("weights %v: shares sum to %d, want %d: %v", weights, sum, capacity, shares)
+		}
+		for i := range weights {
+			for j := range weights {
+				if weights[i] > weights[j] && shares[i] < shares[j] {
+					t.Fatalf("weights %v: non-monotone shares %v", weights, shares)
+				}
+			}
+		}
+	}
+	// 2:1:1 must split exactly even at this scale.
+	got := Shares(capacity, []int64{2, 1, 1})
+	want := []int64{capacity / 2, capacity / 4, capacity / 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Shares(1<<62, 2:1:1) = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSelectVictimDonorReserve covers the donation arithmetic: an
+// under-used entity donates only the slack above its 2*evictionSize
+// reserve, never the reserve itself.
+func TestSelectVictimDonorReserve(t *testing.T) {
+	cases := []struct {
+		name  string
+		ents  []Entity
+		evict int64
+		want  int
+	}{
+		{
+			// Donor slack is 55, reserve 20, so the buffer is 35 (not 55).
+			// With the full slack the redistribution term would tip the
+			// choice to B (exceed 168 vs 167); with the reserve held back
+			// A's exceed (179) tops B's (176).
+			name: "reserve flips victim",
+			ents: []Entity{
+				{Weight: 60, Entitlement: 1000, Used: 1190}, // A
+				{Weight: 40, Entitlement: 1000, Used: 1180}, // B
+				{Weight: 50, Entitlement: 1055, Used: 1000}, // donor
+			},
+			evict: 10,
+			want:  0,
+		},
+		{
+			// Slack exactly at 2*evictionSize: no donation, victims rank
+			// by raw exceed and the higher-usage overuser loses.
+			name: "threshold donor contributes nothing",
+			ents: []Entity{
+				{Weight: 50, Entitlement: 1000, Used: 1500},
+				{Weight: 50, Entitlement: 1000, Used: 1400},
+				{Weight: 50, Entitlement: 1200, Used: 1000}, // slack = 200 = 2*evict
+			},
+			evict: 100,
+			want:  0,
+		},
+		{
+			// Zero eviction size: reserve is zero and the whole slack is
+			// donated, matching the pre-reserve behaviour.
+			name: "zero eviction size donates full slack",
+			ents: []Entity{
+				{Weight: 90, Entitlement: 300, Used: 500},
+				{Weight: 10, Entitlement: 300, Used: 500},
+				{Weight: 50, Entitlement: 400, Used: 0},
+			},
+			evict: 0,
+			want:  1,
+		},
+		{
+			// No under-used donor at all: plain exceed comparison.
+			name: "no donors",
+			ents: []Entity{
+				{Weight: 50, Entitlement: 1000, Used: 1100},
+				{Weight: 50, Entitlement: 1000, Used: 1300},
+			},
+			evict: 10,
+			want:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if v := SelectVictim(tc.ents, tc.evict); v != tc.want {
+				t.Fatalf("victim = %d, want %d", v, tc.want)
+			}
+		})
+	}
+}
+
 // Property: shares sum to capacity whenever some weight is positive, and
 // each share is monotone in its weight.
 func TestPropertySharesSumAndMonotone(t *testing.T) {

@@ -3,11 +3,20 @@
 // memory backend (page allocation + memcpy) and an SSD backend (raw block
 // I/O: synchronous reads for gets, asynchronous writes for puts) as in the
 // paper's implementation.
+//
+// Concurrency contract: Backend implementations are self-locking — safe
+// for concurrent use by any number of goroutines without external
+// synchronization. Capacity and usage accounting is atomic, so the cache
+// manager's stat paths read them without blocking its data path. Note
+// that Store/Release are independent operations: the manager's fast path
+// checks capacity before storing, so concurrent putters may transiently
+// overshoot a full store (the manager documents and bounds this).
 package store
 
 import (
 	"fmt"
-
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"doubledecker/internal/blockdev"
@@ -15,6 +24,7 @@ import (
 )
 
 // Backend stores opaque cache objects and accounts capacity.
+// Implementations must be safe for concurrent use.
 type Backend interface {
 	Type() cgroup.StoreType
 	CapacityBytes() int64
@@ -32,33 +42,43 @@ type Backend interface {
 	Release(size int64)
 }
 
+// release decrements an atomic usage counter with the defensive clamp the
+// accounting has always had: usage never reads negative.
+func release(used *atomic.Int64, size int64) {
+	if n := used.Add(-size); n < 0 {
+		used.CompareAndSwap(n, 0)
+	}
+}
+
 // Mem is the in-memory cache store: page_alloc + memcpy semantics.
 type Mem struct {
 	ram      *blockdev.RAM
-	capacity int64
-	used     int64
+	capacity atomic.Int64
+	used     atomic.Int64
 }
 
 // NewMem returns a memory store of the given capacity backed by ram.
 func NewMem(ram *blockdev.RAM, capacity int64) *Mem {
-	return &Mem{ram: ram, capacity: capacity}
+	m := &Mem{ram: ram}
+	m.capacity.Store(capacity)
+	return m
 }
 
 // Type implements Backend.
 func (m *Mem) Type() cgroup.StoreType { return cgroup.StoreMem }
 
 // CapacityBytes implements Backend.
-func (m *Mem) CapacityBytes() int64 { return m.capacity }
+func (m *Mem) CapacityBytes() int64 { return m.capacity.Load() }
 
 // SetCapacityBytes implements Backend.
-func (m *Mem) SetCapacityBytes(n int64) { m.capacity = n }
+func (m *Mem) SetCapacityBytes(n int64) { m.capacity.Store(n) }
 
 // UsedBytes implements Backend.
-func (m *Mem) UsedBytes() int64 { return m.used }
+func (m *Mem) UsedBytes() int64 { return m.used.Load() }
 
 // Store implements Backend: a synchronous page copy into host memory.
 func (m *Mem) Store(now time.Duration, size int64) time.Duration {
-	m.used += size
+	m.used.Add(size)
 	return m.ram.Write(now, 0, size)
 }
 
@@ -70,48 +90,50 @@ func (m *Mem) Fetch(now time.Duration, size int64) time.Duration {
 }
 
 // Release implements Backend.
-func (m *Mem) Release(size int64) {
-	m.used -= size
-	if m.used < 0 {
-		m.used = 0
-	}
-}
+func (m *Mem) Release(size int64) { release(&m.used, size) }
 
 // SSD is the solid-state cache store: synchronous reads, asynchronous
 // writes on the raw block device, per the paper's implementation.
 type SSD struct {
 	dev      *blockdev.SSD
-	capacity int64
-	used     int64
-	cursor   int64 // log-structured write cursor (latency-neutral)
+	capacity atomic.Int64
+	used     atomic.Int64
+
+	mu     sync.Mutex
+	cursor int64 // log-structured write cursor (latency-neutral)
 }
 
 // NewSSD returns an SSD store of the given capacity backed by dev.
 func NewSSD(dev *blockdev.SSD, capacity int64) *SSD {
-	return &SSD{dev: dev, capacity: capacity}
+	s := &SSD{dev: dev}
+	s.capacity.Store(capacity)
+	return s
 }
 
 // Type implements Backend.
 func (s *SSD) Type() cgroup.StoreType { return cgroup.StoreSSD }
 
 // CapacityBytes implements Backend.
-func (s *SSD) CapacityBytes() int64 { return s.capacity }
+func (s *SSD) CapacityBytes() int64 { return s.capacity.Load() }
 
 // SetCapacityBytes implements Backend.
-func (s *SSD) SetCapacityBytes(n int64) { s.capacity = n }
+func (s *SSD) SetCapacityBytes(n int64) { s.capacity.Store(n) }
 
 // UsedBytes implements Backend.
-func (s *SSD) UsedBytes() int64 { return s.used }
+func (s *SSD) UsedBytes() int64 { return s.used.Load() }
 
 // Store implements Backend: the write is issued asynchronously, so the
 // caller pays only the submission cost while the device absorbs the work.
 func (s *SSD) Store(now time.Duration, size int64) time.Duration {
-	s.used += size
-	s.dev.WriteAsync(now, s.cursor, size)
+	s.used.Add(size)
+	s.mu.Lock()
+	offset := s.cursor
 	s.cursor += size
-	if s.capacity > 0 {
-		s.cursor %= s.capacity
+	if c := s.capacity.Load(); c > 0 {
+		s.cursor %= c
 	}
+	s.mu.Unlock()
+	s.dev.WriteAsync(now, offset, size)
 	return time.Microsecond // submission overhead
 }
 
@@ -121,12 +143,7 @@ func (s *SSD) Fetch(now time.Duration, size int64) time.Duration {
 }
 
 // Release implements Backend.
-func (s *SSD) Release(size int64) {
-	s.used -= size
-	if s.used < 0 {
-		s.used = 0
-	}
-}
+func (s *SSD) Release(size int64) { release(&s.used, size) }
 
 // Compile-time interface checks.
 var (
