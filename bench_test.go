@@ -410,7 +410,7 @@ func BenchmarkAblationDedup(b *testing.B) {
 					Dedup: dedup,
 				})
 				mgr.RegisterVM(1, 100)
-				front := cleancache.NewFront(1, mgr, hypercallChannel())
+				front := cleancache.NewFront(1, hypercall.NewTransport(mgr, hypercall.Options{}))
 				vm := guest.New(engine, guest.Config{ID: 1, MemBytes: 256 * mib}, front)
 				// Two containers read clones of one golden 64 MiB file.
 				golden := vm.Allocator().Alloc(16384)
@@ -425,8 +425,6 @@ func BenchmarkAblationDedup(b *testing.B) {
 		})
 	}
 }
-
-func hypercallChannel() *hypercall.Channel { return hypercall.NewChannel() }
 
 // BenchmarkAblationExclusiveVsInclusive quantifies the paper's §2
 // argument for exclusive caching: with an inclusive second-chance cache,
@@ -449,7 +447,7 @@ func BenchmarkAblationExclusiveVsInclusive(b *testing.B) {
 					Inclusive: inclusive,
 				})
 				mgr.RegisterVM(1, 100)
-				front := cleancache.NewFront(1, mgr, hypercall.NewChannel())
+				front := cleancache.NewFront(1, hypercall.NewTransport(mgr, hypercall.Options{}))
 				vm := guest.New(engine, guest.Config{ID: 1, MemBytes: 256 * mib}, front)
 				c := vm.NewContainer("web", 64*mib, cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
 				r := workload.Start(engine, c, workload.NewWebserver(workload.WebserverConfig{

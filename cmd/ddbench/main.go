@@ -7,6 +7,11 @@
 //	ddbench [-quick] [-seed N] <experiment-id>...
 //	ddbench [-quick] all
 //	ddbench -parallel N
+//	ddbench [-quick] -transportjson BENCH_transport.json
+//
+// -transportjson runs the batched-vs-unbatched hypercall transport
+// benchmark and writes machine-readable results (hypercalls/op, ns/op,
+// reduction factor) for CI perf tracking.
 //
 // -parallel N skips the experiments and instead drives the concurrent
 // stress workload (4 guest VMs, N goroutines each, mixed traffic with
@@ -15,15 +20,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"doubledecker/internal/blockdev"
 	"doubledecker/internal/ddcache"
 	"doubledecker/internal/experiments"
-	"doubledecker/internal/store"
 )
 
 func main() {
@@ -40,11 +44,15 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "simulation seed")
 	stretch := fs.Float64("stretch", 0, "override duration stretch factor (0 = default)")
 	parallel := fs.Int("parallel", 0, "run the concurrent stress driver with N workers per VM and exit")
+	transportJSON := fs.String("transportjson", "", "write the transport benchmark as JSON to this file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel > 0 {
 		return runParallel(*parallel, *seed)
+	}
+	if *transportJSON != "" {
+		return writeTransportJSON(*transportJSON, *seed, *quick, *stretch)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -84,11 +92,11 @@ func run(args []string) error {
 // workers each issue mixed Get/Put/Flush/SetSpec traffic while churn
 // goroutines create and destroy pools, all against one shared manager.
 func runParallel(n int, seed int64) error {
-	m := ddcache.NewManager(ddcache.Config{
-		Mode: ddcache.ModeDD,
-		Mem:  store.NewMem(blockdev.NewRAM("ram"), 256<<20),
-		SSD:  store.NewSSD(blockdev.NewSSD("ssd"), 1<<30),
-	})
+	m := ddcache.New(
+		ddcache.WithMode(ddcache.ModeDD),
+		ddcache.WithMemCapacity(256<<20),
+		ddcache.WithSSDCapacity(1<<30),
+	)
 	res := ddcache.RunStress(m, ddcache.StressOptions{
 		VMs:          4,
 		WorkersPerVM: n,
@@ -101,5 +109,72 @@ func runParallel(n int, seed int64) error {
 		n, res.Ops, res.Wall.Seconds(), res.OpsPerSec())
 	fmt.Printf("  puts accepted %d, get hits %d, pool create/destroy cycles %d\n",
 		res.Puts, res.GetHits, res.PoolOps)
+	return nil
+}
+
+// transportMode is the JSON shape of one transport configuration's run.
+type transportMode struct {
+	Transport       string           `json:"transport"`
+	Hypercalls      int64            `json:"hypercalls"`
+	Ops             int64            `json:"ops"`
+	HypercallsPerOp float64          `json:"hypercalls_per_op"`
+	PagesCopied     int64            `json:"pages_copied"`
+	Batches         int64            `json:"batches"`
+	MeanBatchOps    float64          `json:"mean_batch_ops"`
+	HitPct          float64          `json:"hit_pct"`
+	NSPerOp         float64          `json:"ns_per_op"`
+	OpLatencyNS     map[string]int64 `json:"op_latency_ns"`
+}
+
+// writeTransportJSON runs the transport benchmark and emits
+// BENCH_transport.json-style output for CI perf tracking.
+func writeTransportJSON(path string, seed int64, quick bool, stretch float64) error {
+	opts := experiments.DefaultOpts()
+	if quick {
+		opts = experiments.QuickOpts()
+	}
+	opts.Seed = seed
+	if stretch > 0 {
+		opts.Stretch = stretch
+	}
+	b := experiments.TransportBench(opts)
+	toMode := func(m experiments.TransportModeResult) transportMode {
+		return transportMode{
+			Transport:       m.Label,
+			Hypercalls:      m.Calls,
+			Ops:             m.Ops,
+			HypercallsPerOp: m.CallsPerOp,
+			PagesCopied:     m.PagesCopied,
+			Batches:         m.Batches,
+			MeanBatchOps:    m.MeanBatchOps,
+			HitPct:          m.HitPct,
+			NSPerOp:         m.WallNSPerOp,
+			OpLatencyNS:     m.OpLatencyNS,
+		}
+	}
+	out := struct {
+		Benchmark string          `json:"benchmark"`
+		Seed      int64           `json:"seed"`
+		Stretch   float64         `json:"stretch"`
+		Modes     []transportMode `json:"modes"`
+		Reduction float64         `json:"hypercall_reduction"`
+	}{
+		Benchmark: "transport",
+		Seed:      seed,
+		Stretch:   opts.Stretch,
+		Modes:     []transportMode{toMode(b.Unbatched), toMode(b.Batched)},
+		Reduction: b.Reduction,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %.1fx hypercall reduction (%d → %d) at hit %% %.1f/%.1f\n",
+		path, out.Reduction, b.Unbatched.Calls, b.Batched.Calls,
+		b.Unbatched.HitPct, b.Batched.HitPct)
 	return nil
 }

@@ -249,6 +249,23 @@ func simulate(cfg Config, out *os.File) error {
 			float64(cs.UsedBytes)/float64(mib), cs.HitRatio(), cs.Evictions,
 			float64(g.Stats().SwapOutPages)*4096/float64(mib))
 	}
+	fmt.Fprintf(out, "\nhypercall transport per VM:\n")
+	fmt.Fprintf(out, "%-4s %12s %12s %14s %10s %12s\n",
+		"vm", "hypercalls", "ops", "hypercalls/op", "batches", "pages")
+	for _, vc := range cfg.VMs {
+		tr := host.Transport(cleancache.VMID(vc.ID))
+		if tr == nil {
+			continue
+		}
+		st := tr.Stats()
+		ops := st.BatchedOps + st.SyncOps
+		perOp := 0.0
+		if ops > 0 {
+			perOp = float64(st.Calls) / float64(ops)
+		}
+		fmt.Fprintf(out, "%-4d %12d %12d %14.3f %10d %12d\n",
+			vc.ID, st.Calls, ops, perOp, st.Batches, st.PagesCopied)
+	}
 	return nil
 }
 

@@ -5,16 +5,22 @@
 // The page cache calls the Front on lookup misses (get), clean evictions
 // (put) and invalidations (flush). The Front derives the container pool
 // from the cgroup owning the page — the paper's page→process→cgroup
-// resolution — and forwards the operation over the hypercall channel to a
-// Backend (the DoubleDecker hypervisor cache manager, or the
-// nesting-agnostic Global baseline).
+// resolution — encodes the operation as a Request and submits it over a
+// Transport to a Backend (the DoubleDecker hypervisor cache manager, or
+// the nesting-agnostic Global baseline).
+//
+// The guest↔hypervisor boundary is op-based: every interaction is one of
+// the paper's nine operations (OpCode), carried in a uniform Request and
+// answered by a Response. Backends implement the single-method Dispatch
+// entry point; transports may buffer batchable ops (put/flush) and deliver
+// them in multi-op crossings (see internal/hypercall).
 package cleancache
 
 import (
+	"fmt"
 	"time"
 
 	"doubledecker/internal/cgroup"
-	"doubledecker/internal/hypercall"
 )
 
 // VMID identifies a virtual machine at the hypervisor.
@@ -32,6 +38,157 @@ type Key struct {
 	Inode uint64
 	Block int64
 }
+
+// OpCode enumerates the paper's guest→hypervisor operation set.
+type OpCode uint8
+
+// The DoubleDecker op set: the classic cleancache data ops plus the
+// container-control ops the paper adds.
+const (
+	OpGet OpCode = iota + 1
+	OpPut
+	OpFlushPage
+	OpFlushInode
+	OpCreateCgroup
+	OpDestroyCgroup
+	OpSetCgWeight
+	OpMigrateObject
+	OpGetStats
+
+	opCount = int(OpGetStats)
+)
+
+// OpCodes returns every defined op code, in wire order.
+func OpCodes() []OpCode {
+	out := make([]OpCode, 0, opCount)
+	for op := OpGet; int(op) <= opCount; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+// String implements fmt.Stringer using the paper's op names.
+func (op OpCode) String() string {
+	switch op {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpFlushPage:
+		return "FLUSH_PAGE"
+	case OpFlushInode:
+		return "FLUSH_INODE"
+	case OpCreateCgroup:
+		return "CREATE_CGROUP"
+	case OpDestroyCgroup:
+		return "DESTROY_CGROUP"
+	case OpSetCgWeight:
+		return "SET_CG_WEIGHT"
+	case OpMigrateObject:
+		return "MIGRATE_OBJECT"
+	case OpGetStats:
+		return "GET_STATS"
+	default:
+		return fmt.Sprintf("OpCode(%d)", int(op))
+	}
+}
+
+// Valid reports whether op is a defined op code.
+func (op OpCode) Valid() bool { return op >= OpGet && int(op) <= opCount }
+
+// Batchable reports whether the op may be buffered and delivered in a
+// multi-op crossing. Puts and flushes are fire-and-forget from the
+// guest's point of view; gets and control ops need their answer (or
+// their ordering effect) immediately, so they act as batch barriers.
+func (op OpCode) Batchable() bool {
+	switch op {
+	case OpPut, OpFlushPage, OpFlushInode:
+		return true
+	default:
+		return false
+	}
+}
+
+// Pages reports how many data pages the op moves across the
+// guest↔hypervisor boundary (get and put each carry one page).
+func (op OpCode) Pages() int {
+	switch op {
+	case OpGet, OpPut:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Request is one guest→hypervisor operation. Field use per op:
+//
+//	GET, FLUSH_PAGE     Key
+//	PUT                 Key, Content
+//	FLUSH_INODE         Key.Pool, Key.Inode
+//	CREATE_CGROUP       Name, Spec
+//	DESTROY_CGROUP      Key.Pool
+//	SET_CG_WEIGHT       Key.Pool, Spec
+//	MIGRATE_OBJECT      Key.Pool (source), To, Key.Inode
+//	GET_STATS           Key.Pool
+//
+// VM is always set. Requests are value types so a batch is just
+// []Request (or its wire encoding, see internal/hypercall).
+type Request struct {
+	Op      OpCode
+	VM      VMID
+	Key     Key
+	Spec    cgroup.HCacheSpec
+	Name    string
+	Content uint64
+	To      PoolID
+}
+
+// Response answers one Request. Ok reports a GET hit or an accepted PUT;
+// Pool carries the CREATE_CGROUP result; Stats carries GET_STATS.
+// Latency is the cost charged to the caller — backend-internal for a bare
+// Backend.Dispatch, transport-inclusive when returned by a Transport.
+type Response struct {
+	Op      OpCode
+	Ok      bool
+	Pool    PoolID
+	Stats   PoolStats
+	Latency time.Duration
+}
+
+// Backend is the hypervisor-side second-chance cache store, reached
+// through the single op-dispatch entry point. Latencies returned are the
+// store-internal costs; transport costs are added by the Transport.
+type Backend interface {
+	Dispatch(now time.Duration, req Request) Response
+}
+
+// Transport carries requests from a guest to a Backend. Implementations
+// may buffer batchable ops and deliver them in multi-op crossings, as
+// long as per-VM FIFO order is preserved and every non-batchable op acts
+// as a barrier that drains buffered ops first.
+type Transport interface {
+	// Submit sends (or enqueues) one request. The Response's Latency is
+	// everything charged to the caller now, including any batch drain
+	// this submission triggered.
+	Submit(now time.Duration, req Request) Response
+	// Flush drains buffered operations, returning the latency incurred.
+	Flush(now time.Duration) time.Duration
+}
+
+// backendTransport is the trivial Transport: every op dispatches
+// immediately with no transport cost. It is the wiring for in-process
+// tests and for backends that are not behind a modeled hypercall.
+type backendTransport struct{ be Backend }
+
+// NewBackendTransport wraps a Backend as a cost-free, unbuffered
+// Transport.
+func NewBackendTransport(be Backend) Transport { return backendTransport{be} }
+
+func (t backendTransport) Submit(now time.Duration, req Request) Response {
+	return t.be.Dispatch(now, req)
+}
+
+func (t backendTransport) Flush(time.Duration) time.Duration { return 0 }
 
 // PoolStats is the per-container statistics view the paper's GET_STATS
 // operation exposes to the in-VM policy controller.
@@ -63,34 +220,6 @@ func (s PoolStats) HitRatio() float64 {
 	return 100 * float64(s.GetHits) / float64(s.Gets)
 }
 
-// Backend is the hypervisor-side second-chance cache store. Latencies
-// returned are the store-internal costs; transport costs are added by the
-// Front.
-type Backend interface {
-	// CreatePool registers a container (CREATE_CGROUP) and returns its
-	// pool id.
-	CreatePool(now time.Duration, vm VMID, name string, spec cgroup.HCacheSpec) (PoolID, time.Duration)
-	// DestroyPool drops all objects of a container (DESTROY_CGROUP).
-	DestroyPool(now time.Duration, vm VMID, pool PoolID) time.Duration
-	// SetSpec updates a container's <T, W> tuple (SET_CG_WEIGHT).
-	SetSpec(now time.Duration, vm VMID, pool PoolID, spec cgroup.HCacheSpec) time.Duration
-	// Get looks up and removes a block (exclusive caching).
-	Get(now time.Duration, vm VMID, key Key) (bool, time.Duration)
-	// Put stores a clean block evicted from the guest page cache.
-	// content is the block's stable content identity (0 = unknown),
-	// which deduplicating stores may exploit.
-	Put(now time.Duration, vm VMID, key Key, content uint64) (bool, time.Duration)
-	// FlushPage invalidates one block.
-	FlushPage(now time.Duration, vm VMID, key Key) time.Duration
-	// FlushInode invalidates all blocks of a file in a pool.
-	FlushInode(now time.Duration, vm VMID, pool PoolID, inode uint64) time.Duration
-	// MigrateInode re-keys a file's blocks from one pool to another
-	// (MIGRATE_OBJECT, for files shared across containers).
-	MigrateInode(now time.Duration, vm VMID, from, to PoolID, inode uint64) time.Duration
-	// PoolStats implements GET_STATS.
-	PoolStats(vm VMID, pool PoolID) PoolStats
-}
-
 // FrontStats aggregates guest-side cleancache activity.
 type FrontStats struct {
 	Gets     int64
@@ -100,11 +229,13 @@ type FrontStats struct {
 	Migrates int64
 }
 
-// Front is the guest-side cleancache layer for one VM.
+// Front is the guest-side cleancache layer for one VM. Its methods are
+// thin typed wrappers over the op API: each builds a Request and submits
+// it on the VM's transport, so call sites read as the kernel hooks they
+// model while everything crosses the boundary as ops.
 type Front struct {
 	vm      VMID
-	backend Backend
-	ch      *hypercall.Channel
+	tr      Transport
 	enabled bool
 	// filter implements the paper's cgroup-name filter: only matching
 	// containers get hypervisor cache pools. Nil admits every container.
@@ -113,14 +244,16 @@ type Front struct {
 	stats FrontStats
 }
 
-// NewFront wires a VM's cleancache layer to a backend over a hypercall
-// channel.
-func NewFront(vm VMID, backend Backend, ch *hypercall.Channel) *Front {
-	return &Front{vm: vm, backend: backend, ch: ch, enabled: true}
+// NewFront wires a VM's cleancache layer to a backend over tr.
+func NewFront(vm VMID, tr Transport) *Front {
+	return &Front{vm: vm, tr: tr, enabled: true}
 }
 
 // VM reports the owning VM id.
 func (f *Front) VM() VMID { return f.vm }
+
+// Transport exposes the VM's transport (for telemetry and draining).
+func (f *Front) Transport() Transport { return f.tr }
 
 // SetEnabled toggles the whole second-chance path (cleancache off = the
 // paper's "no hypervisor cache" configurations).
@@ -135,6 +268,12 @@ func (f *Front) SetFilter(filter func(name string) bool) { f.filter = filter }
 // Stats returns the guest-side counters.
 func (f *Front) Stats() FrontStats { return f.stats }
 
+// FlushTransport drains any buffered operations — the guest's periodic
+// transport tick calls this so puts and flushes never linger unsent.
+func (f *Front) FlushTransport(now time.Duration) time.Duration {
+	return f.tr.Flush(now)
+}
+
 // RegisterGroup handles the CREATE_CGROUP event: it asks the backend for a
 // pool and records the id on the cgroup. Containers rejected by the filter
 // keep pool id zero and bypass the hypervisor cache entirely.
@@ -142,10 +281,9 @@ func (f *Front) RegisterGroup(now time.Duration, g *cgroup.Group) time.Duration 
 	if !f.enabled || (f.filter != nil && !f.filter(g.Name())) {
 		return 0
 	}
-	lat := f.ch.Cost(0)
-	pool, l := f.backend.CreatePool(now+lat, f.vm, g.Name(), g.Spec())
-	g.SetPoolID(int64(pool))
-	return lat + l
+	resp := f.tr.Submit(now, Request{Op: OpCreateCgroup, VM: f.vm, Name: g.Name(), Spec: g.Spec()})
+	g.SetPoolID(int64(resp.Pool))
+	return resp.Latency
 }
 
 // UnregisterGroup handles DESTROY_CGROUP.
@@ -153,10 +291,9 @@ func (f *Front) UnregisterGroup(now time.Duration, g *cgroup.Group) time.Duratio
 	if g.PoolID() == 0 {
 		return 0
 	}
-	lat := f.ch.Cost(0)
-	lat += f.backend.DestroyPool(now+lat, f.vm, PoolID(g.PoolID()))
+	resp := f.tr.Submit(now, Request{Op: OpDestroyCgroup, VM: f.vm, Key: Key{Pool: PoolID(g.PoolID())}})
 	g.SetPoolID(0)
-	return lat
+	return resp.Latency
 }
 
 // UpdateSpec handles SET_CG_WEIGHT: pushes the group's current <T, W>
@@ -165,8 +302,8 @@ func (f *Front) UpdateSpec(now time.Duration, g *cgroup.Group) time.Duration {
 	if g.PoolID() == 0 {
 		return 0
 	}
-	lat := f.ch.Cost(0)
-	return lat + f.backend.SetSpec(now+lat, f.vm, PoolID(g.PoolID()), g.Spec())
+	resp := f.tr.Submit(now, Request{Op: OpSetCgWeight, VM: f.vm, Key: Key{Pool: PoolID(g.PoolID())}, Spec: g.Spec()})
+	return resp.Latency
 }
 
 // Get looks up a block on page cache miss. A hit moves the page to the
@@ -176,25 +313,32 @@ func (f *Front) Get(now time.Duration, g *cgroup.Group, inode uint64, block int6
 		return false, 0
 	}
 	f.stats.Gets++
-	lat := f.ch.Cost(1)
-	hit, l := f.backend.Get(now+lat, f.vm, Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block})
-	if hit {
+	resp := f.tr.Submit(now, Request{
+		Op: OpGet, VM: f.vm,
+		Key: Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block},
+	})
+	if resp.Ok {
 		f.stats.GetHits++
 	}
-	return hit, lat + l
+	return resp.Ok, resp.Latency
 }
 
 // Put offers a clean evicted page to the hypervisor cache. content
 // carries the block's content identity for deduplicating stores (0 =
-// unknown).
+// unknown). A batching transport may defer delivery; the reported
+// acceptance is then optimistic, which is harmless because the guest
+// drops the page either way (fire-and-forget, as in the paper).
 func (f *Front) Put(now time.Duration, g *cgroup.Group, inode uint64, block int64, content uint64) (bool, time.Duration) {
 	if !f.enabled || g.PoolID() == 0 {
 		return false, 0
 	}
 	f.stats.Puts++
-	lat := f.ch.Cost(1)
-	ok, l := f.backend.Put(now+lat, f.vm, Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block}, content)
-	return ok, lat + l
+	resp := f.tr.Submit(now, Request{
+		Op: OpPut, VM: f.vm,
+		Key:     Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block},
+		Content: content,
+	})
+	return resp.Ok, resp.Latency
 }
 
 // FlushPage invalidates one block (dirtied or truncated in the guest).
@@ -203,8 +347,11 @@ func (f *Front) FlushPage(now time.Duration, g *cgroup.Group, inode uint64, bloc
 		return 0
 	}
 	f.stats.Flushes++
-	lat := f.ch.Cost(0)
-	return lat + f.backend.FlushPage(now+lat, f.vm, Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block})
+	resp := f.tr.Submit(now, Request{
+		Op: OpFlushPage, VM: f.vm,
+		Key: Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block},
+	})
+	return resp.Latency
 }
 
 // FlushInode invalidates a whole file (deletion).
@@ -213,8 +360,11 @@ func (f *Front) FlushInode(now time.Duration, g *cgroup.Group, inode uint64) tim
 		return 0
 	}
 	f.stats.Flushes++
-	lat := f.ch.Cost(0)
-	return lat + f.backend.FlushInode(now+lat, f.vm, PoolID(g.PoolID()), inode)
+	resp := f.tr.Submit(now, Request{
+		Op: OpFlushInode, VM: f.vm,
+		Key: Key{Pool: PoolID(g.PoolID()), Inode: inode},
+	})
+	return resp.Latency
 }
 
 // MigrateInode handles MIGRATE_OBJECT when a shared file's ownership moves
@@ -224,8 +374,12 @@ func (f *Front) MigrateInode(now time.Duration, from, to *cgroup.Group, inode ui
 		return 0
 	}
 	f.stats.Migrates++
-	lat := f.ch.Cost(0)
-	return lat + f.backend.MigrateInode(now+lat, f.vm, PoolID(from.PoolID()), PoolID(to.PoolID()), inode)
+	resp := f.tr.Submit(now, Request{
+		Op: OpMigrateObject, VM: f.vm,
+		Key: Key{Pool: PoolID(from.PoolID()), Inode: inode},
+		To:  PoolID(to.PoolID()),
+	})
+	return resp.Latency
 }
 
 // GroupStats implements the GET_STATS query for the in-VM policy
@@ -234,5 +388,6 @@ func (f *Front) GroupStats(g *cgroup.Group) PoolStats {
 	if g.PoolID() == 0 {
 		return PoolStats{}
 	}
-	return f.backend.PoolStats(f.vm, PoolID(g.PoolID()))
+	resp := f.tr.Submit(0, Request{Op: OpGetStats, VM: f.vm, Key: Key{Pool: PoolID(g.PoolID())}})
+	return resp.Stats
 }

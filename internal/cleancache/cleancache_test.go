@@ -6,16 +6,17 @@ import (
 
 	"doubledecker/internal/blockdev"
 	"doubledecker/internal/cgroup"
-	"doubledecker/internal/hypercall"
 )
 
-// fakeBackend records operations and serves a tiny in-memory key set.
+// fakeBackend is a Dispatch-only backend serving a tiny in-memory key
+// set, recording the op traffic it sees.
 type fakeBackend struct {
 	nextPool PoolID
 	pools    map[PoolID]map[Key]bool
 	specs    map[PoolID]cgroup.HCacheSpec
 	destroys int
 	migrates int
+	ops      []OpCode // every op in arrival order
 }
 
 func newFakeBackend() *fakeBackend {
@@ -26,78 +27,100 @@ func newFakeBackend() *fakeBackend {
 	}
 }
 
-func (b *fakeBackend) CreatePool(_ time.Duration, _ VMID, _ string, spec cgroup.HCacheSpec) (PoolID, time.Duration) {
-	id := b.nextPool
-	b.nextPool++
-	b.pools[id] = make(map[Key]bool)
-	b.specs[id] = spec
-	return id, time.Microsecond
-}
-
-func (b *fakeBackend) DestroyPool(_ time.Duration, _ VMID, pool PoolID) time.Duration {
-	delete(b.pools, pool)
-	b.destroys++
-	return 0
-}
-
-func (b *fakeBackend) SetSpec(_ time.Duration, _ VMID, pool PoolID, spec cgroup.HCacheSpec) time.Duration {
-	b.specs[pool] = spec
-	return 0
-}
-
-func (b *fakeBackend) Get(_ time.Duration, _ VMID, key Key) (bool, time.Duration) {
-	if b.pools[key.Pool][key] {
-		delete(b.pools[key.Pool], key)
-		return true, time.Microsecond
-	}
-	return false, 0
-}
-
-func (b *fakeBackend) Put(_ time.Duration, _ VMID, key Key, _ uint64) (bool, time.Duration) {
-	if m, ok := b.pools[key.Pool]; ok {
-		m[key] = true
-		return true, time.Microsecond
-	}
-	return false, 0
-}
-
-func (b *fakeBackend) FlushPage(_ time.Duration, _ VMID, key Key) time.Duration {
-	delete(b.pools[key.Pool], key)
-	return 0
-}
-
-func (b *fakeBackend) FlushInode(_ time.Duration, _ VMID, pool PoolID, inode uint64) time.Duration {
-	for k := range b.pools[pool] {
-		if k.Inode == inode {
-			delete(b.pools[pool], k)
-		}
-	}
-	return 0
-}
-
-func (b *fakeBackend) MigrateInode(_ time.Duration, _ VMID, from, to PoolID, inode uint64) time.Duration {
-	b.migrates++
-	for k := range b.pools[from] {
-		if k.Inode == inode {
-			delete(b.pools[from], k)
-			b.pools[to][Key{Pool: to, Inode: k.Inode, Block: k.Block}] = true
-		}
-	}
-	return 0
-}
-
-func (b *fakeBackend) PoolStats(_ VMID, pool PoolID) PoolStats {
-	return PoolStats{Objects: int64(len(b.pools[pool]))}
-}
-
 var _ Backend = (*fakeBackend)(nil)
+
+func (b *fakeBackend) Dispatch(_ time.Duration, req Request) Response {
+	b.ops = append(b.ops, req.Op)
+	resp := Response{Op: req.Op, Latency: time.Microsecond}
+	switch req.Op {
+	case OpCreateCgroup:
+		id := b.nextPool
+		b.nextPool++
+		b.pools[id] = make(map[Key]bool)
+		b.specs[id] = req.Spec
+		resp.Ok = true
+		resp.Pool = id
+	case OpDestroyCgroup:
+		delete(b.pools, req.Key.Pool)
+		b.destroys++
+	case OpSetCgWeight:
+		b.specs[req.Key.Pool] = req.Spec
+	case OpGet:
+		if b.pools[req.Key.Pool][req.Key] {
+			delete(b.pools[req.Key.Pool], req.Key) // exclusive
+			resp.Ok = true
+		}
+	case OpPut:
+		if m, ok := b.pools[req.Key.Pool]; ok {
+			m[req.Key] = true
+			resp.Ok = true
+		}
+	case OpFlushPage:
+		delete(b.pools[req.Key.Pool], req.Key)
+	case OpFlushInode:
+		for k := range b.pools[req.Key.Pool] {
+			if k.Inode == req.Key.Inode {
+				delete(b.pools[req.Key.Pool], k)
+			}
+		}
+	case OpMigrateObject:
+		b.migrates++
+		for k := range b.pools[req.Key.Pool] {
+			if k.Inode == req.Key.Inode {
+				delete(b.pools[req.Key.Pool], k)
+				b.pools[req.To][Key{Pool: req.To, Inode: k.Inode, Block: k.Block}] = true
+			}
+		}
+	case OpGetStats:
+		resp.Ok = true
+		resp.Stats = PoolStats{Objects: int64(len(b.pools[req.Key.Pool]))}
+	}
+	return resp
+}
 
 func newTestFront() (*Front, *fakeBackend, *cgroup.Group) {
 	be := newFakeBackend()
-	f := NewFront(1, be, hypercall.NewChannel())
+	f := NewFront(1, NewBackendTransport(be))
 	root := cgroup.NewRoot(1<<30, 0)
 	g := root.NewGroup("c1", 0, blockdev.NewHDD("sw"))
 	return f, be, g
+}
+
+func TestOpCodeStringsAndProperties(t *testing.T) {
+	want := map[OpCode]string{
+		OpGet: "GET", OpPut: "PUT", OpFlushPage: "FLUSH_PAGE",
+		OpFlushInode: "FLUSH_INODE", OpCreateCgroup: "CREATE_CGROUP",
+		OpDestroyCgroup: "DESTROY_CGROUP", OpSetCgWeight: "SET_CG_WEIGHT",
+		OpMigrateObject: "MIGRATE_OBJECT", OpGetStats: "GET_STATS",
+	}
+	if len(OpCodes()) != len(want) {
+		t.Fatalf("OpCodes() = %d codes, want %d", len(OpCodes()), len(want))
+	}
+	for _, op := range OpCodes() {
+		if !op.Valid() {
+			t.Fatalf("%v not Valid", op)
+		}
+		if op.String() != want[op] {
+			t.Fatalf("%d.String() = %q, want %q", int(op), op.String(), want[op])
+		}
+		wantBatch := op == OpPut || op == OpFlushPage || op == OpFlushInode
+		if op.Batchable() != wantBatch {
+			t.Fatalf("%v.Batchable() = %v", op, op.Batchable())
+		}
+		wantPages := 0
+		if op == OpGet || op == OpPut {
+			wantPages = 1
+		}
+		if op.Pages() != wantPages {
+			t.Fatalf("%v.Pages() = %d, want %d", op, op.Pages(), wantPages)
+		}
+	}
+	if OpCode(0).Valid() || OpCode(200).Valid() {
+		t.Fatal("out-of-range op codes reported Valid")
+	}
+	if OpCode(200).String() == "" {
+		t.Fatal("unknown op code has empty String")
+	}
 }
 
 func TestRegisterAssignsPool(t *testing.T) {
@@ -107,7 +130,7 @@ func TestRegisterAssignsPool(t *testing.T) {
 		t.Fatal("pool not assigned")
 	}
 	if lat <= 0 {
-		t.Fatal("registration should cost a hypercall")
+		t.Fatal("registration should cost backend latency")
 	}
 }
 
@@ -124,7 +147,7 @@ func TestFilterRejectsNonMatching(t *testing.T) {
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
-	f, _, g := newTestFront()
+	f, be, g := newTestFront()
 	f.RegisterGroup(0, g)
 	if ok, _ := f.Put(0, g, 42, 7, 0); !ok {
 		t.Fatal("put failed")
@@ -133,8 +156,8 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if !hit {
 		t.Fatal("get missed after put")
 	}
-	if lat < hypercall.DefaultCallCost {
-		t.Fatalf("get latency %v below transport floor", lat)
+	if lat <= 0 {
+		t.Fatalf("get latency %v, want backend cost", lat)
 	}
 	// Exclusive semantics: second get misses.
 	if hit, _ := f.Get(0, g, 42, 7); hit {
@@ -143,6 +166,15 @@ func TestPutGetRoundTrip(t *testing.T) {
 	st := f.Stats()
 	if st.Puts != 1 || st.Gets != 2 || st.GetHits != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+	wantOps := []OpCode{OpCreateCgroup, OpPut, OpGet, OpGet}
+	if len(be.ops) != len(wantOps) {
+		t.Fatalf("backend saw %v, want %v", be.ops, wantOps)
+	}
+	for i, op := range wantOps {
+		if be.ops[i] != op {
+			t.Fatalf("backend op[%d] = %v, want %v", i, be.ops[i], op)
+		}
 	}
 }
 
@@ -169,7 +201,7 @@ func TestUnregisterDestroysPool(t *testing.T) {
 		t.Fatal("pool id not cleared")
 	}
 	if be.destroys != 1 {
-		t.Fatal("backend DestroyPool not called")
+		t.Fatal("backend never saw DESTROY_CGROUP")
 	}
 }
 
@@ -231,5 +263,13 @@ func TestGroupStats(t *testing.T) {
 	unreg := root.NewGroup("x", 0, blockdev.NewHDD("sw"))
 	if got := f.GroupStats(unreg); got != (PoolStats{}) {
 		t.Fatal("unregistered group should report zero stats")
+	}
+}
+
+func TestBackendTransportFlushIsFree(t *testing.T) {
+	f, _, g := newTestFront()
+	f.RegisterGroup(0, g)
+	if d := f.FlushTransport(0); d != 0 {
+		t.Fatalf("unbuffered transport flush cost %v", d)
 	}
 }

@@ -215,6 +215,9 @@ type contentKey struct {
 var _ cleancache.Backend = (*Manager)(nil)
 
 // NewManager returns a manager over the configured stores.
+//
+// Deprecated: use New with functional options (WithMode, WithMemCapacity,
+// WithSSDBackend, ...). NewManager is kept as a shim for one release.
 func NewManager(cfg Config) *Manager {
 	if cfg.EvictBatchBytes <= 0 {
 		cfg.EvictBatchBytes = DefaultEvictBatch
@@ -324,9 +327,9 @@ func (m *Manager) SetSSDCapacity(now time.Duration, n int64) {
 	m.enforceCapacity(now, cgroup.StoreSSD, 0)
 }
 
-// --- cleancache.Backend ----------------------------------------------------
+// --- op handlers (routed through Dispatch, see dispatch.go) ----------------
 
-// CreatePool implements cleancache.Backend (CREATE_CGROUP).
+// CreatePool handles the CREATE_CGROUP op.
 func (m *Manager) CreatePool(_ time.Duration, vm cleancache.VMID, name string, spec cgroup.HCacheSpec) (cleancache.PoolID, time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -358,7 +361,7 @@ func (m *Manager) newPoolLocked(v *vmState, name string, spec cgroup.HCacheSpec)
 	return p
 }
 
-// DestroyPool implements cleancache.Backend (DESTROY_CGROUP).
+// DestroyPool handles the DESTROY_CGROUP op.
 func (m *Manager) DestroyPool(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID) time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -384,7 +387,7 @@ func (m *Manager) destroyPoolLocked(p *poolState) {
 	}
 }
 
-// SetSpec implements cleancache.Backend (SET_CG_WEIGHT). Changing the
+// SetSpec handles the SET_CG_WEIGHT op. Changing the
 // store type flushes objects from stores the pool no longer uses; the
 // freed share is redistributed implicitly by the entitlement math.
 func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, spec cgroup.HCacheSpec) time.Duration {
@@ -427,7 +430,7 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 	return m.cfg.OpOverhead
 }
 
-// Get implements cleancache.Backend: exclusive lookup — a hit removes the
+// Get handles the GET op: exclusive lookup — a hit removes the
 // object and pays the store's fetch latency.
 func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (bool, time.Duration) {
 	m.mu.RLock()
@@ -456,7 +459,7 @@ func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) 
 	return true, lat
 }
 
-// Put implements cleancache.Backend: stores a clean page evicted by the
+// Put handles the PUT op: stores a clean page evicted by the
 // guest, evicting per Algorithm 1 when the target store is full. With
 // deduplication enabled, an object whose content is already stored shares
 // the existing physical copy.
@@ -601,7 +604,7 @@ func (m *Manager) placementStore(p *poolState) cgroup.StoreType {
 	return cgroup.StoreSSD
 }
 
-// FlushPage implements cleancache.Backend.
+// FlushPage handles the FLUSH_PAGE op.
 func (m *Manager) FlushPage(_ time.Duration, _ cleancache.VMID, key cleancache.Key) time.Duration {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -619,7 +622,7 @@ func (m *Manager) FlushPage(_ time.Duration, _ cleancache.VMID, key cleancache.K
 	return m.cfg.OpOverhead
 }
 
-// FlushInode implements cleancache.Backend.
+// FlushInode handles the FLUSH_INODE op.
 func (m *Manager) FlushInode(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, inode uint64) time.Duration {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -636,7 +639,7 @@ func (m *Manager) FlushInode(_ time.Duration, _ cleancache.VMID, pool cleancache
 	return m.cfg.OpOverhead
 }
 
-// MigrateInode implements cleancache.Backend (MIGRATE_OBJECT): cached
+// MigrateInode handles the MIGRATE_OBJECT op: cached
 // blocks of a shared file change pool ownership without moving data.
 // Migration within one VM runs on the data path; the cross-VM case takes
 // the store-level write lock, because two VM locks are never held at once.
@@ -676,7 +679,7 @@ func (m *Manager) migrateLocked(src, dst *poolState, inode uint64) {
 	}
 }
 
-// PoolStats implements cleancache.Backend (GET_STATS). Counters are
+// PoolStats handles the GET_STATS op. Counters are
 // atomic snapshots; the entitlement figure needs the VM lock because it
 // reads the sibling pools' specs.
 func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancache.PoolStats {

@@ -1,0 +1,38 @@
+package ddcache
+
+import (
+	"time"
+
+	"doubledecker/internal/cleancache"
+)
+
+// Dispatch implements cleancache.Backend: the single op-based entry
+// point of the guest↔hypervisor boundary. It routes each Request to the
+// corresponding manager operation; the typed methods (Get, Put,
+// CreatePool, ...) remain available for direct in-process use.
+func (m *Manager) Dispatch(now time.Duration, req cleancache.Request) cleancache.Response {
+	resp := cleancache.Response{Op: req.Op}
+	switch req.Op {
+	case cleancache.OpGet:
+		resp.Ok, resp.Latency = m.Get(now, req.VM, req.Key)
+	case cleancache.OpPut:
+		resp.Ok, resp.Latency = m.Put(now, req.VM, req.Key, req.Content)
+	case cleancache.OpFlushPage:
+		resp.Latency = m.FlushPage(now, req.VM, req.Key)
+	case cleancache.OpFlushInode:
+		resp.Latency = m.FlushInode(now, req.VM, req.Key.Pool, req.Key.Inode)
+	case cleancache.OpCreateCgroup:
+		resp.Pool, resp.Latency = m.CreatePool(now, req.VM, req.Name, req.Spec)
+		resp.Ok = resp.Pool != 0
+	case cleancache.OpDestroyCgroup:
+		resp.Latency = m.DestroyPool(now, req.VM, req.Key.Pool)
+	case cleancache.OpSetCgWeight:
+		resp.Latency = m.SetSpec(now, req.VM, req.Key.Pool, req.Spec)
+	case cleancache.OpMigrateObject:
+		resp.Latency = m.MigrateInode(now, req.VM, req.Key.Pool, req.To, req.Key.Inode)
+	case cleancache.OpGetStats:
+		resp.Ok = true
+		resp.Stats = m.PoolStats(req.VM, req.Key.Pool)
+	}
+	return resp
+}

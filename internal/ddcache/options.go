@@ -1,0 +1,65 @@
+package ddcache
+
+import (
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/policy"
+	"doubledecker/internal/store"
+)
+
+// Option configures a Manager built by New.
+type Option func(*Config)
+
+// New returns a manager configured by functional options:
+//
+//	m := ddcache.New(
+//		ddcache.WithMode(ddcache.ModeDD),
+//		ddcache.WithMemCapacity(256<<20),
+//		ddcache.WithSSDCapacity(1<<30),
+//	)
+//
+// Unset knobs take the same defaults as NewManager.
+func New(opts ...Option) *Manager {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewManager(cfg)
+}
+
+// WithMode selects container awareness (ModeDD or ModeGlobal).
+func WithMode(m Mode) Option { return func(c *Config) { c.Mode = m } }
+
+// WithMemBackend installs an explicit memory store.
+func WithMemBackend(be store.Backend) Option { return func(c *Config) { c.Mem = be } }
+
+// WithMemCapacity installs a RAM-backed memory store of n bytes.
+func WithMemCapacity(n int64) Option {
+	return func(c *Config) { c.Mem = store.NewMem(blockdev.NewRAM("ram"), n) }
+}
+
+// WithSSDBackend installs an explicit SSD store.
+func WithSSDBackend(be store.Backend) Option { return func(c *Config) { c.SSD = be } }
+
+// WithSSDCapacity installs a simulated-SSD store of n bytes.
+func WithSSDCapacity(n int64) Option {
+	return func(c *Config) { c.SSD = store.NewSSD(blockdev.NewSSD("ssd"), n) }
+}
+
+// WithEvictBatch sets the eviction granularity (the paper uses 2 MiB).
+func WithEvictBatch(n int64) Option { return func(c *Config) { c.EvictBatchBytes = n } }
+
+// WithOpOverhead sets the manager-internal CPU cost per operation.
+func WithOpOverhead(d time.Duration) Option { return func(c *Config) { c.OpOverhead = d } }
+
+// WithVictimSelector swaps the Algorithm 1 victim-selection variant.
+func WithVictimSelector(fn func(ents []policy.Entity, evictionSize int64) int) Option {
+	return func(c *Config) { c.VictimSelector = fn }
+}
+
+// WithDedup enables content deduplication within each store.
+func WithDedup(on bool) Option { return func(c *Config) { c.Dedup = on } }
+
+// WithInclusive disables the exclusive-caching protocol (ablation only).
+func WithInclusive(on bool) Option { return func(c *Config) { c.Inclusive = on } }

@@ -18,6 +18,9 @@ func defaultRunners() map[string]Runner {
 		"table4": Table4,
 		"fig13":  Fig13,
 		"fig14":  Fig14,
+
+		// Beyond the paper's artifacts: transport batching (ISSUE 2).
+		"transport": TransportExp,
 	}
 }
 

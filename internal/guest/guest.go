@@ -30,6 +30,10 @@ type Config struct {
 	// FlushBatchPages bounds each background writeback round
 	// (default 2048 pages = 8 MiB).
 	FlushBatchPages int
+	// HypercallFlushInterval is the period of the transport flush tick
+	// that drains buffered hypercall batches so puts and flushes never
+	// linger unsent (default 10ms).
+	HypercallFlushInterval time.Duration
 	// Disk overrides the VM's virtual disk; nil selects a 7200 RPM HDD.
 	Disk blockdev.Device
 }
@@ -46,6 +50,7 @@ type VM struct {
 
 	containers []*Container
 	flusher    *sim.Event
+	hcFlusher  *sim.Event // transport flush tick; nil when front is nil
 }
 
 // New builds a VM. front may be nil to run without a second-chance cache.
@@ -58,6 +63,9 @@ func New(engine *sim.Engine, cfg Config, front *cleancache.Front) *VM {
 	}
 	if cfg.FlushBatchPages == 0 {
 		cfg.FlushBatchPages = 2048
+	}
+	if cfg.HypercallFlushInterval == 0 {
+		cfg.HypercallFlushInterval = 10 * time.Millisecond
 	}
 	disk := cfg.Disk
 	if disk == nil {
@@ -75,6 +83,11 @@ func New(engine *sim.Engine, cfg Config, front *cleancache.Front) *VM {
 	vm.flusher = engine.Every(cfg.FlushInterval, func() {
 		vm.cache.FlushDirty(engine.Now(), cfg.FlushBatchPages)
 	})
+	if front != nil {
+		vm.hcFlusher = engine.Every(cfg.HypercallFlushInterval, func() {
+			front.FlushTransport(engine.Now())
+		})
+	}
 	return vm
 }
 
@@ -99,8 +112,15 @@ func (vm *VM) Disk() blockdev.Device { return vm.disk }
 // Allocator exposes the VM's file allocator (one filesystem per VM).
 func (vm *VM) Allocator() *fsmodel.Allocator { return vm.alloc }
 
-// Shutdown cancels background activity (the flusher).
-func (vm *VM) Shutdown() { vm.flusher.Cancel() }
+// Shutdown cancels background activity (writeback and transport ticks),
+// draining any buffered hypercall batch first.
+func (vm *VM) Shutdown() {
+	vm.flusher.Cancel()
+	if vm.hcFlusher != nil {
+		vm.front.FlushTransport(vm.engine.Now())
+		vm.hcFlusher.Cancel()
+	}
+}
 
 // RecordTrace attaches a recorder that captures every page cache read
 // access into log (container names interned automatically). The returned

@@ -1,0 +1,167 @@
+package hypercall
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+)
+
+// Wire layout of one encoded request frame (all integers varint-encoded;
+// signed fields zigzag):
+//
+//	byte 0        op code
+//	varint        vm id
+//	per-op fields:
+//	  GET, FLUSH_PAGE   pool, inode, block
+//	  PUT               pool, inode, block, content
+//	  FLUSH_INODE       pool, inode
+//	  CREATE_CGROUP     name-len, name bytes, spec.store, spec.weight
+//	  DESTROY_CGROUP    pool
+//	  SET_CG_WEIGHT     pool, spec.store, spec.weight
+//	  MIGRATE_OBJECT    pool (source), to-pool, inode
+//	  GET_STATS         pool
+//
+// The page payload of GET/PUT is not part of the frame: in the model the
+// page travels via the per-page copy cost; on a real wire it would ride
+// in a sidecar buffer indexed by frame position.
+
+// appendUint appends a uvarint.
+func appendUint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendInt appends a zigzag varint.
+func appendInt(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// EncodeRequest appends the wire encoding of req to buf and returns the
+// extended slice.
+func EncodeRequest(buf []byte, req cleancache.Request) []byte {
+	buf = append(buf, byte(req.Op))
+	buf = appendInt(buf, int64(req.VM))
+	switch req.Op {
+	case cleancache.OpGet, cleancache.OpFlushPage:
+		buf = appendInt(buf, int64(req.Key.Pool))
+		buf = appendUint(buf, req.Key.Inode)
+		buf = appendInt(buf, req.Key.Block)
+	case cleancache.OpPut:
+		buf = appendInt(buf, int64(req.Key.Pool))
+		buf = appendUint(buf, req.Key.Inode)
+		buf = appendInt(buf, req.Key.Block)
+		buf = appendUint(buf, req.Content)
+	case cleancache.OpFlushInode:
+		buf = appendInt(buf, int64(req.Key.Pool))
+		buf = appendUint(buf, req.Key.Inode)
+	case cleancache.OpCreateCgroup:
+		buf = appendUint(buf, uint64(len(req.Name)))
+		buf = append(buf, req.Name...)
+		buf = appendUint(buf, uint64(req.Spec.Store))
+		buf = appendInt(buf, int64(req.Spec.Weight))
+	case cleancache.OpDestroyCgroup, cleancache.OpGetStats:
+		buf = appendInt(buf, int64(req.Key.Pool))
+	case cleancache.OpSetCgWeight:
+		buf = appendInt(buf, int64(req.Key.Pool))
+		buf = appendUint(buf, uint64(req.Spec.Store))
+		buf = appendInt(buf, int64(req.Spec.Weight))
+	case cleancache.OpMigrateObject:
+		buf = appendInt(buf, int64(req.Key.Pool))
+		buf = appendInt(buf, int64(req.To))
+		buf = appendUint(buf, req.Key.Inode)
+	}
+	return buf
+}
+
+// decoder walks one frame.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("hypercall: truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) int() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("hypercall: truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.err = fmt.Errorf("hypercall: truncated payload at offset %d", d.off)
+		return nil
+	}
+	out := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+// DecodeRequest decodes one frame from the front of b, returning the
+// request and the number of bytes consumed.
+func DecodeRequest(b []byte) (cleancache.Request, int, error) {
+	if len(b) == 0 {
+		return cleancache.Request{}, 0, fmt.Errorf("hypercall: empty frame")
+	}
+	op := cleancache.OpCode(b[0])
+	if !op.Valid() {
+		return cleancache.Request{}, 0, fmt.Errorf("hypercall: unknown op code %d", b[0])
+	}
+	d := &decoder{b: b, off: 1}
+	req := cleancache.Request{Op: op, VM: cleancache.VMID(d.int())}
+	switch op {
+	case cleancache.OpGet, cleancache.OpFlushPage:
+		req.Key.Pool = cleancache.PoolID(d.int())
+		req.Key.Inode = d.uint()
+		req.Key.Block = d.int()
+	case cleancache.OpPut:
+		req.Key.Pool = cleancache.PoolID(d.int())
+		req.Key.Inode = d.uint()
+		req.Key.Block = d.int()
+		req.Content = d.uint()
+	case cleancache.OpFlushInode:
+		req.Key.Pool = cleancache.PoolID(d.int())
+		req.Key.Inode = d.uint()
+	case cleancache.OpCreateCgroup:
+		req.Name = string(d.bytes(d.uint()))
+		req.Spec.Store = cgroup.StoreType(d.uint())
+		req.Spec.Weight = int(d.int())
+	case cleancache.OpDestroyCgroup, cleancache.OpGetStats:
+		req.Key.Pool = cleancache.PoolID(d.int())
+	case cleancache.OpSetCgWeight:
+		req.Key.Pool = cleancache.PoolID(d.int())
+		req.Spec.Store = cgroup.StoreType(d.uint())
+		req.Spec.Weight = int(d.int())
+	case cleancache.OpMigrateObject:
+		req.Key.Pool = cleancache.PoolID(d.int())
+		req.To = cleancache.PoolID(d.int())
+		req.Key.Inode = d.uint()
+	}
+	if d.err != nil {
+		return cleancache.Request{}, 0, d.err
+	}
+	return req, d.off, nil
+}

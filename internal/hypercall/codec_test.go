@@ -1,0 +1,88 @@
+package hypercall
+
+import (
+	"testing"
+
+	"doubledecker/internal/cgroup"
+	"doubledecker/internal/cleancache"
+)
+
+// sampleRequest builds a representative request for op, exercising every
+// field that op carries on the wire (including signed and large values).
+func sampleRequest(op cleancache.OpCode) cleancache.Request {
+	req := cleancache.Request{Op: op, VM: 7}
+	switch op {
+	case cleancache.OpGet, cleancache.OpFlushPage:
+		req.Key = cleancache.Key{Pool: 3, Inode: 1 << 40, Block: -12}
+	case cleancache.OpPut:
+		req.Key = cleancache.Key{Pool: 9, Inode: 42, Block: 1 << 33}
+		req.Content = 0xdeadbeefcafe
+	case cleancache.OpFlushInode:
+		req.Key = cleancache.Key{Pool: 5, Inode: 99}
+	case cleancache.OpCreateCgroup:
+		req.Name = "web-frontend"
+		req.Spec = cgroup.HCacheSpec{Store: cgroup.StoreHybrid, Weight: 75}
+	case cleancache.OpDestroyCgroup, cleancache.OpGetStats:
+		req.Key = cleancache.Key{Pool: 11}
+	case cleancache.OpSetCgWeight:
+		req.Key = cleancache.Key{Pool: 2}
+		req.Spec = cgroup.HCacheSpec{Store: cgroup.StoreSSD, Weight: 30}
+	case cleancache.OpMigrateObject:
+		req.Key = cleancache.Key{Pool: 4, Inode: 77}
+		req.To = 6
+	}
+	return req
+}
+
+func TestCodecRoundTripAllOps(t *testing.T) {
+	for _, op := range cleancache.OpCodes() {
+		want := sampleRequest(op)
+		buf := EncodeRequest(nil, want)
+		got, n, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", op, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d bytes", op, n, len(buf))
+		}
+		if got != want {
+			t.Fatalf("%v: round trip\n got %+v\nwant %+v", op, got, want)
+		}
+	}
+}
+
+func TestCodecFrameStream(t *testing.T) {
+	// Concatenated frames decode back in order, as Ring.Drain relies on.
+	var buf []byte
+	var want []cleancache.Request
+	for _, op := range cleancache.OpCodes() {
+		req := sampleRequest(op)
+		buf = EncodeRequest(buf, req)
+		want = append(want, req)
+	}
+	for i := 0; len(buf) > 0; i++ {
+		got, n, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want[i])
+		}
+		buf = buf[n:]
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeRequest(nil); err == nil {
+		t.Fatal("empty frame decoded")
+	}
+	if _, _, err := DecodeRequest([]byte{0xff}); err == nil {
+		t.Fatal("unknown op code decoded")
+	}
+	full := EncodeRequest(nil, sampleRequest(cleancache.OpPut))
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeRequest(full[:cut]); err == nil {
+			t.Fatalf("truncated frame (%d of %d bytes) decoded", cut, len(full))
+		}
+	}
+}

@@ -4,9 +4,19 @@
 // guest and host memory. The model charges a fixed world-switch cost per
 // call plus a per-page copy cost, and counts traffic for the experiment
 // reports.
+//
+// On top of the raw Channel cost model, the package provides the batched
+// Transport: a per-VM bounded ring of wire-encoded requests
+// (EncodeRequest/DecodeRequest) in which fire-and-forget operations
+// (put, flush) coalesce into multi-op crossings of up to MaxBatchOps
+// operations or MaxBatchPages pages — the paper's 2 MiB granularity —
+// paying one world switch per batch instead of one per op. See Transport.
 package hypercall
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Default costs for a VMCALL-based transport on the paper's Xeon-class
 // host: ~1.8 µs for the VM exit/entry pair and ~0.45 µs to copy one 4 KiB
@@ -17,12 +27,14 @@ const (
 )
 
 // Channel is one VM's hypercall path to the hypervisor cache manager.
+// Traffic counters are atomic: a VM's vCPU threads (and the flush tick)
+// may charge costs concurrently.
 type Channel struct {
 	callCost time.Duration
 	copyCost time.Duration
 
-	calls       int64
-	pagesCopied int64
+	calls       atomic.Int64
+	pagesCopied atomic.Int64
 }
 
 // NewChannel returns a channel with the default VMCALL cost model.
@@ -37,15 +49,15 @@ func NewChannelWithCosts(call, pageCopy time.Duration) *Channel {
 }
 
 // Cost returns the transport latency for one call moving pages of data,
-// and accounts the traffic.
+// and accounts the traffic. Safe for concurrent use.
 func (c *Channel) Cost(pages int) time.Duration {
-	c.calls++
-	c.pagesCopied += int64(pages)
+	c.calls.Add(1)
+	c.pagesCopied.Add(int64(pages))
 	return c.callCost + time.Duration(pages)*c.copyCost
 }
 
 // Calls reports the number of hypercalls issued.
-func (c *Channel) Calls() int64 { return c.calls }
+func (c *Channel) Calls() int64 { return c.calls.Load() }
 
 // PagesCopied reports the number of pages moved across the boundary.
-func (c *Channel) PagesCopied() int64 { return c.pagesCopied }
+func (c *Channel) PagesCopied() int64 { return c.pagesCopied.Load() }

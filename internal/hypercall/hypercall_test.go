@@ -1,6 +1,7 @@
 package hypercall
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -24,5 +25,28 @@ func TestCustomCosts(t *testing.T) {
 	c := NewChannelWithCosts(time.Microsecond, 2*time.Microsecond)
 	if got := c.Cost(3); got != 7*time.Microsecond {
 		t.Fatalf("Cost(3) = %v, want 7µs", got)
+	}
+}
+
+// TestChannelCostConcurrent drives Cost from many goroutines at once, the
+// shape of PR 1's concurrent guests. With the pre-atomic counters this
+// test fails under -race (and typically also loses increments).
+func TestChannelCostConcurrent(t *testing.T) {
+	c := NewChannel()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Cost(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Calls() != workers*per || c.PagesCopied() != workers*per {
+		t.Fatalf("counters = %d calls / %d pages, want %d each",
+			c.Calls(), c.PagesCopied(), workers*per)
 	}
 }

@@ -1,0 +1,68 @@
+package hypercall
+
+import "doubledecker/internal/cleancache"
+
+// Ring is a bounded buffer of wire-encoded requests awaiting one
+// multi-op crossing. It models the per-VM shared ring a real transport
+// would map between guest and hypervisor: frames are appended
+// contiguously in FIFO order, and the ring is bounded both by operation
+// count and by page payload (the paper's 2 MiB granularity).
+//
+// Ring is not self-locking; the owning Transport serializes access.
+type Ring struct {
+	maxOps   int
+	maxPages int
+
+	buf   []byte
+	ops   int
+	pages int
+}
+
+// NewRing returns an empty ring bounded by maxOps frames and maxPages
+// pages of payload.
+func NewRing(maxOps, maxPages int) *Ring {
+	return &Ring{maxOps: maxOps, maxPages: maxPages}
+}
+
+// Len reports the number of buffered operations.
+func (r *Ring) Len() int { return r.ops }
+
+// Pages reports the page payload of the buffered operations.
+func (r *Ring) Pages() int { return r.pages }
+
+// Fits reports whether one more op moving pages of data can be accepted
+// without exceeding the ring bounds.
+func (r *Ring) Fits(pages int) bool {
+	return r.ops < r.maxOps && r.pages+pages <= r.maxPages
+}
+
+// Full reports whether the ring has reached either bound (no further
+// page-carrying op fits).
+func (r *Ring) Full() bool {
+	return r.ops >= r.maxOps || r.pages >= r.maxPages
+}
+
+// Push encodes req onto the ring. The caller must have checked Fits.
+func (r *Ring) Push(req cleancache.Request) {
+	r.buf = EncodeRequest(r.buf, req)
+	r.ops++
+	r.pages += req.Op.Pages()
+}
+
+// Drain decodes every buffered frame in FIFO order, invoking fn for
+// each, and empties the ring. Decode errors are impossible for frames
+// produced by Push, so fn sees exactly the pushed sequence.
+func (r *Ring) Drain(fn func(req cleancache.Request)) {
+	b := r.buf
+	for len(b) > 0 {
+		req, n, err := DecodeRequest(b)
+		if err != nil {
+			break // corrupted tail: drop it (cannot happen via Push)
+		}
+		b = b[n:]
+		fn(req)
+	}
+	r.buf = r.buf[:0]
+	r.ops = 0
+	r.pages = 0
+}

@@ -12,6 +12,7 @@ import (
 	"doubledecker/internal/ddcache"
 	"doubledecker/internal/guest"
 	"doubledecker/internal/hypercall"
+	"doubledecker/internal/metrics"
 	"doubledecker/internal/policy"
 	"doubledecker/internal/sim"
 	"doubledecker/internal/store"
@@ -36,27 +37,46 @@ type Config struct {
 	// VictimSelector overrides the eviction victim-selection algorithm
 	// (nil = the paper's Algorithm 1); used by ablation benchmarks.
 	VictimSelector func(ents []policy.Entity, evictionSize int64) int
+	// Transport parameterizes each VM's hypercall transport (batch
+	// bounds, costs, unbatched baseline). The zero value selects the
+	// batched defaults.
+	Transport hypercall.Options
+	// Metrics, when set, receives the transports' per-op-code latency
+	// histograms and batch telemetry.
+	Metrics *metrics.Registry
+	// GuestFlushInterval overrides the guests' transport flush tick.
+	GuestFlushInterval time.Duration
 }
 
 // Host is a physical machine running the DoubleDecker-enabled hypervisor.
 type Host struct {
-	engine  *sim.Engine
-	manager *ddcache.Manager
-	ram     *blockdev.RAM
-	ssd     *blockdev.SSD
-	caching bool
-	diskFor func(id cleancache.VMID) blockdev.Device
-	vms     []*guest.VM
+	engine     *sim.Engine
+	manager    *ddcache.Manager
+	ram        *blockdev.RAM
+	ssd        *blockdev.SSD
+	caching    bool
+	diskFor    func(id cleancache.VMID) blockdev.Device
+	vms        []*guest.VM
+	topts      hypercall.Options
+	tick       time.Duration
+	transports map[cleancache.VMID]*hypercall.Transport
 }
 
 // New builds a host with the given cache configuration.
 func New(engine *sim.Engine, cfg Config) *Host {
+	topts := cfg.Transport
+	if topts.Metrics == nil {
+		topts.Metrics = cfg.Metrics
+	}
 	h := &Host{
-		engine:  engine,
-		ram:     blockdev.NewRAM("host-ram"),
-		ssd:     blockdev.NewSSD("host-ssd"),
-		caching: !cfg.DisableCaching,
-		diskFor: cfg.VMDiskFactory,
+		engine:     engine,
+		ram:        blockdev.NewRAM("host-ram"),
+		ssd:        blockdev.NewSSD("host-ssd"),
+		caching:    !cfg.DisableCaching,
+		diskFor:    cfg.VMDiskFactory,
+		topts:      topts,
+		tick:       cfg.GuestFlushInterval,
+		transports: make(map[cleancache.VMID]*hypercall.Transport),
 	}
 	mcfg := ddcache.Config{
 		Mode:            cfg.Mode,
@@ -80,14 +100,17 @@ func (h *Host) Engine() *sim.Engine { return h.engine }
 func (h *Host) Manager() *ddcache.Manager { return h.manager }
 
 // NewVM boots a VM with the given memory size and hypervisor cache
-// weight, wiring its cleancache front over a fresh hypercall channel.
+// weight, wiring its cleancache front over a fresh batched hypercall
+// transport.
 func (h *Host) NewVM(id cleancache.VMID, memBytes int64, weight int64) *guest.VM {
 	h.manager.RegisterVM(id, weight)
 	var front *cleancache.Front
 	if h.caching {
-		front = cleancache.NewFront(id, h.manager, hypercall.NewChannel())
+		tr := hypercall.NewTransport(h.manager, h.topts)
+		h.transports[id] = tr
+		front = cleancache.NewFront(id, tr)
 	}
-	gcfg := guest.Config{ID: id, MemBytes: memBytes}
+	gcfg := guest.Config{ID: id, MemBytes: memBytes, HypercallFlushInterval: h.tick}
 	if h.diskFor != nil {
 		gcfg.Disk = h.diskFor(id)
 	}
@@ -109,6 +132,28 @@ func (h *Host) DestroyVM(vm *guest.VM) {
 			break
 		}
 	}
+}
+
+// Transport exposes a VM's hypercall transport (nil when caching is
+// disabled or the VM is unknown).
+func (h *Host) Transport(id cleancache.VMID) *hypercall.Transport {
+	return h.transports[id]
+}
+
+// TransportStats aggregates hypercall traffic across every VM booted on
+// this host, including VMs destroyed since.
+func (h *Host) TransportStats() hypercall.TransportStats {
+	var agg hypercall.TransportStats
+	for _, tr := range h.transports {
+		s := tr.Stats()
+		agg.Calls += s.Calls
+		agg.PagesCopied += s.PagesCopied
+		agg.Batches += s.Batches
+		agg.BatchedOps += s.BatchedOps
+		agg.SyncOps += s.SyncOps
+		agg.Pending += s.Pending
+	}
+	return agg
 }
 
 // VMs returns the live VMs in boot order.

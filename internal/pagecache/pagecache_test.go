@@ -36,12 +36,14 @@ func newRig(vmMemBytes, hcacheBytes int64) *rig {
 		rng:   rand.New(rand.NewSource(1)),
 	}
 	if hcacheBytes > 0 {
-		r.mgr = ddcache.NewManager(ddcache.Config{
-			Mode: ddcache.ModeDD,
-			Mem:  store.NewMem(blockdev.NewRAM("hostram"), hcacheBytes),
-		})
+		r.mgr = ddcache.New(
+			ddcache.WithMode(ddcache.ModeDD),
+			ddcache.WithMemBackend(store.NewMem(blockdev.NewRAM("hostram"), hcacheBytes)),
+		)
 		r.mgr.RegisterVM(1, 100)
-		r.front = cleancache.NewFront(1, r.mgr, hypercall.NewChannel())
+		// Unbatched: these tests inspect manager state right after puts,
+		// so deliveries must not sit in a transport ring.
+		r.front = cleancache.NewFront(1, hypercall.NewTransport(r.mgr, hypercall.Options{Unbatched: true}))
 	}
 	r.cache = New(r.root, r.front, r.disk)
 	return r
