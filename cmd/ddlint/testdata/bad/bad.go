@@ -1,0 +1,54 @@
+// Package bad reintroduces one violation from each class ddlint
+// eliminated, as a regression fixture for
+// TestDdlintCatchesReintroducedViolations: the pre-fix stress.go
+// wall-clock read, a dispatch switch over the real cleancache.OpCode
+// with a case deliberately removed, an unlocked access to a guarded
+// field, and a plain read of an atomically-updated counter.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doubledecker/internal/cleancache"
+)
+
+// WallStress is the pre-fix internal/ddcache/stress.go shape.
+func WallStress() time.Duration {
+	start := time.Now() // clockcheck: wall clock in simulated-time code
+	return time.Since(start)
+}
+
+// Route is a dispatch switch missing OpGetStats: the silent no-op
+// opswitch exists to prevent.
+func Route(req cleancache.Request) string {
+	switch req.Op {
+	case cleancache.OpGet, cleancache.OpPut:
+		return "data"
+	case cleancache.OpFlushPage, cleancache.OpFlushInode:
+		return "flush"
+	case cleancache.OpCreateCgroup, cleancache.OpDestroyCgroup,
+		cleancache.OpSetCgWeight, cleancache.OpMigrateObject:
+		return "control"
+	}
+	return ""
+}
+
+// manager mirrors the ddcache.Manager annotation shape.
+type manager struct {
+	mu sync.Mutex
+	// ddlint:guarded-by mu
+	pools int
+	hits  int64 // updated via atomic.AddInt64 in record
+}
+
+func (m *manager) record() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// Peek reads both the guarded field and the atomic counter without
+// holding the lock or using sync/atomic.
+func (m *manager) Peek() (int, int64) {
+	return m.pools, m.hits // lockcheck + atomiccheck
+}

@@ -126,15 +126,20 @@ type vmState struct {
 	id cleancache.VMID
 	// weight is guarded by Manager.mu: written under the write lock,
 	// read under either lock mode.
+	// ddlint:guarded-by mu
 	weight int64
 	// mu is the per-VM lock (level 2 of the hierarchy); acquired only
 	// while holding Manager.mu for reading.
 	mu sync.Mutex
 	// pools is mutated only under Manager.mu held for writing; data-path
 	// readers hold Manager.mu for reading.
+	// ddlint:guarded-by mu
 	pools []*poolState // creation order, for deterministic iteration
 }
 
+// usedBytes sums the VM's occupancy in st across its pools.
+//
+// ddlint:requires-lock mu
 func (v *vmState) usedBytes(st cgroup.StoreType) int64 {
 	var u int64
 	for _, p := range v.pools {
@@ -166,13 +171,17 @@ func (c *poolCounters) snapshot() cleancache.PoolStats {
 // poolState tracks one container pool. spec and idx structure are guarded
 // by the owning VM's lock (or Manager.mu held for writing).
 type poolState struct {
-	idx      *index.Pool
+	// ddlint:guarded-by mu
+	idx *index.Pool
+	// ddlint:guarded-by mu
 	spec     cgroup.HCacheSpec
 	vm       *vmState
 	counters poolCounters
 }
 
 // usesStore reports whether the pool may place objects in st.
+//
+// ddlint:requires-lock mu
 func (p *poolState) usesStore(st cgroup.StoreType) bool {
 	switch p.spec.Store {
 	case cgroup.StoreHybrid:
@@ -190,15 +199,15 @@ type Manager struct {
 	// mu is the store-level lock (level 1 of the hierarchy). It guards
 	// the vms/pools maps, vmOrder, nextPool and every VM weight.
 	mu       sync.RWMutex
-	vms      map[cleancache.VMID]*vmState
-	vmOrder  []*vmState
-	pools    map[cleancache.PoolID]*poolState
-	nextPool cleancache.PoolID
+	vms      map[cleancache.VMID]*vmState     // ddlint:guarded-by mu
+	vmOrder  []*vmState                       // ddlint:guarded-by mu
+	pools    map[cleancache.PoolID]*poolState // ddlint:guarded-by mu
+	nextPool cleancache.PoolID                // ddlint:guarded-by mu
 
 	// dedupMu (leaf lock) guards contentRefs, the logical reference
 	// counts per (store, content); the physical copy is charged once.
 	dedupMu     sync.Mutex
-	contentRefs map[contentKey]int64
+	contentRefs map[contentKey]int64 // ddlint:guarded-by dedupMu
 
 	// run-wide counters
 	nextSeq        atomic.Uint64
@@ -542,6 +551,8 @@ func (m *Manager) needsPhysical(st cgroup.StoreType, content uint64, dedup bool)
 
 // commitPut indexes the object and charges the store. Callers hold either
 // the data-path locks (read lock + VM lock) or the write lock.
+//
+// ddlint:requires-lock mu
 func (m *Manager) commitPut(now time.Duration, p *poolState, st cgroup.StoreType, be store.Backend, key cleancache.Key, content uint64, dedup bool, lat *time.Duration) {
 	obj := &index.Object{Inode: key.Inode, Block: key.Block, Size: ObjectSize, Store: st, Seq: m.nextSeq.Add(1)}
 	if dedup {
@@ -590,6 +601,8 @@ func (m *Manager) releaseObject(obj *index.Object) {
 // store, or for hybrid pools memory until the pool's memory entitlement is
 // exhausted, then SSD (the paper's hybrid-mode semantics). Callers hold
 // the pool's VM lock or the store-level write lock.
+//
+// ddlint:requires-lock mu
 func (m *Manager) placementStore(p *poolState) cgroup.StoreType {
 	if m.cfg.Mode == ModeGlobal {
 		// The nesting-agnostic baseline is a plain memory cache.
@@ -710,6 +723,8 @@ func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancach
 // vmEntitlement computes a VM's share of the st store from the host-level
 // weights (the per-VM ratio applies to both stores, per the paper).
 // Callers hold Manager.mu in either mode.
+//
+// ddlint:requires-lock mu
 func (m *Manager) vmEntitlement(v *vmState, st cgroup.StoreType) int64 {
 	be := m.backend(st)
 	if be == nil {
@@ -732,6 +747,8 @@ func (m *Manager) vmEntitlement(v *vmState, st cgroup.StoreType) int64 {
 // poolEntitlement computes a container's share of its VM's st partition.
 // Callers hold the pool's VM lock or the store-level write lock (sibling
 // specs are read).
+//
+// ddlint:requires-lock mu
 func (m *Manager) poolEntitlement(p *poolState, st cgroup.StoreType) int64 {
 	if !p.usesStore(st) {
 		return 0
@@ -758,6 +775,8 @@ func (m *Manager) poolEntitlement(p *poolState, st cgroup.StoreType) int64 {
 // container within it, then FIFO within the container's pool, in
 // EvictBatchBytes batches. Returns the (metadata) latency incurred.
 // Requires Manager.mu held for writing.
+//
+// ddlint:requires-lock mu
 func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incoming int64) time.Duration {
 	be := m.backend(st)
 	if be == nil {
@@ -781,6 +800,8 @@ func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incomi
 
 // evictBatch frees up to batch bytes from the st store and returns the
 // bytes actually freed. Requires Manager.mu held for writing.
+//
+// ddlint:requires-lock mu
 func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 	if m.cfg.Mode == ModeGlobal {
 		return m.evictGlobalFIFO(st, batch)
@@ -811,6 +832,8 @@ func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 // evictGlobalFIFO implements the baseline's container-agnostic policy:
 // evict the globally oldest objects regardless of which container (or VM)
 // inserted them. Requires Manager.mu held for writing.
+//
+// ddlint:requires-lock mu
 func (m *Manager) evictGlobalFIFO(st cgroup.StoreType, batch int64) int64 {
 	var freed int64
 	for freed < batch {
@@ -841,6 +864,10 @@ func (m *Manager) evictGlobalFIFO(st cgroup.StoreType, batch int64) int64 {
 	return freed
 }
 
+// selectVictimVM picks the Algorithm 1 victim VM for an eviction of batch
+// bytes from st. Requires Manager.mu held for writing.
+//
+// ddlint:requires-lock mu
 func (m *Manager) selectVictimVM(st cgroup.StoreType, batch int64) *vmState {
 	candidates := make([]*vmState, 0, len(m.vmOrder))
 	ents := make([]policy.Entity, 0, len(m.vmOrder))
@@ -869,6 +896,10 @@ func (m *Manager) selectVictimVM(st cgroup.StoreType, batch int64) *vmState {
 	return candidates[i]
 }
 
+// selectVictimPool picks the Algorithm 1 victim container within v.
+// Requires Manager.mu held for writing.
+//
+// ddlint:requires-lock mu
 func (m *Manager) selectVictimPool(v *vmState, st cgroup.StoreType, batch int64) *poolState {
 	candidates := make([]*poolState, 0, len(v.pools))
 	ents := make([]policy.Entity, 0, len(v.pools))

@@ -8,6 +8,7 @@ import (
 
 	"doubledecker/internal/cgroup"
 	"doubledecker/internal/cleancache"
+	"doubledecker/internal/wallclock"
 )
 
 // StressOptions configures RunStress, the concurrent mixed-workload driver
@@ -68,11 +69,11 @@ func (o *StressOptions) defaults() {
 
 // StressResult aggregates what the workers observed.
 type StressResult struct {
-	Ops      int64         // operations issued
-	GetHits  int64         // gets that hit
-	Puts     int64         // puts accepted
-	Wall     time.Duration // wall-clock time of the concurrent phase
-	PoolOps  int64         // create/destroy pairs from the churn workers
+	Ops     int64         // operations issued
+	GetHits int64         // gets that hit
+	Puts    int64         // puts accepted
+	Wall    time.Duration // wall-clock time of the concurrent phase
+	PoolOps int64         // create/destroy pairs from the churn workers
 }
 
 // OpsPerSec reports aggregate throughput over the concurrent phase.
@@ -110,7 +111,9 @@ func RunStress(m *Manager, o StressOptions) StressResult {
 		poolOps atomic.Int64
 		stop    atomic.Bool
 	)
-	start := time.Now()
+	// The concurrent phase is timed through the injectable wall clock, so
+	// tests can pin the source and make Wall (and OpsPerSec) reproducible.
+	elapsed := wallclock.Stopwatch()
 	for v := 0; v < o.VMs; v++ {
 		vm := cleancache.VMID(v + 1)
 		for w := 0; w < o.WorkersPerVM; w++ {
@@ -180,7 +183,7 @@ func RunStress(m *Manager, o StressOptions) StressResult {
 		Ops:     ops.Load(),
 		GetHits: hits.Load(),
 		Puts:    puts.Load(),
-		Wall:    time.Since(start),
+		Wall:    elapsed(),
 		PoolOps: poolOps.Load(),
 	}
 }

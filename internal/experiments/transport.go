@@ -15,6 +15,7 @@ import (
 	"doubledecker/internal/hypervisor"
 	"doubledecker/internal/metrics"
 	"doubledecker/internal/sim"
+	"doubledecker/internal/wallclock"
 )
 
 // transport scenario geometry: a 64 MiB file streamed through a 16 MiB
@@ -91,10 +92,13 @@ func runTransportMode(o Opts, label string, unbatched bool) TransportModeResult 
 		}
 	})
 
-	wallStart := time.Now()
+	// Host wall time for the WallNSPerOp throughput figure comes from the
+	// injectable wall clock: virtual time stays on engine.Now(), and tests
+	// can pin the source to make even this field deterministic.
+	elapsed := wallclock.Stopwatch()
 	engine.Run(o.scaled(trDuration))
 	vm.Front().FlushTransport(engine.Now())
-	wall := time.Since(wallStart)
+	wall := elapsed()
 
 	st := host.Transport(1).Stats()
 	res := TransportModeResult{

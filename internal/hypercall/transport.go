@@ -75,14 +75,17 @@ type Transport struct {
 	reg    *metrics.Registry
 	prefix string
 
+	// mu guards the ring and the traffic counters below. ch is set once at
+	// construction and read without the lock (Channel()); the Channel is
+	// internally consistent on its own.
 	mu   sync.Mutex
 	ch   *Channel
-	ring *Ring
+	ring *Ring // ddlint:guarded-by mu
 
 	unbatched  bool
-	batches    int64
-	batchedOps int64
-	syncOps    int64
+	batches    int64 // ddlint:guarded-by mu
+	batchedOps int64 // ddlint:guarded-by mu
+	syncOps    int64 // ddlint:guarded-by mu
 }
 
 var _ cleancache.Transport = (*Transport)(nil)
@@ -189,7 +192,7 @@ func (t *Transport) drainLocked(now time.Duration) time.Duration {
 		t.reg.Counter(t.prefix + ".batches").Inc()
 		t.reg.Counter(t.prefix + ".batched_ops").Add(int64(ops))
 		t.reg.Counter(t.prefix + ".batch_pages").Add(int64(t.ring.Pages()))
-		t.reg.Series(t.prefix + ".batch_ops").Record(now, float64(ops))
+		t.reg.Series(t.prefix+".batch_ops").Record(now, float64(ops))
 	}
 	acc := lat
 	t.ring.Drain(func(req cleancache.Request) {

@@ -1,0 +1,147 @@
+// Package analysistest runs a ddlint analyzer over fixture packages and
+// checks its diagnostics against // want "regexp" comments, following the
+// conventions of golang.org/x/tools/go/analysis/analysistest (which this
+// stdlib-only harness substitutes for): fixtures live under
+// testdata/src/<pkg>, and every diagnostic must be matched by a want
+// expectation on its line, and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"doubledecker/internal/lint"
+)
+
+// TestDataDir returns the conventional fixture root, ./testdata.
+func TestDataDir(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return abs
+}
+
+// expectation is one // want "re" directive.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package from testdata/src/<pkg>, applies the
+// analyzer, and reports mismatches between diagnostics and // want
+// comments through t.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := lint.NewDirLoader(filepath.Join(testdata, "src"))
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Errorf("loading fixture %q: %v", pkgPath, err)
+			continue
+		}
+		expects, err := parseExpectations(loader, pkg)
+		if err != nil {
+			t.Errorf("fixture %q: %v", pkgPath, err)
+			continue
+		}
+		diags := lint.Analyze(pkg, loader, []*lint.Analyzer{a})
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			if !match(expects, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			}
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+			}
+		}
+	}
+}
+
+func match(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE locates a want directive; the quoted patterns that follow are
+// parsed by parseQuoted.
+var wantRE = regexp.MustCompile("want\\s+([\"`].*)$")
+
+func parseExpectations(loader *lint.Loader, pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				patterns, err := parseQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want directive: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseQuoted splits `"a" "b"` (or backquoted patterns) into its
+// Go-unquoted segments. Text after the last pattern (prose trailing the
+// directive) is ignored, matching x/tools analysistest.
+func parseQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" || (s[0] != '"' && s[0] != '`') {
+			if len(out) == 0 {
+				return nil, fmt.Errorf("expected quoted pattern at %q", s)
+			}
+			return out, nil
+		}
+		quote := s[0]
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return nil, fmt.Errorf("unterminated pattern %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		s = s[end+1:]
+	}
+}

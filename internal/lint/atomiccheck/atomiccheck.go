@@ -1,0 +1,211 @@
+// Package atomiccheck enforces all-or-nothing atomicity per field: a
+// struct field (or package/function-level variable) that is accessed
+// through sync/atomic functions anywhere in the package must never be
+// read or written with plain loads/stores elsewhere — mixing the two is
+// a data race the race detector only catches when both sides happen to
+// run under test. Fields declared with the modern atomic types
+// (atomic.Int64, atomic.Bool, ...) are method-only by construction, so
+// for them the analyzer bans value copies instead (copying tears the
+// counter out of the shared location; go vet's copylocks catches only
+// some spellings).
+//
+// An intentional exception is waived with // ddlint:atomic-ok on the
+// offending line.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"doubledecker/internal/lint"
+)
+
+// Analyzer is the atomiccheck pass.
+var Analyzer = &lint.Analyzer{
+	Name: "atomiccheck",
+	Doc:  "fields touched via sync/atomic must not also be accessed with plain loads/stores; atomic.* typed fields must not be copied",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	c := &checker{pass: pass, legacy: make(map[*types.Var]ast.Node)}
+	// Pass 1: find every &x handed to a sync/atomic function.
+	pass.Inspect(c.collectLegacy)
+	// Pass 2: flag plain accesses of those objects, and copies of
+	// atomic.*-typed fields.
+	for _, f := range pass.Files {
+		c.waived = lint.MarkerLines(pass.Fset, f, "atomic-ok")
+		c.checkFile(f)
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *lint.Pass
+	legacy map[*types.Var]ast.Node // object -> first atomic access site
+	waived map[int]bool            // lines with ddlint:atomic-ok
+}
+
+// collectLegacy records objects whose address is passed to a sync/atomic
+// package function (atomic.AddInt64(&s.n, 1) and friends).
+func (c *checker) collectLegacy(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || !c.isAtomicCall(call) {
+		return true
+	}
+	for _, arg := range call.Args {
+		unary, ok := arg.(*ast.UnaryExpr)
+		if !ok || unary.Op.String() != "&" {
+			continue
+		}
+		if v := c.objectOf(unary.X); v != nil {
+			if _, seen := c.legacy[v]; !seen {
+				c.legacy[v] = arg
+			}
+		}
+	}
+	return true
+}
+
+// checkFile walks one file with a parent stack, classifying every use of
+// a tracked object by its syntactic context.
+func (c *checker) checkFile(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			c.checkUse(n, n.Sel, stack)
+		case *ast.Ident:
+			// Bare idents cover local/package-level vars; struct fields
+			// always appear via selectors (composite-literal keys are
+			// idents but are definitions of initial value, not racy
+			// shared access, and locals at their declaration site are
+			// filtered by Uses).
+			if len(stack) >= 2 {
+				if _, isSel := stack[len(stack)-2].(*ast.SelectorExpr); isSel {
+					return true // handled by the selector case
+				}
+			}
+			c.checkUse(n, n, stack)
+		}
+		return true
+	})
+}
+
+// checkUse validates one appearance of expr (whose name ident is id).
+func (c *checker) checkUse(expr ast.Expr, id *ast.Ident, stack []ast.Node) {
+	v := c.objectOf(expr)
+	if v == nil {
+		return
+	}
+	line := c.pass.Fset.Position(id.Pos()).Line
+	if c.waived[line] {
+		return
+	}
+	if first, isLegacy := c.legacy[v]; isLegacy {
+		if c.inAtomicAddressOf(stack) {
+			return
+		}
+		firstPos := c.pass.Fset.Position(first.Pos())
+		c.pass.Reportf(id.Pos(), "plain access to %s, which is accessed with sync/atomic at %s:%d; "+
+			"use atomic operations everywhere (or waive with // ddlint:atomic-ok)",
+			v.Name(), firstPos.Filename, firstPos.Line)
+		return
+	}
+	if isAtomicType(v.Type()) && !c.inMethodOrAddressContext(stack) {
+		c.pass.Reportf(id.Pos(), "copy of atomic value %s (%s); call its methods or take its address instead",
+			v.Name(), v.Type().String())
+	}
+}
+
+// objectOf resolves a selector or ident to the variable it denotes:
+// struct fields via Selections, plain variables via Uses.
+func (c *checker) objectOf(expr ast.Expr) *types.Var {
+	switch expr := expr.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := c.pass.TypesInfo.Selections[expr]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := sel.Obj().(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := c.pass.TypesInfo.Uses[expr].(*types.Var)
+		if v != nil && v.IsField() {
+			return nil // composite-literal key
+		}
+		return v
+	}
+	return nil
+}
+
+// inAtomicAddressOf reports whether the innermost expression sits in
+// &x as an argument of a sync/atomic call.
+func (c *checker) inAtomicAddressOf(stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	unary, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && c.isAtomicCall(call)
+}
+
+// inMethodOrAddressContext reports whether an atomic-typed value is used
+// safely: as the receiver of a method call/value (x.n.Load()), behind an
+// address-of, or merely as the base of a longer selector path.
+func (c *checker) inMethodOrAddressContext(stack []ast.Node) bool {
+	self := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.SelectorExpr:
+			if parent.X != self {
+				return true // we are the Sel of an enclosing selector; judged there
+			}
+			if sel, ok := c.pass.TypesInfo.Selections[parent]; ok &&
+				(sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr) {
+				return true
+			}
+			self = parent
+		case *ast.UnaryExpr:
+			return parent.Op.String() == "&"
+		case *ast.ParenExpr:
+			self = parent
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function.
+func (c *checker) isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isAtomicType reports whether t is one of the sync/atomic value types.
+func isAtomicType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), atomiccheck.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // accessed via sync/atomic in Inc; plain access is a race
+	total atomic.Int64
+	name  string
+}
+
+func (c *counters) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) Load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) Bad() int64 {
+	return c.hits // want `plain access to hits`
+}
+
+func (c *counters) BadWrite() {
+	c.hits = 0 // want `plain access to hits`
+}
+
+func (c *counters) Waived() int64 {
+	return c.hits // ddlint:atomic-ok — only called before the workers start
+}
+
+func (c *counters) GoodTotal() int64 {
+	return c.total.Load()
+}
+
+func (c *counters) CopyTotal() int64 {
+	t := c.total // want `copy of atomic value total`
+	return t.Load()
+}
+
+func (c *counters) PointerTotal() *atomic.Int64 {
+	return &c.total // taking the address shares, not copies
+}
+
+func (c *counters) Name() string {
+	return c.name // untracked fields are unrestricted
+}
+
+type plain struct {
+	n int64
+}
+
+func (p *plain) Inc() {
+	p.n++ // never touched by sync/atomic anywhere: fine
+}

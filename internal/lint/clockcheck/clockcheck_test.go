@@ -1,0 +1,13 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/clockcheck"
+)
+
+func TestClockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), clockcheck.Analyzer,
+		"a", "stress", "cmd/tool")
+}

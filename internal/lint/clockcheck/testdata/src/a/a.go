@@ -1,0 +1,21 @@
+package a
+
+import "time"
+
+func busy() {}
+
+func bad() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	busy()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func timers() {
+	<-time.After(time.Millisecond)          // want `time\.After reads the wall clock`
+	_ = time.NewTicker(time.Second)         // want `time\.NewTicker reads the wall clock`
+	time.AfterFunc(time.Second, func() {})  // want `time\.AfterFunc reads the wall clock`
+	_ = time.Until(time.Time{})             // want `time\.Until reads the wall clock`
+	time.Sleep(time.Millisecond)            // Sleep consumes a duration; it cannot leak wall time into timestamps
+	_ = time.Duration(3) * time.Millisecond // plain arithmetic is fine
+	_ = time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,7 @@
+// ddlint:allow-wallclock — this fixture file is the designated wall-clock
+// shim, mirroring internal/wallclock.
+package a
+
+import "time"
+
+func wallNow() time.Time { return time.Now() }

@@ -1,0 +1,13 @@
+// Command tool lives under a cmd/ directory, which is allowlisted: CLI
+// entry points legitimately report wall time.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,182 @@
+// Package lint is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: enough driver, loader and annotation
+// machinery to run the project-specific ddlint analyzers (lockcheck,
+// opswitch, atomiccheck, clockcheck) over the module. The x/tools
+// framework itself is deliberately not imported — the repo builds with
+// the standard library only — but the shapes (Analyzer, Pass, Reportf,
+// analysistest-style fixtures) mirror it so the analyzers could be
+// ported to a real multichecker mechanically.
+//
+// # Annotation grammar
+//
+// ddlint reads machine-checkable contracts from comments:
+//
+//	// ddlint:requires-lock <mu>   (func doc) caller must hold <mu>
+//	// ddlint:guarded-by <mu>      (struct field) access requires <mu>
+//	// ddlint:exhaustive           (type decl) switches must cover all consts
+//	// ddlint:nonexhaustive        (switch/default) waive exhaustiveness
+//	// ddlint:allow-wallclock      (anywhere in file) waive the clock ban
+//	// ddlint:atomic-ok            (statement line) waive the atomic ban
+//
+// See DESIGN.md §8 for the invariants behind each analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass provides one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// loader gives access to the syntax of dependency packages loaded
+	// from source (module-internal packages and fixtures), so analyzers
+	// can read annotations on imported declarations.
+	loader *Loader
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FilesFor returns the parsed syntax of pkg when it was loaded from
+// source by this run's loader (module packages and test fixtures), or
+// nil for export-only packages (the standard library).
+func (p *Pass) FilesFor(pkg *types.Package) []*ast.File {
+	if pkg == p.Pkg {
+		return p.Files
+	}
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.filesFor(pkg)
+}
+
+// Inspect walks every file of the pass in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// --- annotation helpers -----------------------------------------------------
+
+// marker is the comment prefix introducing every ddlint annotation.
+const marker = "ddlint:"
+
+// Annotation returns the arguments of every "ddlint:<name>" annotation in
+// the comment group, e.g. Annotation(doc, "requires-lock") == ["mu"] for a
+// doc containing "// ddlint:requires-lock mu".
+func Annotation(doc *ast.CommentGroup, name string) []string {
+	var out []string
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimLeft(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"), " \t")
+		if !strings.HasPrefix(text, marker+name) {
+			continue
+		}
+		rest := strings.TrimPrefix(text, marker+name)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // longer annotation name, e.g. nonexhaustive vs non
+		}
+		out = append(out, strings.TrimSpace(strings.TrimSuffix(rest, "*/")))
+	}
+	return out
+}
+
+// HasAnnotation reports whether the comment group carries the annotation.
+func HasAnnotation(doc *ast.CommentGroup, name string) bool {
+	return Annotation(doc, name) != nil
+}
+
+// MarkerLines returns the set of lines on which file carries the given
+// ddlint annotation, whether or not the comment is attached to a node.
+// Callers use it to associate waiver markers (ddlint:nonexhaustive,
+// ddlint:atomic-ok) with the statement on or above the marked line.
+func MarkerLines(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker+name) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// FileHasMarker reports whether any comment in file carries the marker.
+func FileHasMarker(file *ast.File, name string) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker+name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the innermost function declaration containing pos.
+func EnclosingFunc(files []*ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// SortDiagnostics orders diagnostics by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages from source. Module-internal
+// import paths are resolved to directories via the resolve hook and
+// type-checked recursively (with memoization, so every package in a run
+// shares one types.Package per import path — object identities line up
+// across passes); everything else (the standard library) is delegated to
+// the compiler's source importer, which works without network access or
+// pre-built export data.
+type Loader struct {
+	Fset    *token.FileSet
+	resolve func(path string) (dir string, ok bool)
+	std     types.Importer
+	pkgs    map[string]*loadEntry
+	byTypes map[*types.Package][]*ast.File
+}
+
+type loadEntry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewModuleLoader returns a loader rooted at a module directory: import
+// paths equal to or below modPath resolve into root.
+func NewModuleLoader(root, modPath string) *Loader {
+	l := newLoader()
+	l.resolve = func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	return l
+}
+
+// NewDirLoader returns a loader for fixture trees (analysistest layout):
+// import path "a" resolves to srcRoot/a.
+func NewDirLoader(srcRoot string) *Loader {
+	l := newLoader()
+	l.resolve = func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	return l
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*loadEntry),
+		byTypes: make(map[*types.Package][]*ast.File),
+	}
+}
+
+// Load parses and type-checks the package at the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("cannot resolve import path %q", path)
+	}
+	return l.loadDir(dir, path)
+}
+
+// LoadDir parses and type-checks the package in dir, registering it
+// under importPath.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if e, ok := l.pkgs[importPath]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %q", importPath)
+		}
+		return e.pkg, e.err
+	}
+	return l.loadDir(dir, importPath)
+}
+
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	e := &loadEntry{loading: true}
+	l.pkgs[importPath] = e
+	pkg, err := l.typeCheck(dir, importPath)
+	e.pkg, e.err, e.loading = pkg, err, false
+	return pkg, err
+}
+
+// ErrNoGoFiles reports a directory with nothing to analyze.
+var ErrNoGoFiles = fmt.Errorf("no non-test Go files")
+
+func (l *Loader) typeCheck(dir, importPath string) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: %w", dir, ErrNoGoFiles)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importFor),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	l.byTypes[tpkg] = files
+	return &Package{PkgPath: importPath, Dir: dir, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// importFor satisfies the type-checker's importer interface: module and
+// fixture paths load from source through this loader, the rest through
+// the standard library's source importer.
+func (l *Loader) importFor(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.resolve(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) filesFor(pkg *types.Package) []*ast.File {
+	return l.byTypes[pkg]
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// goFileNames lists the buildable non-test Go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// FindModuleRoot walks upward from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

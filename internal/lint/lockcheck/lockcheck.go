@@ -1,0 +1,293 @@
+// Package lockcheck enforces the cache store's lock-holding conventions
+// mechanically (the PR 1 contract that previously lived only in prose):
+//
+//   - A function whose name ends in "Locked", or whose doc comment carries
+//     // ddlint:requires-lock <mu>, may only be called by a caller that
+//     demonstrably holds the lock: the caller acquires <mu>.Lock() or
+//     <mu>.RLock() (sync.Mutex/RWMutex methods) earlier in its body, is
+//     itself a *Locked function, or is annotated ddlint:requires-lock.
+//   - A struct field annotated // ddlint:guarded-by <mu> may only be read
+//     or written from such lock-holding functions.
+//
+// The check is lexical within one function body (an acquire anywhere
+// before the use counts; unlocks are not tracked), which matches how the
+// repo writes critical sections: Lock/defer Unlock at the top, or
+// explicit Lock/Unlock pairs around a block. Lock identity is matched by
+// mutex field name (e.g. "mu", "dedupMu"), which is exactly the
+// granularity of the documented hierarchy: Manager.mu and vmState.mu are
+// both named mu and both protect the structures the annotation guards.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"doubledecker/internal/lint"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &lint.Analyzer{
+	Name: "lockcheck",
+	Doc:  "calls to *Locked/ddlint:requires-lock functions and accesses to ddlint:guarded-by fields must hold the named mutex",
+	Run:  run,
+}
+
+// requirement describes the locks a function demands from its caller.
+type requirement struct {
+	names    []string // specific mutex field names (ddlint:requires-lock)
+	wildcard bool     // *Locked suffix: some lock, name unspecified
+}
+
+func (r requirement) empty() bool { return !r.wildcard && len(r.names) == 0 }
+
+// lockEvent is one mutex acquisition inside a function body.
+type lockEvent struct {
+	name string // mutex field/variable name, e.g. "mu"
+	pos  token.Pos
+}
+
+type checker struct {
+	pass *lint.Pass
+	// reqCache memoizes per-callee requirements, including callees in
+	// other source-loaded packages (annotations are read from their
+	// syntax trees).
+	reqCache map[*types.Func]requirement
+	// guardCache memoizes per-field guard annotations.
+	guardCache map[*types.Var][]string
+	// locks memoizes lock acquisitions per enclosing declaration.
+	locks map[*ast.FuncDecl][]lockEvent
+}
+
+func run(pass *lint.Pass) error {
+	c := &checker{
+		pass:       pass,
+		reqCache:   make(map[*types.Func]requirement),
+		guardCache: make(map[*types.Var][]string),
+		locks:      make(map[*ast.FuncDecl][]lockEvent),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				c.checkCall(n)
+			case *ast.SelectorExpr:
+				c.checkFieldAccess(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall verifies lock possession at a call to a lock-requiring
+// function.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := c.callee(call)
+	if fn == nil {
+		return
+	}
+	req := c.requirementOf(fn)
+	if req.empty() {
+		return
+	}
+	caller := lint.EnclosingFunc(c.pass.Files, call.Pos())
+	if !c.satisfies(caller, call.Pos(), req) {
+		c.pass.Reportf(call.Pos(), "call to %s requires %s: acquire it before the call, "+
+			"suffix the caller with Locked, or annotate it // ddlint:requires-lock",
+			fn.Name(), describe(req))
+	}
+}
+
+// checkFieldAccess verifies lock possession at a guarded field use.
+func (c *checker) checkFieldAccess(sel *ast.SelectorExpr) {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guards := c.guardsOf(field)
+	if len(guards) == 0 {
+		return
+	}
+	fn := lint.EnclosingFunc(c.pass.Files, sel.Pos())
+	req := requirement{names: guards}
+	if !c.satisfies(fn, sel.Pos(), req) {
+		c.pass.Reportf(sel.Sel.Pos(), "access to %s (ddlint:guarded-by %s) requires %s held",
+			field.Name(), strings.Join(guards, " "), describe(req))
+	}
+}
+
+// satisfies reports whether fn demonstrably holds every lock of req at
+// pos: by its own requirement annotations (its callers are then checked
+// in turn), or by acquiring the mutex earlier in its body.
+func (c *checker) satisfies(fn *ast.FuncDecl, pos token.Pos, req requirement) bool {
+	if fn == nil {
+		return false
+	}
+	var own requirement
+	if obj, ok := c.pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		own = c.requirementOf(obj)
+	}
+	if own.wildcard {
+		// A *Locked function inherits its caller's obligations wholesale.
+		return true
+	}
+	events := c.lockEventsOf(fn)
+	holds := func(name string) bool {
+		for _, held := range own.names {
+			if held == name {
+				return true
+			}
+		}
+		for _, ev := range events {
+			if ev.pos < pos && (ev.name == name || name == "") {
+				return true
+			}
+		}
+		return false
+	}
+	if req.wildcard {
+		return len(own.names) > 0 || holds("")
+	}
+	for _, name := range req.names {
+		if !holds(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// callee resolves the static callee of a call, if it is a declared
+// function or method.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// requirementOf computes the locks fn demands from callers: the Locked
+// naming convention plus any ddlint:requires-lock annotations on its
+// declaration (looked up in the defining package's syntax, which is
+// available for every module package in the run).
+func (c *checker) requirementOf(fn *types.Func) requirement {
+	if req, ok := c.reqCache[fn]; ok {
+		return req
+	}
+	var req requirement
+	if strings.HasSuffix(fn.Name(), "Locked") {
+		req.wildcard = true
+	}
+	if decl := c.declOf(fn); decl != nil {
+		req.names = append(req.names, lint.Annotation(decl.Doc, "requires-lock")...)
+	}
+	c.reqCache[fn] = req
+	return req
+}
+
+// declOf finds fn's FuncDecl in its defining package's syntax, or nil
+// for functions whose source is not part of this run.
+func (c *checker) declOf(fn *types.Func) *ast.FuncDecl {
+	for _, f := range c.pass.FilesFor(fn.Pkg()) {
+		if fn.Pos() < f.Pos() || fn.Pos() > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// guardsOf returns the ddlint:guarded-by mutex names for a struct field,
+// read from the field's declaration in its defining package.
+func (c *checker) guardsOf(field *types.Var) []string {
+	if g, ok := c.guardCache[field]; ok {
+		return g
+	}
+	var guards []string
+	for _, f := range c.pass.FilesFor(field.Pkg()) {
+		if field.Pos() < f.Pos() || field.Pos() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fl, ok := n.(*ast.Field)
+			if !ok || fl.Pos() > field.Pos() || field.Pos() > fl.End() {
+				return true
+			}
+			guards = append(guards, lint.Annotation(fl.Doc, "guarded-by")...)
+			guards = append(guards, lint.Annotation(fl.Comment, "guarded-by")...)
+			return true
+		})
+	}
+	c.guardCache[field] = guards
+	return guards
+}
+
+// lockEventsOf collects the mutex acquisitions in fn's body: calls to
+// Lock/RLock methods of sync.Mutex or sync.RWMutex, tagged with the name
+// of the field or variable holding the mutex.
+func (c *checker) lockEventsOf(fn *ast.FuncDecl) []lockEvent {
+	if evs, ok := c.locks[fn]; ok {
+		return evs
+	}
+	var evs []lockEvent
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		m, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || (m.Name() != "Lock" && m.Name() != "RLock") {
+			return true
+		}
+		if m.Pkg() == nil || m.Pkg().Path() != "sync" {
+			return true
+		}
+		evs = append(evs, lockEvent{name: mutexName(sel.X), pos: call.Pos()})
+		return true
+	})
+	c.locks[fn] = evs
+	return evs
+}
+
+// mutexName extracts the mutex's field or variable name from the
+// receiver expression of a Lock call: m.mu.Lock() and mu.Lock() both
+// yield "mu".
+func mutexName(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	case *ast.ParenExpr:
+		return mutexName(x.X)
+	default:
+		return ""
+	}
+}
+
+func describe(req requirement) string {
+	if len(req.names) > 0 {
+		return strings.Join(req.names, " and ") + " (Lock or RLock)"
+	}
+	return "the protecting mutex"
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), lockcheck.Analyzer, "a")
+}

@@ -1,0 +1,90 @@
+// Package a mirrors the ddcache.Manager locking conventions: a
+// store-level RWMutex guarding registries, a leaf mutex guarding a
+// side table, *Locked helpers, and annotated entitlement readers.
+package a
+
+import "sync"
+
+type Manager struct {
+	mu sync.RWMutex
+	// vms is the VM registry.
+	vms map[int]int // ddlint:guarded-by mu
+
+	dedupMu sync.Mutex
+	refs    map[int]int // ddlint:guarded-by dedupMu
+}
+
+func New() *Manager {
+	// Composite-literal keys initialize fields before the value is
+	// shared; they are not guarded accesses.
+	return &Manager{vms: make(map[int]int), refs: make(map[int]int)}
+}
+
+func (m *Manager) Register(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerLocked(id)
+}
+
+func (m *Manager) registerLocked(id int) {
+	m.vms[id] = id // fine: *Locked functions inherit the caller's locks
+}
+
+func (m *Manager) BadCall(id int) {
+	m.registerLocked(id) // want `call to registerLocked requires`
+}
+
+func (m *Manager) BadRead() int {
+	return len(m.vms) // want `access to vms \(ddlint:guarded-by mu\)`
+}
+
+func (m *Manager) GoodRead() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.vms)
+}
+
+// entitlement reads the registry on behalf of locked callers.
+// ddlint:requires-lock mu
+func (m *Manager) entitlement(id int) int { return m.vms[id] }
+
+func (m *Manager) GoodAnnotatedCall(id int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.entitlement(id)
+}
+
+// chained is itself annotated, so calling entitlement is fine: the
+// obligation propagates to chained's callers.
+// ddlint:requires-lock mu
+func (m *Manager) chained(id int) int { return m.entitlement(id) }
+
+func (m *Manager) BadAnnotatedCall(id int) int {
+	return m.entitlement(id) // want `call to entitlement requires mu`
+}
+
+func (m *Manager) WrongLock(id int) int {
+	m.dedupMu.Lock()
+	defer m.dedupMu.Unlock()
+	return m.entitlement(id) // want `call to entitlement requires mu`
+}
+
+func (m *Manager) Release(id int) {
+	m.dedupMu.Lock()
+	defer m.dedupMu.Unlock()
+	delete(m.refs, id)
+}
+
+func (m *Manager) BadLeafRead(id int) int {
+	m.mu.RLock() // the store lock is not the leaf lock
+	defer m.mu.RUnlock()
+	return m.refs[id] // want `access to refs \(ddlint:guarded-by dedupMu\)`
+}
+
+func (m *Manager) BothLocks(id int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	m.dedupMu.Lock()
+	defer m.dedupMu.Unlock()
+	return m.vms[id] + m.refs[id]
+}

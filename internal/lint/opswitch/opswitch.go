@@ -1,0 +1,156 @@
+// Package opswitch enforces exhaustive switches over annotated enum
+// types. A type declared with a // ddlint:exhaustive annotation (notably
+// cleancache.OpCode, and cgroup.StoreType) promises that every switch
+// over a value of that type either handles all of the constants declared
+// for it in its defining package, or carries an explicit default clause
+// together with a // ddlint:nonexhaustive marker. Adding a tenth op code
+// then breaks the build of every dispatch, codec and metrics switch that
+// silently ignored it, instead of silently no-opping at run time.
+package opswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"doubledecker/internal/lint"
+)
+
+// Analyzer is the opswitch pass.
+var Analyzer = &lint.Analyzer{
+	Name: "opswitch",
+	Doc:  "switches over ddlint:exhaustive enum types must cover every constant or be marked ddlint:nonexhaustive",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		markers := lint.MarkerLines(pass.Fset, f, "nonexhaustive")
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw, markers)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *lint.Pass, sw *ast.SwitchStmt, markers map[int]bool) {
+	tagType := pass.TypesInfo.Types[sw.Tag].Type
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	if !isExhaustiveType(pass, named) {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) == 0 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			if tv := pass.TypesInfo.Types[expr]; tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+
+	if defaultClause != nil && hasWaiver(pass, markers, sw, defaultClause) {
+		return
+	}
+	typeName := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	pass.Reportf(sw.Pos(), "switch over %s is missing cases %s; handle them, or add a "+
+		"default clause marked // ddlint:nonexhaustive", typeName, strings.Join(missing, ", "))
+}
+
+// hasWaiver reports whether a ddlint:nonexhaustive marker sits on (or one
+// line above) the switch statement or its default clause.
+func hasWaiver(pass *lint.Pass, markers map[int]bool, sw *ast.SwitchStmt, def *ast.CaseClause) bool {
+	for _, pos := range []int{
+		pass.Fset.Position(sw.Pos()).Line,
+		pass.Fset.Position(sw.Pos()).Line - 1,
+		pass.Fset.Position(def.Pos()).Line,
+		pass.Fset.Position(def.Pos()).Line - 1,
+	} {
+		if markers[pos] {
+			return true
+		}
+	}
+	return false
+}
+
+// isExhaustiveType reports whether the named type's declaration carries
+// the ddlint:exhaustive annotation. The declaring package's syntax is
+// available for every package loaded from source in this run; stdlib
+// (export-only) packages never participate.
+func isExhaustiveType(pass *lint.Pass, named *types.Named) bool {
+	files := pass.FilesFor(named.Obj().Pkg())
+	name := named.Obj().Name()
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				return lint.HasAnnotation(gd.Doc, "exhaustive") ||
+					lint.HasAnnotation(ts.Doc, "exhaustive") ||
+					lint.HasAnnotation(ts.Comment, "exhaustive")
+			}
+		}
+	}
+	return false
+}
+
+// enumConstants returns the constants of exactly the named type declared
+// at package scope in its defining package, in declaration order.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if c.Val().Kind() == constant.Unknown {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

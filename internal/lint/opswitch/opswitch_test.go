@@ -1,0 +1,13 @@
+package opswitch_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/opswitch"
+)
+
+func TestOpswitch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), opswitch.Analyzer,
+		"a", "uses")
+}

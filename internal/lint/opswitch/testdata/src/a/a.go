@@ -1,0 +1,107 @@
+package a
+
+import "fmt"
+
+// OpCode mirrors the real cleancache.OpCode enum: annotated, so every
+// switch over it must be exhaustive or carry an explicit waiver.
+// ddlint:exhaustive
+type OpCode uint8
+
+// The op set.
+const (
+	OpGet OpCode = iota + 1
+	OpPut
+	OpFlushPage
+	OpFlushInode
+
+	opCount = int(OpFlushInode) // not an OpCode; excluded from the enum
+)
+
+func full(op OpCode) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpFlushPage:
+		return "flush_page"
+	case OpFlushInode:
+		return "flush_inode"
+	}
+	return ""
+}
+
+// fullWithDefault covers everything; the default needs no marker.
+func fullWithDefault(op OpCode) string {
+	switch op {
+	case OpGet, OpPut:
+		return "data"
+	case OpFlushPage, OpFlushInode:
+		return "flush"
+	default:
+		return fmt.Sprintf("OpCode(%d)", int(op))
+	}
+}
+
+// missing reproduces a dispatch switch after someone deletes a case:
+// the tenth op would silently no-op.
+func missing(op OpCode) string {
+	switch op { // want `switch over a\.OpCode is missing cases OpFlushInode`
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpFlushPage:
+		return "flush_page"
+	}
+	return ""
+}
+
+// defaulted has a default but no waiver marker, so the gap is still an
+// error: the author never said the omission was deliberate.
+func defaulted(op OpCode) string {
+	switch op { // want `missing cases OpPut, OpFlushPage, OpFlushInode`
+	case OpGet:
+		return "get"
+	default:
+		return "other"
+	}
+}
+
+// waived mirrors OpCode.Batchable: deliberately partial, and says so.
+func waived(op OpCode) bool {
+	// ddlint:nonexhaustive — only puts and flushes are batchable
+	switch op {
+	case OpPut, OpFlushPage:
+		return true
+	default:
+		return false
+	}
+}
+
+// waivedOnDefault puts the marker on the default clause instead.
+func waivedOnDefault(op OpCode) int {
+	switch op {
+	case OpGet:
+		return 1
+	default: // ddlint:nonexhaustive
+		return 0
+	}
+}
+
+// Plain is not annotated; partial switches over it are fine.
+type Plain int
+
+// Plain values.
+const (
+	PA Plain = iota
+	PB
+)
+
+func plain(p Plain) int {
+	switch p {
+	case PA:
+		return 0
+	}
+	return 1
+}

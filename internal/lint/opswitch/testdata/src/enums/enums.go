@@ -1,0 +1,15 @@
+// Package enums exports an annotated enum for the cross-package test:
+// the annotation is read from this package's syntax when another package
+// switches over the type.
+package enums
+
+// Mode selects a cache mode.
+// ddlint:exhaustive
+type Mode int
+
+// Modes.
+const (
+	ModeDD Mode = iota + 1
+	ModeGlobal
+	ModeMorai
+)

@@ -1,0 +1,21 @@
+package uses
+
+import "enums"
+
+func name(m enums.Mode) string {
+	switch m { // want `switch over enums\.Mode is missing cases ModeMorai`
+	case enums.ModeDD:
+		return "doubledecker"
+	case enums.ModeGlobal:
+		return "global"
+	}
+	return ""
+}
+
+func ok(m enums.Mode) bool {
+	switch m {
+	case enums.ModeDD, enums.ModeGlobal, enums.ModeMorai:
+		return true
+	}
+	return false
+}

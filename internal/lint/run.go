@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Run is the multichecker driver: it expands patterns (Go-style, with
+// "..." wildcards) into package directories relative to dir, loads and
+// type-checks each package once, applies every analyzer, and writes
+// file:line:col diagnostics to w. It returns the number of diagnostics.
+func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns []string) (int, error) {
+	root, modPath, err := FindModuleRoot(dir)
+	if err != nil {
+		return 0, err
+	}
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	loader := NewModuleLoader(root, modPath)
+
+	var diags []Diagnostic
+	for _, pkgDir := range dirs {
+		importPath, err := dirImportPath(root, modPath, pkgDir)
+		if err != nil {
+			return 0, err
+		}
+		pkg, err := loader.LoadDir(pkgDir, importPath)
+		if errors.Is(err, ErrNoGoFiles) {
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		diags = append(diags, Analyze(pkg, loader, analyzers)...)
+	}
+
+	SortDiagnostics(loader.Fset, diags)
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return len(diags), nil
+}
+
+// Analyze applies every analyzer to one loaded package.
+func Analyze(pkg *Package, loader *Loader, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			loader:    loader,
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{Pos: pkg.Files[0].Pos(), Analyzer: a.Name,
+				Message: fmt.Sprintf("analyzer failed: %v", err)})
+			continue
+		}
+		diags = append(diags, pass.diagnostics...)
+	}
+	return diags
+}
+
+// expandPatterns turns CLI patterns into a deduplicated list of package
+// directories. "./..." (or any prefix ending in "/...") walks the tree,
+// skipping testdata, hidden and underscore directories; a plain pattern
+// names one directory. Explicitly named directories are never skipped,
+// so `ddlint ./testdata/bad` works in the lint tool's own tests.
+func expandPatterns(dir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "..." {
+			pat = "./..."
+		}
+		base, wild := strings.CutSuffix(pat, "/...")
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		if !wild {
+			if st, err := os.Stat(base); err != nil || !st.IsDir() {
+				return nil, fmt.Errorf("pattern %q: not a directory", pat)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			if names, err := goFileNames(path); err == nil && len(names) > 0 {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// dirImportPath maps a package directory to its import path within the
+// module. Directories outside the module root (or under testdata, which
+// go tooling excludes from the module) get a synthetic rooted path so
+// the type-checker still sees a unique package path.
+func dirImportPath(root, modPath, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "ddlint.invalid/" + filepath.ToSlash(abs), nil
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}

@@ -1,0 +1,60 @@
+// Package wallclock is the repository's single sanctioned wall-clock
+// source for library code. Simulated components must never read the host
+// clock (clockcheck enforces this), but a few drivers legitimately
+// measure real elapsed time — the RunStress concurrent phase, the
+// transport experiment's simulator-throughput figure. They take it from
+// here, through an injectable source, so tests can pin the clock and
+// make even the "wall time" fields of a run reproducible.
+//
+// ddlint:allow-wallclock — this file is the allowlisted clock shim.
+package wallclock
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu sync.Mutex
+	// src is the active time source; nil selects the host clock.
+	src func() time.Time // ddlint:guarded-by mu
+)
+
+// Now returns the current time from the active source.
+func Now() time.Time {
+	mu.Lock()
+	defer mu.Unlock()
+	if src != nil {
+		return src()
+	}
+	return time.Now()
+}
+
+// SetSource replaces the time source (nil restores the host clock) and
+// returns a function restoring the previous source. Tests use it to make
+// wall-time measurements deterministic:
+//
+//	defer wallclock.SetSource(fake.Now)()
+func SetSource(f func() time.Time) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := src
+	src = f
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		src = prev
+	}
+}
+
+// Stopwatch starts measuring and returns a function reporting the
+// elapsed time since the call — the idiom replacing the banned
+// start := time.Now() / time.Since(start) pair:
+//
+//	elapsed := wallclock.Stopwatch()
+//	...
+//	wall := elapsed()
+func Stopwatch() func() time.Duration {
+	start := Now()
+	return func() time.Duration { return Now().Sub(start) }
+}
