@@ -8,10 +8,15 @@
 //	ddbench [-quick] all
 //	ddbench -parallel N
 //	ddbench [-quick] -transportjson BENCH_transport.json
+//	ddbench [-quick] -faultjson BENCH_fault.json
 //
 // -transportjson runs the batched-vs-unbatched hypercall transport
 // benchmark and writes machine-readable results (hypercalls/op, ns/op,
 // reduction factor) for CI perf tracking.
+//
+// -faultjson runs the SSD-stall robustness scenario healthy and under a
+// canned fault plan, and writes hit ratios, per-phase latencies and
+// breaker trip/restore counts for CI chaos tracking.
 //
 // -parallel N skips the experiments and instead drives the concurrent
 // stress workload (4 guest VMs, N goroutines each, mixed traffic with
@@ -45,6 +50,7 @@ func run(args []string) error {
 	stretch := fs.Float64("stretch", 0, "override duration stretch factor (0 = default)")
 	parallel := fs.Int("parallel", 0, "run the concurrent stress driver with N workers per VM and exit")
 	transportJSON := fs.String("transportjson", "", "write the transport benchmark as JSON to this file and exit")
+	faultJSON := fs.String("faultjson", "", "write the fault-injection benchmark as JSON to this file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +59,9 @@ func run(args []string) error {
 	}
 	if *transportJSON != "" {
 		return writeTransportJSON(*transportJSON, *seed, *quick, *stretch)
+	}
+	if *faultJSON != "" {
+		return writeFaultJSON(*faultJSON, *seed, *quick, *stretch)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -176,5 +185,77 @@ func writeTransportJSON(path string, seed int64, quick bool, stretch float64) er
 	fmt.Printf("wrote %s: %.1fx hypercall reduction (%d → %d) at hit %% %.1f/%.1f\n",
 		path, out.Reduction, b.Unbatched.Calls, b.Batched.Calls,
 		b.Unbatched.HitPct, b.Batched.HitPct)
+	return nil
+}
+
+// faultMode is the JSON shape of one fault-scenario run.
+type faultMode struct {
+	Run            string     `json:"run"`
+	VM1HitPct      float64    `json:"vm1_hit_pct"`
+	VM2HitPct      float64    `json:"vm2_hit_pct"`
+	VM1TickUS      [3]float64 `json:"vm1_tick_us"` // before/during/after stall
+	VM2TickUS      [3]float64 `json:"vm2_tick_us"`
+	Ticks          int64      `json:"ticks"`
+	NSPerTick      float64    `json:"ns_per_tick"`
+	BreakerState   string     `json:"breaker_state"`
+	BreakerTrips   int64      `json:"breaker_trips"`
+	BreakerProbes  int64      `json:"breaker_probes"`
+	BreakerRestore int64      `json:"breaker_restores"`
+	InjectedFaults int64      `json:"injected_faults"`
+}
+
+// writeFaultJSON runs the fault scenario and emits BENCH_fault.json-style
+// output: hit ratio and throughput with and without injected SSD
+// failures, plus breaker trip counts.
+func writeFaultJSON(path string, seed int64, quick bool, stretch float64) error {
+	opts := experiments.DefaultOpts()
+	if quick {
+		opts = experiments.QuickOpts()
+	}
+	opts.Seed = seed
+	if stretch > 0 {
+		opts.Stretch = stretch
+	}
+	b := experiments.FaultsBench(opts)
+	toMode := func(m experiments.FaultsModeResult) faultMode {
+		return faultMode{
+			Run:            m.Label,
+			VM1HitPct:      m.VM1HitPct,
+			VM2HitPct:      m.VM2HitPct,
+			VM1TickUS:      m.VM1TickUS,
+			VM2TickUS:      m.VM2TickUS,
+			Ticks:          m.Ticks,
+			NSPerTick:      m.WallNSPerTick,
+			BreakerState:   m.Breaker.State,
+			BreakerTrips:   m.Breaker.Trips,
+			BreakerProbes:  m.Breaker.Probes,
+			BreakerRestore: m.Breaker.Restores,
+			InjectedFaults: m.InjectedFaults,
+		}
+	}
+	out := struct {
+		Benchmark string      `json:"benchmark"`
+		Seed      int64       `json:"seed"`
+		Stretch   float64     `json:"stretch"`
+		Modes     []faultMode `json:"modes"`
+		VM1Impact float64     `json:"vm1_impact"`
+	}{
+		Benchmark: "faults",
+		Seed:      seed,
+		Stretch:   opts.Stretch,
+		Modes:     []faultMode{toMode(b.Healthy), toMode(b.Faulted)},
+		VM1Impact: b.VM1Impact,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: breaker trips %d, restores %d, vm2 hit %% %.1f → %.1f, vm1 impact %.2fx\n",
+		path, b.Faulted.Breaker.Trips, b.Faulted.Breaker.Restores,
+		b.Healthy.VM2HitPct, b.Faulted.VM2HitPct, b.VM1Impact)
 	return nil
 }

@@ -52,3 +52,39 @@ func (m *manager) record() {
 func (m *manager) Peek() (int, int64) {
 	return m.pools, m.hits // lockcheck + atomiccheck
 }
+
+// transport mirrors the hypercall.Transport retry-path shape added with
+// the fault-injection framework: mu-guarded retry counters mutated by a
+// requires-lock helper.
+type transport struct {
+	mu sync.Mutex
+	// ddlint:guarded-by mu
+	retries int64
+}
+
+// crossLocked mirrors hypercall.(*Transport).crossLocked: the delivery/
+// retry loop that must only run under mu.
+// ddlint:requires-lock mu
+func (t *transport) crossLocked() bool {
+	t.retries++
+	return true
+}
+
+// Deliver calls the retry loop without acquiring mu — the error-path
+// call-site shape lockcheck must keep rejecting.
+func (t *transport) Deliver() bool {
+	return t.crossLocked() // lockcheck: requires-lock callee, mu not held
+}
+
+// breaker mirrors the ddcache SSD circuit breaker's guarded state
+// machine.
+type breaker struct {
+	mu sync.Mutex
+	// ddlint:guarded-by mu
+	state int
+}
+
+// Tripped reads the breaker state without the lock.
+func (b *breaker) Tripped() bool {
+	return b.state != 0 // lockcheck: guarded breaker state, mu not held
+}

@@ -3,6 +3,11 @@
 // containers with <T, W> tuples and workloads. It prints per-container
 // throughput and cache statistics, plus optional occupancy samples.
 //
+// A scenario may also carry a "faults" block — a fault-injection plan
+// (see internal/fault) plus circuit-breaker tuning — in which case the
+// report appends the breaker's trip/restore counts and a per-site
+// injection summary.
+//
 // Usage:
 //
 //	ddsim -config scenario.json
@@ -20,6 +25,7 @@ import (
 	"doubledecker/internal/cleancache"
 	"doubledecker/internal/datastore"
 	"doubledecker/internal/ddcache"
+	"doubledecker/internal/fault"
 	"doubledecker/internal/guest"
 	"doubledecker/internal/hypervisor"
 	"doubledecker/internal/sim"
@@ -30,11 +36,26 @@ const mib = int64(1) << 20
 
 // Config is the top-level scenario description.
 type Config struct {
-	Seed            int64      `json:"seed"`
-	DurationSeconds int64      `json:"durationSeconds"`
-	SampleSeconds   int64      `json:"sampleSeconds"`
-	Host            HostConfig `json:"host"`
-	VMs             []VMConfig `json:"vms"`
+	Seed            int64         `json:"seed"`
+	DurationSeconds int64         `json:"durationSeconds"`
+	SampleSeconds   int64         `json:"sampleSeconds"`
+	Host            HostConfig    `json:"host"`
+	VMs             []VMConfig    `json:"vms"`
+	Faults          *FaultsConfig `json:"faults,omitempty"`
+}
+
+// FaultsConfig attaches a fault-injection plan to the scenario. Rules use
+// the internal/fault JSON encoding; timing fields are in nanoseconds of
+// virtual time as time.Duration decodes them. A zero plan seed inherits
+// the scenario seed. Breaker fields tune the SSD circuit breaker (zero
+// keeps the package defaults).
+type FaultsConfig struct {
+	Rules             []fault.Rule `json:"rules"`
+	PlanSeed          int64        `json:"planSeed,omitempty"`
+	BreakerThreshold  int          `json:"breakerThreshold,omitempty"`
+	BreakerWindowMs   int64        `json:"breakerWindowMs,omitempty"`
+	BreakerCooldownMs int64        `json:"breakerCooldownMs,omitempty"`
+	BreakerProbes     int          `json:"breakerProbes,omitempty"`
 }
 
 // HostConfig describes the hypervisor cache.
@@ -203,11 +224,27 @@ func simulate(cfg Config, out *os.File) error {
 	if cfg.Host.Mode == "global" {
 		mode = ddcache.ModeGlobal
 	}
-	host := hypervisor.New(engine, hypervisor.Config{
+	hcfg := hypervisor.Config{
 		Mode:          mode,
 		MemCacheBytes: cfg.Host.MemCacheMiB * mib,
 		SSDCacheBytes: cfg.Host.SSDCacheMiB * mib,
-	})
+	}
+	var inj *fault.Injector
+	if fc := cfg.Faults; fc != nil && len(fc.Rules) > 0 {
+		planSeed := fc.PlanSeed
+		if planSeed == 0 {
+			planSeed = cfg.Seed
+		}
+		inj = fault.New(fault.Plan{Seed: planSeed, Rules: fc.Rules})
+		hcfg.Faults = inj
+		hcfg.Breaker = ddcache.BreakerConfig{
+			Threshold: fc.BreakerThreshold,
+			Window:    time.Duration(fc.BreakerWindowMs) * time.Millisecond,
+			Cooldown:  time.Duration(fc.BreakerCooldownMs) * time.Millisecond,
+			Probes:    fc.BreakerProbes,
+		}
+	}
+	host := hypervisor.New(engine, hcfg)
 	type tracked struct {
 		vmID      int
 		container *guest.Container
@@ -266,6 +303,12 @@ func simulate(cfg Config, out *os.File) error {
 		fmt.Fprintf(out, "%-4d %12d %12d %14.3f %10d %12d\n",
 			vc.ID, st.Calls, ops, perOp, st.Batches, st.PagesCopied)
 	}
+	if inj != nil {
+		bs := host.Manager().SSDBreakerStats()
+		fmt.Fprintf(out, "\nssd circuit breaker: state %s, trips %d, probes %d, restores %d\n",
+			bs.State, bs.Trips, bs.Probes, bs.Restores)
+		fmt.Fprintf(out, "injected faults (%d total):\n%s", inj.Injected(fault.KindNone), inj.Summary())
+	}
 	return nil
 }
 
@@ -273,6 +316,14 @@ const exampleConfig = `{
   "seed": 42,
   "durationSeconds": 180,
   "host": {"mode": "dd", "memCacheMiB": 256, "ssdCacheMiB": 4096},
+  "faults": {
+    "rules": [
+      {"site": "host-ssd.*", "kind": "io-error", "prob": 0.02,
+       "from": 30000000000, "to": 60000000000}
+    ],
+    "breakerThreshold": 5, "breakerWindowMs": 1000,
+    "breakerCooldownMs": 2000, "breakerProbes": 3
+  },
   "vms": [
     {"id": 1, "memMiB": 512, "weight": 60, "containers": [
       {"name": "web", "limitMiB": 96, "store": "mem", "weight": 70,

@@ -8,33 +8,88 @@
 // time, and its latency is completion minus arrival. This captures the
 // queueing contention that shapes the paper's throughput numbers without
 // simulating controller internals.
+//
+// Devices are failure-prone: every constructor accepts WithFaults to attach
+// a fault.Injector, and Read/Write/WriteAsync return an error when the
+// injector fails the operation (I/O error, or a stall that times out after
+// the rule's delay). Without an injector the error paths are dead and cost
+// one nil check.
 package blockdev
 
 import (
 	"fmt"
 	"sync"
 	"time"
+
+	"doubledecker/internal/fault"
 )
 
 // Device is a simulated block device. Read and Write return the latency a
 // synchronous caller observes; WriteAsync queues the work on the device
 // (consuming device time and delaying later requests) but returns
 // immediately, mirroring the DoubleDecker SSD store's asynchronous puts.
+//
+// A non-nil error means the operation failed (injected I/O error or stall
+// timeout); the returned latency is still meaningful — it is the time the
+// caller spent discovering the failure — and the device time was consumed.
 type Device interface {
 	Name() string
-	Read(now time.Duration, offset, size int64) time.Duration
-	Write(now time.Duration, offset, size int64) time.Duration
-	WriteAsync(now time.Duration, offset, size int64)
+	Read(now time.Duration, offset, size int64) (time.Duration, error)
+	Write(now time.Duration, offset, size int64) (time.Duration, error)
+	WriteAsync(now time.Duration, offset, size int64) error
 	Stats() Stats
 }
 
-// Stats aggregates device activity over a run.
+// Stats aggregates device activity over a run. Bytes count only successful
+// transfers; errored operations are tallied separately.
 type Stats struct {
 	Reads        int64
 	Writes       int64
 	BytesRead    int64
 	BytesWritten int64
+	ReadErrors   int64
+	WriteErrors  int64
 	BusyTime     time.Duration
+}
+
+// Option configures a device at construction.
+type Option func(*devConfig)
+
+type devConfig struct {
+	faults *fault.Injector
+}
+
+// WithFaults attaches a fault injector. The device consults it on every
+// operation under the sites "<name>.read" and "<name>.write". A nil
+// injector (or omitting the option) keeps the device fault-free.
+func WithFaults(in *fault.Injector) Option {
+	return func(c *devConfig) { c.faults = in }
+}
+
+func applyOptions(opts []Option) devConfig {
+	var c devConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// faultAdjust resolves an injector decision against the nominal service
+// time: latency spikes stretch the service, stalls replace it with the
+// timeout the caller waits out, and failing kinds produce the structured
+// error. The device consumes the returned service time either way.
+func faultAdjust(d fault.Decision, svc time.Duration, site string) (time.Duration, error) {
+	switch d.Kind {
+	case fault.KindLatency:
+		return svc + d.Delay, nil
+	case fault.KindStall:
+		return d.Delay, &fault.Error{Site: site, Kind: d.Kind}
+	default:
+		if d.Fails() {
+			return svc, &fault.Error{Site: site, Kind: d.Kind}
+		}
+		return svc, nil
+	}
 }
 
 // queue models the FCFS server shared by all device types. Devices are
@@ -70,6 +125,41 @@ func (q *queue) absorb(now, service time.Duration) {
 	q.stats.BusyTime += service
 }
 
+// read serves one read request with fault accounting. Callers hold q.mu.
+func (q *queue) read(now, svc time.Duration, size int64, err error) (time.Duration, error) {
+	q.stats.Reads++
+	if err != nil {
+		q.stats.ReadErrors++
+	} else {
+		q.stats.BytesRead += size
+	}
+	return q.serve(now, svc), err
+}
+
+// write serves one write request with fault accounting. Callers hold q.mu.
+func (q *queue) write(now, svc time.Duration, size int64, err error) (time.Duration, error) {
+	q.stats.Writes++
+	if err != nil {
+		q.stats.WriteErrors++
+	} else {
+		q.stats.BytesWritten += size
+	}
+	return q.serve(now, svc), err
+}
+
+// writeAsync absorbs one asynchronous write with fault accounting. Callers
+// hold q.mu.
+func (q *queue) writeAsync(now, svc time.Duration, size int64, err error) error {
+	q.stats.Writes++
+	if err != nil {
+		q.stats.WriteErrors++
+	} else {
+		q.stats.BytesWritten += size
+	}
+	q.absorb(now, svc)
+	return err
+}
+
 func transferTime(size int64, bytesPerSec int64) time.Duration {
 	if bytesPerSec <= 0 || size <= 0 {
 		return 0
@@ -83,43 +173,47 @@ type RAM struct {
 	name      string
 	perOp     time.Duration
 	bandwidth int64 // bytes/sec
+	faults    *fault.Injector
+	siteRead  string
+	siteWrite string
 	q         queue
 }
 
 // NewRAM returns a RAM device with typical DDR-class parameters:
 // 10 GB/s effective copy bandwidth and 200 ns fixed cost per operation.
-func NewRAM(name string) *RAM {
-	return &RAM{name: name, perOp: 200 * time.Nanosecond, bandwidth: 10 << 30}
+func NewRAM(name string, opts ...Option) *RAM {
+	c := applyOptions(opts)
+	return &RAM{
+		name: name, perOp: 200 * time.Nanosecond, bandwidth: 10 << 30,
+		faults: c.faults, siteRead: name + ".read", siteWrite: name + ".write",
+	}
 }
 
 // Name implements Device.
 func (r *RAM) Name() string { return r.name }
 
 // Read implements Device.
-func (r *RAM) Read(now time.Duration, _ int64, size int64) time.Duration {
+func (r *RAM) Read(now time.Duration, _ int64, size int64) (time.Duration, error) {
+	svc, err := faultAdjust(r.faults.Decide(now, r.siteRead), r.perOp+transferTime(size, r.bandwidth), r.siteRead)
 	r.q.mu.Lock()
 	defer r.q.mu.Unlock()
-	r.q.stats.Reads++
-	r.q.stats.BytesRead += size
-	return r.q.serve(now, r.perOp+transferTime(size, r.bandwidth))
+	return r.q.read(now, svc, size, err)
 }
 
 // Write implements Device.
-func (r *RAM) Write(now time.Duration, _ int64, size int64) time.Duration {
+func (r *RAM) Write(now time.Duration, _ int64, size int64) (time.Duration, error) {
+	svc, err := faultAdjust(r.faults.Decide(now, r.siteWrite), r.perOp+transferTime(size, r.bandwidth), r.siteWrite)
 	r.q.mu.Lock()
 	defer r.q.mu.Unlock()
-	r.q.stats.Writes++
-	r.q.stats.BytesWritten += size
-	return r.q.serve(now, r.perOp+transferTime(size, r.bandwidth))
+	return r.q.write(now, svc, size, err)
 }
 
 // WriteAsync implements Device. RAM writes are so cheap they are absorbed.
-func (r *RAM) WriteAsync(now time.Duration, _ int64, size int64) {
+func (r *RAM) WriteAsync(now time.Duration, _ int64, size int64) error {
+	svc, err := faultAdjust(r.faults.Decide(now, r.siteWrite), r.perOp+transferTime(size, r.bandwidth), r.siteWrite)
 	r.q.mu.Lock()
 	defer r.q.mu.Unlock()
-	r.q.stats.Writes++
-	r.q.stats.BytesWritten += size
-	r.q.absorb(now, r.perOp+transferTime(size, r.bandwidth))
+	return r.q.writeAsync(now, svc, size, err)
 }
 
 // Stats implements Device.
@@ -137,16 +231,23 @@ type SSD struct {
 	readLatency  time.Duration
 	writeLatency time.Duration
 	bandwidth    int64
+	faults       *fault.Injector
+	siteRead     string
+	siteWrite    string
 	q            queue
 }
 
 // NewSSD returns an SSD with SATA-3-era parameters.
-func NewSSD(name string) *SSD {
+func NewSSD(name string, opts ...Option) *SSD {
+	c := applyOptions(opts)
 	return &SSD{
 		name:         name,
 		readLatency:  90 * time.Microsecond,
 		writeLatency: 60 * time.Microsecond,
 		bandwidth:    450 << 20, // 450 MB/s, SATA-3 bound
+		faults:       c.faults,
+		siteRead:     name + ".read",
+		siteWrite:    name + ".write",
 	}
 }
 
@@ -154,32 +255,31 @@ func NewSSD(name string) *SSD {
 func (s *SSD) Name() string { return s.name }
 
 // Read implements Device.
-func (s *SSD) Read(now time.Duration, _ int64, size int64) time.Duration {
+func (s *SSD) Read(now time.Duration, _ int64, size int64) (time.Duration, error) {
+	svc, err := faultAdjust(s.faults.Decide(now, s.siteRead), s.readLatency+transferTime(size, s.bandwidth), s.siteRead)
 	s.q.mu.Lock()
 	defer s.q.mu.Unlock()
-	s.q.stats.Reads++
-	s.q.stats.BytesRead += size
-	return s.q.serve(now, s.readLatency+transferTime(size, s.bandwidth))
+	return s.q.read(now, svc, size, err)
 }
 
 // Write implements Device.
-func (s *SSD) Write(now time.Duration, _ int64, size int64) time.Duration {
+func (s *SSD) Write(now time.Duration, _ int64, size int64) (time.Duration, error) {
+	svc, err := faultAdjust(s.faults.Decide(now, s.siteWrite), s.writeLatency+transferTime(size, s.bandwidth), s.siteWrite)
 	s.q.mu.Lock()
 	defer s.q.mu.Unlock()
-	s.q.stats.Writes++
-	s.q.stats.BytesWritten += size
-	return s.q.serve(now, s.writeLatency+transferTime(size, s.bandwidth))
+	return s.q.write(now, svc, size, err)
 }
 
 // WriteAsync implements Device: the DoubleDecker SSD store issues puts
 // asynchronously, so the caller does not wait but the device time is spent
-// and delays subsequent reads.
-func (s *SSD) WriteAsync(now time.Duration, _ int64, size int64) {
+// and delays subsequent reads. An injected write fault is reported at
+// submission, the way a full device queue or failed command setup surfaces
+// before completion.
+func (s *SSD) WriteAsync(now time.Duration, _ int64, size int64) error {
+	svc, err := faultAdjust(s.faults.Decide(now, s.siteWrite), s.writeLatency+transferTime(size, s.bandwidth), s.siteWrite)
 	s.q.mu.Lock()
 	defer s.q.mu.Unlock()
-	s.q.stats.Writes++
-	s.q.stats.BytesWritten += size
-	s.q.absorb(now, s.writeLatency+transferTime(size, s.bandwidth))
+	return s.q.writeAsync(now, svc, size, err)
 }
 
 // Stats implements Device.
@@ -197,19 +297,26 @@ type HDD struct {
 	seek        time.Duration
 	halfRotate  time.Duration
 	bandwidth   int64
-	lastEnd     int64
-	firstAccess bool
+	faults      *fault.Injector
+	siteRead    string
+	siteWrite   string
+	lastEnd     int64 // ddlint:guarded-by mu
+	firstAccess bool  // ddlint:guarded-by mu
 	q           queue
 }
 
 // NewHDD returns a 7200 RPM-class disk: 4.2 ms average seek, 8.3 ms
 // rotation (4.17 ms average rotational delay), 150 MB/s media rate.
-func NewHDD(name string) *HDD {
+func NewHDD(name string, opts ...Option) *HDD {
+	c := applyOptions(opts)
 	return &HDD{
 		name:        name,
 		seek:        4200 * time.Microsecond,
 		halfRotate:  4170 * time.Microsecond,
 		bandwidth:   150 << 20,
+		faults:      c.faults,
+		siteRead:    name + ".read",
+		siteWrite:   name + ".write",
 		firstAccess: true,
 	}
 }
@@ -218,12 +325,16 @@ func NewHDD(name string) *HDD {
 // queuing and striping bring effective positioning down to ~1.5 ms and
 // the media rate up to 250 MB/s. Virtual machine disk images sit on this
 // class of storage in the paper's testbed.
-func NewArrayHDD(name string) *HDD {
+func NewArrayHDD(name string, opts ...Option) *HDD {
+	c := applyOptions(opts)
 	return &HDD{
 		name:        name,
 		seek:        1000 * time.Microsecond,
 		halfRotate:  500 * time.Microsecond,
 		bandwidth:   250 << 20,
+		faults:      c.faults,
+		siteRead:    name + ".read",
+		siteWrite:   name + ".write",
 		firstAccess: true,
 	}
 }
@@ -233,6 +344,8 @@ func (h *HDD) Name() string { return h.name }
 
 // service computes positioning plus transfer time. Callers hold h.q.mu
 // (it advances the head-position state).
+//
+// ddlint:requires-lock mu
 func (h *HDD) service(offset, size int64) time.Duration {
 	svc := transferTime(size, h.bandwidth)
 	if h.firstAccess || offset != h.lastEnd {
@@ -244,31 +357,31 @@ func (h *HDD) service(offset, size int64) time.Duration {
 }
 
 // Read implements Device.
-func (h *HDD) Read(now time.Duration, offset, size int64) time.Duration {
+func (h *HDD) Read(now time.Duration, offset, size int64) (time.Duration, error) {
+	d := h.faults.Decide(now, h.siteRead)
 	h.q.mu.Lock()
 	defer h.q.mu.Unlock()
-	h.q.stats.Reads++
-	h.q.stats.BytesRead += size
-	return h.q.serve(now, h.service(offset, size))
+	svc, err := faultAdjust(d, h.service(offset, size), h.siteRead)
+	return h.q.read(now, svc, size, err)
 }
 
 // Write implements Device.
-func (h *HDD) Write(now time.Duration, offset, size int64) time.Duration {
+func (h *HDD) Write(now time.Duration, offset, size int64) (time.Duration, error) {
+	d := h.faults.Decide(now, h.siteWrite)
 	h.q.mu.Lock()
 	defer h.q.mu.Unlock()
-	h.q.stats.Writes++
-	h.q.stats.BytesWritten += size
-	return h.q.serve(now, h.service(offset, size))
+	svc, err := faultAdjust(d, h.service(offset, size), h.siteWrite)
+	return h.q.write(now, svc, size, err)
 }
 
 // WriteAsync implements Device: writeback flushes occupy the disk without
 // stalling the flusher.
-func (h *HDD) WriteAsync(now time.Duration, offset, size int64) {
+func (h *HDD) WriteAsync(now time.Duration, offset, size int64) error {
+	d := h.faults.Decide(now, h.siteWrite)
 	h.q.mu.Lock()
 	defer h.q.mu.Unlock()
-	h.q.stats.Writes++
-	h.q.stats.BytesWritten += size
-	h.q.absorb(now, h.service(offset, size))
+	svc, err := faultAdjust(d, h.service(offset, size), h.siteWrite)
+	return h.q.writeAsync(now, svc, size, err)
 }
 
 // Stats implements Device.
@@ -287,6 +400,6 @@ var (
 
 // String renders device stats for debugging output.
 func (s Stats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d bytesRead=%d bytesWritten=%d busy=%v",
-		s.Reads, s.Writes, s.BytesRead, s.BytesWritten, s.BusyTime)
+	return fmt.Sprintf("reads=%d writes=%d bytesRead=%d bytesWritten=%d readErrs=%d writeErrs=%d busy=%v",
+		s.Reads, s.Writes, s.BytesRead, s.BytesWritten, s.ReadErrors, s.WriteErrors, s.BusyTime)
 }

@@ -1,21 +1,51 @@
 package blockdev
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"doubledecker/internal/fault"
 )
 
 const page = 4096
+
+// rd/wr issue fault-free operations, asserting no error leaks out of an
+// uninjected device.
+func rd(t *testing.T, d Device, now time.Duration, off, size int64) time.Duration {
+	t.Helper()
+	lat, err := d.Read(now, off, size)
+	if err != nil {
+		t.Fatalf("%s read: %v", d.Name(), err)
+	}
+	return lat
+}
+
+func wr(t *testing.T, d Device, now time.Duration, off, size int64) time.Duration {
+	t.Helper()
+	lat, err := d.Write(now, off, size)
+	if err != nil {
+		t.Fatalf("%s write: %v", d.Name(), err)
+	}
+	return lat
+}
+
+func wa(t *testing.T, d Device, now time.Duration, off, size int64) {
+	t.Helper()
+	if err := d.WriteAsync(now, off, size); err != nil {
+		t.Fatalf("%s writeAsync: %v", d.Name(), err)
+	}
+}
 
 func TestRAMFasterThanSSDFasterThanHDD(t *testing.T) {
 	ram := NewRAM("ram")
 	ssd := NewSSD("ssd")
 	hdd := NewHDD("hdd")
-	lr := ram.Read(0, 0, page)
-	ls := ssd.Read(0, 0, page)
-	lh := hdd.Read(0, 1<<30, page) // random position
+	lr := rd(t, ram, 0, 0, page)
+	ls := rd(t, ssd, 0, 0, page)
+	lh := rd(t, hdd, 0, 1<<30, page) // random position
 	if !(lr < ls && ls < lh) {
 		t.Fatalf("latency order violated: ram=%v ssd=%v hdd=%v", lr, ls, lh)
 	}
@@ -23,13 +53,13 @@ func TestRAMFasterThanSSDFasterThanHDD(t *testing.T) {
 
 func TestQueueingDelays(t *testing.T) {
 	ssd := NewSSD("ssd")
-	first := ssd.Read(0, 0, page)
-	second := ssd.Read(0, page, page) // arrives while device busy
+	first := rd(t, ssd, 0, 0, page)
+	second := rd(t, ssd, 0, page, page) // arrives while device busy
 	if second <= first {
 		t.Fatalf("queued request should see higher latency: first=%v second=%v", first, second)
 	}
 	// After the queue drains, latency returns to base service time.
-	later := ssd.Read(time.Second, 0, page)
+	later := rd(t, ssd, time.Second, 0, page)
 	if later != first {
 		t.Fatalf("idle-device latency = %v, want %v", later, first)
 	}
@@ -37,9 +67,9 @@ func TestQueueingDelays(t *testing.T) {
 
 func TestHDDSequentialVsRandom(t *testing.T) {
 	hdd := NewHDD("hdd")
-	hdd.Read(0, 0, page) // position the head
-	seq := hdd.Read(time.Second, page, page)
-	rnd := hdd.Read(2*time.Second, 1<<30, page)
+	rd(t, hdd, 0, 0, page) // position the head
+	seq := rd(t, hdd, time.Second, page, page)
+	rnd := rd(t, hdd, 2*time.Second, 1<<30, page)
 	if seq >= rnd {
 		t.Fatalf("sequential read (%v) should beat random read (%v)", seq, rnd)
 	}
@@ -50,7 +80,7 @@ func TestHDDSequentialVsRandom(t *testing.T) {
 
 func TestHDDFirstAccessSeeks(t *testing.T) {
 	hdd := NewHDD("hdd")
-	first := hdd.Read(0, 0, page)
+	first := rd(t, hdd, 0, 0, page)
 	if first < 8*time.Millisecond {
 		t.Fatalf("first access should pay seek+rotation, got %v", first)
 	}
@@ -58,10 +88,10 @@ func TestHDDFirstAccessSeeks(t *testing.T) {
 
 func TestWriteAsyncDoesNotBlockButOccupies(t *testing.T) {
 	ssd := NewSSD("ssd")
-	ssd.WriteAsync(0, 0, 1<<20) // 1 MiB async write
+	wa(t, ssd, 0, 0, 1<<20) // 1 MiB async write
 	// A read right after must queue behind the async write.
-	blocked := ssd.Read(0, 0, page)
-	idle := NewSSD("idle").Read(0, 0, page)
+	blocked := rd(t, ssd, 0, 0, page)
+	idle := rd(t, NewSSD("idle"), 0, 0, page)
 	if blocked <= idle {
 		t.Fatalf("read did not queue behind async write: %v vs idle %v", blocked, idle)
 	}
@@ -69,15 +99,18 @@ func TestWriteAsyncDoesNotBlockButOccupies(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	ssd := NewSSD("ssd")
-	ssd.Read(0, 0, page)
-	ssd.Write(0, 0, 2*page)
-	ssd.WriteAsync(0, 0, page)
+	rd(t, ssd, 0, 0, page)
+	wr(t, ssd, 0, 0, 2*page)
+	wa(t, ssd, 0, 0, page)
 	st := ssd.Stats()
 	if st.Reads != 1 || st.Writes != 2 {
 		t.Fatalf("op counts = %d/%d, want 1/2", st.Reads, st.Writes)
 	}
 	if st.BytesRead != page || st.BytesWritten != 3*page {
 		t.Fatalf("byte counts = %d/%d", st.BytesRead, st.BytesWritten)
+	}
+	if st.ReadErrors != 0 || st.WriteErrors != 0 {
+		t.Fatalf("uninjected device reported errors: %+v", st)
 	}
 	if st.BusyTime <= 0 {
 		t.Fatal("busy time not accounted")
@@ -86,8 +119,8 @@ func TestStatsAccounting(t *testing.T) {
 
 func TestTransferTimeScalesWithSize(t *testing.T) {
 	ssd := NewSSD("a")
-	small := ssd.Read(0, 0, page)
-	big := NewSSD("b").Read(0, 0, 1<<20)
+	small := rd(t, ssd, 0, 0, page)
+	big := rd(t, NewSSD("b"), 0, 0, 1<<20)
 	if big <= small {
 		t.Fatalf("1MiB read (%v) should take longer than 4KiB (%v)", big, small)
 	}
@@ -95,7 +128,7 @@ func TestTransferTimeScalesWithSize(t *testing.T) {
 
 func TestZeroSizeTransfers(t *testing.T) {
 	ram := NewRAM("r")
-	if got := ram.Read(0, 0, 0); got <= 0 {
+	if got := rd(t, ram, 0, 0, 0); got <= 0 {
 		t.Fatalf("zero-size read should still cost the fixed op overhead, got %v", got)
 	}
 }
@@ -107,8 +140,8 @@ func TestPropertyFCFSMonotone(t *testing.T) {
 		ssd := NewSSD("p")
 		var prev time.Duration
 		for _, sz := range sizes {
-			l := ssd.Read(0, 0, int64(sz)+1)
-			if l <= 0 || l < prev {
+			l, err := ssd.Read(0, 0, int64(sz)+1)
+			if err != nil || l <= 0 || l < prev {
 				return false
 			}
 			prev = l
@@ -127,7 +160,7 @@ func TestPropertyBusyTimeAccumulates(t *testing.T) {
 		hdd := NewHDD("p")
 		var last time.Duration
 		for i := 0; i < int(n%20); i++ {
-			last = hdd.Read(0, int64(i)*1<<20, page)
+			last, _ = hdd.Read(0, int64(i)*1<<20, page)
 		}
 		return hdd.Stats().BusyTime == last // all arrive at t=0, serial queue
 	}
@@ -139,8 +172,8 @@ func TestPropertyBusyTimeAccumulates(t *testing.T) {
 func TestArrayHDDFasterThanHDD(t *testing.T) {
 	slow := NewHDD("slow")
 	fast := NewArrayHDD("fast")
-	ls := slow.Read(0, 1<<30, page)
-	lf := fast.Read(0, 1<<30, page)
+	ls := rd(t, slow, 0, 1<<30, page)
+	lf := rd(t, fast, 0, 1<<30, page)
 	if lf >= ls {
 		t.Fatalf("array read %v not faster than spindle %v", lf, ls)
 	}
@@ -148,9 +181,9 @@ func TestArrayHDDFasterThanHDD(t *testing.T) {
 
 func TestHDDWriteAsyncOccupies(t *testing.T) {
 	hdd := NewHDD("h")
-	hdd.WriteAsync(0, 0, 1<<20)
-	blocked := hdd.Read(0, 1<<30, page)
-	idle := NewHDD("i").Read(0, 1<<30, page)
+	wa(t, hdd, 0, 0, 1<<20)
+	blocked := rd(t, hdd, 0, 1<<30, page)
+	idle := rd(t, NewHDD("i"), 0, 1<<30, page)
 	if blocked <= idle {
 		t.Fatalf("read did not queue behind async write: %v vs %v", blocked, idle)
 	}
@@ -161,22 +194,94 @@ func TestHDDWriteAsyncOccupies(t *testing.T) {
 
 func TestRAMWriteAndSSDWriteSync(t *testing.T) {
 	ram := NewRAM("r")
-	if ram.Write(0, 0, page) <= 0 {
+	if wr(t, ram, 0, 0, page) <= 0 {
 		t.Fatal("ram write free")
 	}
 	ssd := NewSSD("s")
-	w := ssd.Write(0, 0, page)
+	w := wr(t, ssd, 0, 0, page)
 	if w < 50*time.Microsecond {
 		t.Fatalf("sync ssd write %v too fast", w)
 	}
 }
 
 func TestStatsString(t *testing.T) {
-	s := Stats{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4, BusyTime: time.Second}
+	s := Stats{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4, ReadErrors: 5, WriteErrors: 6, BusyTime: time.Second}
 	got := s.String()
-	for _, want := range []string{"reads=1", "writes=2", "bytesRead=3", "bytesWritten=4", "busy=1s"} {
+	for _, want := range []string{"reads=1", "writes=2", "bytesRead=3", "bytesWritten=4", "readErrs=5", "writeErrs=6", "busy=1s"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("Stats.String() = %q missing %q", got, want)
 		}
+	}
+}
+
+// TestInjectedIOError: every read fails, the error is the structured fault
+// error, bytes are not counted but the attempt occupies the device.
+func TestInjectedIOError(t *testing.T) {
+	in := fault.New(fault.Plan{Rules: []fault.Rule{{Site: "ssd.read", Kind: fault.KindIOError}}})
+	ssd := NewSSD("ssd", WithFaults(in))
+	lat, err := ssd.Read(0, 0, page)
+	if err == nil {
+		t.Fatal("injected read did not fail")
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Site != "ssd.read" || fe.Kind != fault.KindIOError {
+		t.Fatalf("error = %v, want fault.Error at ssd.read", err)
+	}
+	if lat <= 0 {
+		t.Fatalf("failed read should still take time, got %v", lat)
+	}
+	st := ssd.Stats()
+	if st.Reads != 1 || st.ReadErrors != 1 || st.BytesRead != 0 {
+		t.Fatalf("stats after failed read: %+v", st)
+	}
+	// Writes are untouched by the read-site rule.
+	if _, err := ssd.Write(0, 0, page); err != nil {
+		t.Fatalf("write failed under read-only rule: %v", err)
+	}
+}
+
+// TestInjectedStall: the caller waits out the stall delay and gets an
+// error; the device is wedged for the whole window.
+func TestInjectedStall(t *testing.T) {
+	const timeout = 30 * time.Millisecond
+	in := fault.New(fault.Plan{Rules: []fault.Rule{{Site: "ssd.read", Kind: fault.KindStall, Delay: timeout}}})
+	ssd := NewSSD("ssd", WithFaults(in))
+	lat, err := ssd.Read(0, 0, page)
+	if err == nil {
+		t.Fatal("stalled read did not fail")
+	}
+	if lat != timeout {
+		t.Fatalf("stall latency = %v, want %v", lat, timeout)
+	}
+}
+
+// TestInjectedLatency: a latency spike slows the op but it succeeds.
+func TestInjectedLatency(t *testing.T) {
+	const spike = 5 * time.Millisecond
+	in := fault.New(fault.Plan{Rules: []fault.Rule{{Site: "ssd.read", Kind: fault.KindLatency, Delay: spike}}})
+	slow := NewSSD("ssd", WithFaults(in))
+	base := rd(t, NewSSD("base"), 0, 0, page)
+	lat, err := slow.Read(0, 0, page)
+	if err != nil {
+		t.Fatalf("latency spike must not fail the op: %v", err)
+	}
+	if lat != base+spike {
+		t.Fatalf("spiked latency = %v, want %v", lat, base+spike)
+	}
+	if st := slow.Stats(); st.ReadErrors != 0 || st.BytesRead != page {
+		t.Fatalf("latency spike miscounted: %+v", st)
+	}
+}
+
+// TestInjectedAsyncWriteError: WriteAsync reports the injected fault at
+// submission.
+func TestInjectedAsyncWriteError(t *testing.T) {
+	in := fault.New(fault.Plan{Rules: []fault.Rule{{Site: "hdd.write", Kind: fault.KindIOError}}})
+	hdd := NewHDD("hdd", WithFaults(in))
+	if err := hdd.WriteAsync(0, 0, page); err == nil {
+		t.Fatal("injected async write did not fail")
+	}
+	if st := hdd.Stats(); st.WriteErrors != 1 || st.BytesWritten != 0 {
+		t.Fatalf("stats after failed async write: %+v", st)
 	}
 }

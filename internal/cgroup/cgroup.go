@@ -311,7 +311,9 @@ func (g *Group) swapOut(now time.Duration, n int64) int64 {
 	}
 	g.anonResident -= n
 	g.stats.SwapOutPages += n
-	g.swap.WriteAsync(now, 0, n*PageSize)
+	// Swap-device errors are outside the cleancache failure model; the
+	// simulation charges the device time and carries on.
+	_ = g.swap.WriteAsync(now, 0, n*PageSize)
 	return n
 }
 
@@ -358,7 +360,8 @@ func (g *Group) TouchAnon(now time.Duration, n int64, rng *rand.Rand) time.Durat
 		missP := 1 - float64(g.anonResident)/float64(g.anonWS)
 		if missP > 0 && rng.Float64() < missP {
 			// Major fault: synchronous swap-in.
-			lat += g.swap.Read(now+lat, 0, PageSize)
+			sl, _ := g.swap.Read(now+lat, 0, PageSize)
+			lat += sl
 			lat += g.EnsureRoom(now+lat, 1)
 			g.anonResident++
 			if g.anonResident > g.anonWS {

@@ -61,6 +61,7 @@ import (
 	"doubledecker/internal/cgroup"
 	"doubledecker/internal/cleancache"
 	"doubledecker/internal/index"
+	"doubledecker/internal/metrics"
 	"doubledecker/internal/policy"
 	"doubledecker/internal/store"
 )
@@ -116,6 +117,13 @@ type Config struct {
 	// duplicate copies — the wasteful design the paper's §2 argues
 	// against. For the ablation benchmark only.
 	Inclusive bool
+	// Metrics receives the SSD circuit breaker's trip/probe/restore
+	// events and state gauge; nil disables recording.
+	Metrics *metrics.Registry
+	// Breaker tunes the SSD circuit breaker; the zero value selects the
+	// defaults documented on BreakerConfig. The breaker exists whenever
+	// an SSD store is configured.
+	Breaker BreakerConfig
 }
 
 // DefaultEvictBatch is the paper's 2 MiB eviction batch.
@@ -209,6 +217,14 @@ type Manager struct {
 	dedupMu     sync.Mutex
 	contentRefs map[contentKey]int64 // ddlint:guarded-by dedupMu
 
+	// ssdBreaker guards the SSD store against a failing device: after
+	// Config.Breaker.Threshold errors in the sliding window, SSD traffic
+	// is shed (puts degrade to memory or are rejected, SSD-resident gets
+	// miss) until half-open probes re-admit the device. The breaker is
+	// self-locking (its mutex is a leaf below the VM locks) and nil only
+	// when no SSD store is configured.
+	ssdBreaker *breaker
+
 	// run-wide counters
 	nextSeq        atomic.Uint64
 	totalEvictions atomic.Int64
@@ -240,13 +256,17 @@ func NewManager(cfg Config) *Manager {
 	if cfg.VictimSelector == nil {
 		cfg.VictimSelector = policy.SelectVictim
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:         cfg,
 		vms:         make(map[cleancache.VMID]*vmState),
 		pools:       make(map[cleancache.PoolID]*poolState),
 		nextPool:    1,
 		contentRefs: make(map[contentKey]int64),
 	}
+	if cfg.SSD != nil {
+		m.ssdBreaker = newBreaker(cfg.Breaker, cfg.Metrics, "breaker.ssd")
+	}
+	return m
 }
 
 // Mode reports the configured container-awareness mode.
@@ -441,6 +461,12 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 
 // Get handles the GET op: exclusive lookup — a hit removes the
 // object and pays the store's fetch latency.
+//
+// Failure handling follows the cleancache contract: a fetch error
+// invalidates the entry and reports a miss — the guest re-reads the page
+// from its virtual disk, so dropping is always safe. While the SSD
+// breaker is open, gets of SSD-resident objects miss without invalidating
+// (the stored bytes are intact; only the device is being avoided).
 func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (bool, time.Duration) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -457,16 +483,43 @@ func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) 
 	if obj == nil {
 		return false, lat
 	}
-	p.counters.getHits.Add(1)
-	if be := m.backend(obj.Store); be != nil {
-		lat += be.Fetch(now+lat, obj.Size)
+	if obj.Store == cgroup.StoreSSD && !m.ssdBreaker.allow(now+lat) {
+		return false, lat
 	}
+	if be := m.backend(obj.Store); be != nil {
+		flat, err := be.Fetch(now+lat, obj.Size)
+		lat += flat
+		m.feedBreaker(now+lat, obj.Store, err)
+		if err != nil {
+			p.idx.Remove(obj)
+			m.releaseObject(obj)
+			return false, lat
+		}
+	}
+	p.counters.getHits.Add(1)
 	if !m.cfg.Inclusive {
 		m.releaseObject(obj)
 		p.idx.Remove(obj)
 	}
 	return true, lat
 }
+
+// feedBreaker reports an SSD store operation's outcome to the circuit
+// breaker; operations on other stores are ignored.
+func (m *Manager) feedBreaker(now time.Duration, st cgroup.StoreType, err error) {
+	if st != cgroup.StoreSSD {
+		return
+	}
+	if err != nil {
+		m.ssdBreaker.onFailure(now)
+	} else {
+		m.ssdBreaker.onSuccess()
+	}
+}
+
+// SSDBreakerStats snapshots the SSD circuit breaker's state and event
+// counters (zero-valued, state "closed", when no SSD store is configured).
+func (m *Manager) SSDBreakerStats() BreakerStats { return m.ssdBreaker.snapshot() }
 
 // Put handles the PUT op: stores a clean page evicted by the
 // guest, evicting per Algorithm 1 when the target store is full. With
@@ -487,9 +540,9 @@ func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, 
 	v.mu.Lock()
 	p.counters.puts.Add(1)
 	lat := m.cfg.OpOverhead
-	st := m.placementStore(p)
+	st, stOK := m.placementStore(now, p)
 	be := m.backend(st)
-	if be == nil || be.CapacityBytes() <= 0 {
+	if !stOK || be == nil || be.CapacityBytes() <= 0 {
 		p.counters.putRejects.Add(1)
 		v.mu.Unlock()
 		m.mu.RUnlock()
@@ -503,10 +556,13 @@ func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, 
 		m.mu.RUnlock()
 		return m.putSlow(now, key, content, lat)
 	}
-	m.commitPut(now, p, st, be, key, content, dedup, &lat)
+	ok = m.commitPut(now, p, st, be, key, content, dedup, &lat)
+	if !ok {
+		p.counters.putRejects.Add(1)
+	}
 	v.mu.Unlock()
 	m.mu.RUnlock()
-	return true, lat
+	return ok, lat
 }
 
 // putSlow is the eviction path of Put: it re-resolves the pool under the
@@ -519,9 +575,9 @@ func (m *Manager) putSlow(now time.Duration, key cleancache.Key, content uint64,
 	if !ok {
 		return false, lat
 	}
-	st := m.placementStore(p)
+	st, stOK := m.placementStore(now, p)
 	be := m.backend(st)
-	if be == nil || be.CapacityBytes() <= 0 {
+	if !stOK || be == nil || be.CapacityBytes() <= 0 {
 		p.counters.putRejects.Add(1)
 		return false, lat
 	}
@@ -533,7 +589,10 @@ func (m *Manager) putSlow(now time.Duration, key cleancache.Key, content uint64,
 			return false, lat
 		}
 	}
-	m.commitPut(now, p, st, be, key, content, dedup, &lat)
+	if !m.commitPut(now, p, st, be, key, content, dedup, &lat) {
+		p.counters.putRejects.Add(1)
+		return false, lat
+	}
 	return true, lat
 }
 
@@ -549,31 +608,54 @@ func (m *Manager) needsPhysical(st cgroup.StoreType, content uint64, dedup bool)
 	return n == 0
 }
 
-// commitPut indexes the object and charges the store. Callers hold either
-// the data-path locks (read lock + VM lock) or the write lock.
+// commitPut charges the store and indexes the object, reporting whether
+// it was admitted. The device write happens before the index insert: a
+// failed write drops the object — put returns not-stored, which the
+// cleancache contract makes safe — leaving index, dedup table and usage
+// accounting exactly as they were. Callers hold either the data-path
+// locks (read lock + VM lock) or the write lock.
 //
 // ddlint:requires-lock mu
-func (m *Manager) commitPut(now time.Duration, p *poolState, st cgroup.StoreType, be store.Backend, key cleancache.Key, content uint64, dedup bool, lat *time.Duration) {
+func (m *Manager) commitPut(now time.Duration, p *poolState, st cgroup.StoreType, be store.Backend, key cleancache.Key, content uint64, dedup bool, lat *time.Duration) bool {
 	obj := &index.Object{Inode: key.Inode, Block: key.Block, Size: ObjectSize, Store: st, Seq: m.nextSeq.Add(1)}
 	if dedup {
 		obj.Content = content
-	}
-	if replaced := p.idx.Insert(obj); replaced != nil {
-		m.releaseObject(replaced)
-	}
-	if dedup {
 		ck := contentKey{st, content}
 		m.dedupMu.Lock()
 		m.contentRefs[ck]++
 		shared := m.contentRefs[ck] > 1
 		m.dedupMu.Unlock()
 		if shared {
-			// Shared copy: only the in-band comparison cost is paid.
+			// Shared copy: only the in-band comparison cost is paid, and
+			// no device write can fail.
 			m.dedupSaved.Add(ObjectSize)
-			return
+			if replaced := p.idx.Insert(obj); replaced != nil {
+				m.releaseObject(replaced)
+			}
+			return true
 		}
 	}
-	*lat += be.Store(now+*lat, ObjectSize)
+	slat, err := be.Store(now+*lat, ObjectSize)
+	*lat += slat
+	m.feedBreaker(now+*lat, st, err)
+	if err != nil {
+		if dedup {
+			// Undo the reference taken above: the copy was never written.
+			ck := contentKey{st, content}
+			m.dedupMu.Lock()
+			if m.contentRefs[ck] <= 1 {
+				delete(m.contentRefs, ck)
+			} else {
+				m.contentRefs[ck]--
+			}
+			m.dedupMu.Unlock()
+		}
+		return false
+	}
+	if replaced := p.idx.Insert(obj); replaced != nil {
+		m.releaseObject(replaced)
+	}
+	return true
 }
 
 // releaseObject drops an object's physical storage, honouring shared
@@ -599,22 +681,32 @@ func (m *Manager) releaseObject(obj *index.Object) {
 
 // placementStore resolves where a pool's next object goes: its configured
 // store, or for hybrid pools memory until the pool's memory entitlement is
-// exhausted, then SSD (the paper's hybrid-mode semantics). Callers hold
-// the pool's VM lock or the store-level write lock.
+// exhausted, then SSD (the paper's hybrid-mode semantics). When the SSD
+// breaker is open, SSD placements transparently degrade to the memory
+// store if one exists; otherwise ok is false and the put is rejected (the
+// page is simply not cached — cleancache-safe). Callers hold the pool's
+// VM lock or the store-level write lock.
 //
 // ddlint:requires-lock mu
-func (m *Manager) placementStore(p *poolState) cgroup.StoreType {
+func (m *Manager) placementStore(now time.Duration, p *poolState) (st cgroup.StoreType, ok bool) {
 	if m.cfg.Mode == ModeGlobal {
 		// The nesting-agnostic baseline is a plain memory cache.
-		return cgroup.StoreMem
+		return cgroup.StoreMem, true
 	}
-	if p.spec.Store != cgroup.StoreHybrid {
-		return p.spec.Store
+	st = p.spec.Store
+	if st == cgroup.StoreHybrid {
+		if m.cfg.Mem != nil && p.idx.UsedBytes(cgroup.StoreMem)+ObjectSize <= m.poolEntitlement(p, cgroup.StoreMem) {
+			return cgroup.StoreMem, true
+		}
+		st = cgroup.StoreSSD
 	}
-	if m.cfg.Mem != nil && p.idx.UsedBytes(cgroup.StoreMem)+ObjectSize <= m.poolEntitlement(p, cgroup.StoreMem) {
-		return cgroup.StoreMem
+	if st == cgroup.StoreSSD && !m.ssdBreaker.allow(now) {
+		if m.cfg.Mem != nil {
+			return cgroup.StoreMem, true
+		}
+		return 0, false
 	}
-	return cgroup.StoreSSD
+	return st, true
 }
 
 // FlushPage handles the FLUSH_PAGE op.

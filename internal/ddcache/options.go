@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"doubledecker/internal/blockdev"
+	"doubledecker/internal/metrics"
 	"doubledecker/internal/policy"
 	"doubledecker/internal/store"
 )
@@ -63,3 +64,11 @@ func WithDedup(on bool) Option { return func(c *Config) { c.Dedup = on } }
 
 // WithInclusive disables the exclusive-caching protocol (ablation only).
 func WithInclusive(on bool) Option { return func(c *Config) { c.Inclusive = on } }
+
+// WithMetrics installs a registry for the SSD breaker's trip/probe/restore
+// events and state gauge.
+func WithMetrics(reg *metrics.Registry) Option { return func(c *Config) { c.Metrics = reg } }
+
+// WithSSDBreaker tunes the SSD circuit breaker (threshold, window,
+// cooldown, probe count); the zero value keeps the defaults.
+func WithSSDBreaker(b BreakerConfig) Option { return func(c *Config) { c.Breaker = b } }

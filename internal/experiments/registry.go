@@ -19,8 +19,10 @@ func defaultRunners() map[string]Runner {
 		"fig13":  Fig13,
 		"fig14":  Fig14,
 
-		// Beyond the paper's artifacts: transport batching (ISSUE 2).
+		// Beyond the paper's artifacts: transport batching (ISSUE 2) and
+		// fault-injection robustness (ISSUE 4).
 		"transport": TransportExp,
+		"faults":    FaultsExp,
 	}
 }
 

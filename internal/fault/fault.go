@@ -1,0 +1,365 @@
+// Package fault is the deterministic fault-injection framework behind the
+// reproduction's robustness story. A Plan is a set of Rules, each naming an
+// injection site (e.g. "host-ssd.read", "transport.batch"), a trigger
+// (probability, every-nth-operation, and/or a virtual-time window) and a
+// fault Kind (I/O error, latency spike, device stall, transport drop or
+// corruption). An Injector compiles a plan and is consulted by the
+// instrumented components — block devices, cache stores and the hypercall
+// transport — at each operation.
+//
+// Design constraints, in order:
+//
+//   - The zero value must be free: a nil *Injector decides KindNone with
+//     no locking, no allocation and no branching beyond the nil check, so
+//     production paths pay nothing when no faults are configured.
+//   - Decisions are deterministic and seedable: each rule owns a PRNG
+//     seeded from Plan.Seed and the rule's position, so single-threaded
+//     simulations replay bit-for-bit and concurrent runs are reproducible
+//     per schedule.
+//   - All timing is virtual: the injector never reads wall-clock time;
+//     windows are evaluated against the caller-supplied virtual now.
+//
+// Per-site and per-rule counters record how many operations were seen and
+// how many faults fired, so experiments can report the injected fault rate
+// alongside the observed degradation.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+// Fault kinds. KindNone is the zero value: no fault.
+const (
+	KindNone Kind = iota
+	// KindIOError fails the operation with a device I/O error.
+	KindIOError
+	// KindLatency delays the operation by the rule's Delay but lets it
+	// succeed — a latency spike (GC pause, firmware hiccup).
+	KindLatency
+	// KindStall models an unresponsive device: the operation times out
+	// after the rule's Delay and fails — the block layer's timeout path.
+	KindStall
+	// KindDrop loses a transport crossing: the payload never arrives and
+	// the sender must retry.
+	KindDrop
+	// KindCorrupt delivers a transport crossing with flipped bits; the
+	// receiver's checksum rejects it and the sender must retry.
+	KindCorrupt
+)
+
+// String implements fmt.Stringer with the names the JSON encoding uses.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindIOError:
+		return "io-error"
+	case KindLatency:
+		return "latency"
+	case KindStall:
+		return "stall"
+	case KindDrop:
+		return "drop"
+	case KindCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindFromString parses the JSON names back into a Kind.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "io-error":
+		return KindIOError, nil
+	case "latency":
+		return KindLatency, nil
+	case "stall":
+		return KindStall, nil
+	case "drop":
+		return KindDrop, nil
+	case "corrupt":
+		return KindCorrupt, nil
+	case "", "none":
+		return KindNone, nil
+	default:
+		return KindNone, fmt.Errorf("fault: unknown kind %q", s)
+	}
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes the string names.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := KindFromString(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// Rule is one injection directive. A rule matches an operation when the
+// site matches and virtual time is inside the window; it then fires on the
+// Nth trigger (every Nth matching operation) and/or the probability
+// trigger. A rule with neither trigger set fires on every match — the
+// always-on form used for hard windows like a device stall.
+type Rule struct {
+	// Site selects the injection point. A trailing "*" is a prefix
+	// wildcard: "host-ssd.*" matches both "host-ssd.read" and
+	// "host-ssd.write".
+	Site string `json:"site"`
+	// Kind is the fault to inject.
+	Kind Kind `json:"kind"`
+	// Prob fires the rule with this probability per matching operation
+	// (0 disables the probabilistic trigger).
+	Prob float64 `json:"prob,omitempty"`
+	// Nth fires the rule on every Nth matching operation (0 disables).
+	Nth int64 `json:"nth,omitempty"`
+	// From/To bound the rule to a virtual-time window [From, To); a zero
+	// To leaves the window open-ended.
+	From time.Duration `json:"from,omitempty"`
+	To   time.Duration `json:"to,omitempty"`
+	// Delay is the added latency for KindLatency and the modeled timeout
+	// for KindStall.
+	Delay time.Duration `json:"delay,omitempty"`
+}
+
+// matches reports whether the rule applies to an operation at site/now.
+func (r *Rule) matches(now time.Duration, site string) bool {
+	if now < r.From || (r.To > 0 && now >= r.To) {
+		return false
+	}
+	if strings.HasSuffix(r.Site, "*") {
+		return strings.HasPrefix(site, strings.TrimSuffix(r.Site, "*"))
+	}
+	return r.Site == site
+}
+
+// Plan is a complete fault schedule: a seed plus the rules.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// ParsePlan decodes a JSON-encoded plan, rejecting unknown fields so typos
+// in canned plans fail loudly instead of silently injecting nothing.
+func ParsePlan(data []byte) (Plan, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	for i, r := range p.Rules {
+		if r.Site == "" {
+			return Plan{}, fmt.Errorf("fault: rule %d has no site", i)
+		}
+		if r.Kind == KindNone {
+			return Plan{}, fmt.Errorf("fault: rule %d (site %s) has no kind", i, r.Site)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return Plan{}, fmt.Errorf("fault: rule %d (site %s) probability %v out of [0,1]", i, r.Site, r.Prob)
+		}
+	}
+	return p, nil
+}
+
+// Decision is the injector's verdict for one operation.
+type Decision struct {
+	// Kind is the injected fault (KindNone = proceed normally).
+	Kind Kind
+	// Delay is extra latency the operation must absorb (latency spikes
+	// and stall timeouts).
+	Delay time.Duration
+}
+
+// Fails reports whether the operation must return an error: I/O errors and
+// stall timeouts fail; latency spikes succeed slowly; drop/corrupt are
+// transport verdicts whose failure semantics the transport implements.
+func (d Decision) Fails() bool {
+	switch d.Kind {
+	case KindIOError, KindStall, KindDrop, KindCorrupt:
+		return true
+	default: // KindNone, KindLatency
+		return false
+	}
+}
+
+// compiledRule pairs a Rule with its private PRNG and counters.
+type compiledRule struct {
+	Rule
+	rng     *rand.Rand
+	matched int64 // operations the rule matched
+	fired   int64 // faults the rule injected
+}
+
+// SiteStats counts one site's traffic through the injector.
+type SiteStats struct {
+	Ops      int64          // operations that consulted the injector
+	Injected map[Kind]int64 // faults injected, by kind
+}
+
+// Injector evaluates a compiled Plan. A nil *Injector is a valid no-op
+// injector; every method is nil-safe.
+//
+// Injector is safe for concurrent use: one mutex guards the PRNGs and
+// counters. The critical section is a few loads and at most one PRNG draw,
+// so contention is negligible next to the device queues the callers
+// already serialize on.
+type Injector struct {
+	mu sync.Mutex
+	// ddlint:guarded-by mu
+	rules []*compiledRule
+	// ddlint:guarded-by mu
+	sites map[string]*SiteStats
+}
+
+// New compiles a plan. A plan with no rules yields a working (all-pass)
+// injector; callers that want the true zero-cost path keep a nil pointer.
+func New(plan Plan) *Injector {
+	in := &Injector{sites: make(map[string]*SiteStats)}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range plan.Rules {
+		in.rules = append(in.rules, &compiledRule{
+			Rule: r,
+			rng:  rand.New(rand.NewSource(plan.Seed + int64(i)*0x9e3779b9)),
+		})
+	}
+	return in
+}
+
+// Decide consults the plan for one operation at site, at virtual time now.
+// The first matching rule whose trigger fires wins; later rules are not
+// evaluated. Nil-safe: a nil injector always decides KindNone.
+func (in *Injector) Decide(now time.Duration, site string) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.sites[site]
+	if !ok {
+		st = &SiteStats{Injected: make(map[Kind]int64)}
+		in.sites[site] = st
+	}
+	st.Ops++
+	for _, r := range in.rules {
+		if !r.matches(now, site) {
+			continue
+		}
+		r.matched++
+		fire := false
+		switch {
+		case r.Nth > 0:
+			fire = r.matched%r.Nth == 0
+		case r.Prob > 0:
+			fire = r.rng.Float64() < r.Prob
+		default:
+			fire = true // always-on rule (hard windows)
+		}
+		if !fire {
+			continue
+		}
+		r.fired++
+		st.Injected[r.Kind]++
+		return Decision{Kind: r.Kind, Delay: r.Delay}
+	}
+	return Decision{}
+}
+
+// Stats returns a snapshot of per-site traffic and injected faults, keyed
+// by site name. Nil-safe.
+func (in *Injector) Stats() map[string]SiteStats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]SiteStats, len(in.sites))
+	for site, st := range in.sites {
+		inj := make(map[Kind]int64, len(st.Injected))
+		for k, n := range st.Injected {
+			inj[k] = n
+		}
+		out[site] = SiteStats{Ops: st.Ops, Injected: inj}
+	}
+	return out
+}
+
+// Injected reports the total faults injected across all sites, optionally
+// filtered by kind (pass KindNone for all kinds). Nil-safe.
+func (in *Injector) Injected(kind Kind) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, st := range in.sites {
+		for k, c := range st.Injected {
+			if kind == KindNone || k == kind {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// Summary renders the injector's activity for logs: one line per site in
+// name order. Nil-safe (returns "").
+func (in *Injector) Summary() string {
+	stats := in.Stats()
+	if len(stats) == 0 {
+		return ""
+	}
+	sites := make([]string, 0, len(stats))
+	for s := range stats {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	for _, s := range sites {
+		st := stats[s]
+		fmt.Fprintf(&b, "%s: %d ops", s, st.Ops)
+		kinds := make([]string, 0, len(st.Injected))
+		for k := range st.Injected {
+			kinds = append(kinds, k.String())
+		}
+		sort.Strings(kinds)
+		for _, ks := range kinds {
+			k, _ := KindFromString(ks)
+			fmt.Fprintf(&b, ", %s=%d", ks, st.Injected[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Error is the failure a faulted operation surfaces: which site failed and
+// what kind of fault was injected. Components wrap or return it directly,
+// so tests and breakers can assert on the structured cause.
+type Error struct {
+	Site string
+	Kind Kind
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s", e.Kind, e.Site)
+}

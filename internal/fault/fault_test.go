@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsNoOp pins the hot-path contract: a nil injector decides
+// KindNone and reports empty stats without panicking.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	d := in.Decide(0, "host-ssd.read")
+	if d.Kind != KindNone || d.Delay != 0 || d.Fails() {
+		t.Fatalf("nil injector decided %+v", d)
+	}
+	if in.Stats() != nil {
+		t.Fatalf("nil injector has stats")
+	}
+	if in.Injected(KindNone) != 0 {
+		t.Fatalf("nil injector injected faults")
+	}
+	if in.Summary() != "" {
+		t.Fatalf("nil injector has summary")
+	}
+}
+
+// TestDeterministicReplay: two injectors compiled from the same plan make
+// identical decisions for identical operation streams.
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: []Rule{
+		{Site: "host-ssd.*", Kind: KindIOError, Prob: 0.2},
+		{Site: "transport.batch", Kind: KindDrop, Prob: 0.1},
+	}}
+	a, b := New(plan), New(plan)
+	sites := []string{"host-ssd.read", "host-ssd.write", "transport.batch"}
+	for i := 0; i < 5000; i++ {
+		site := sites[i%len(sites)]
+		now := time.Duration(i) * time.Millisecond
+		da, db := a.Decide(now, site), b.Decide(now, site)
+		if da != db {
+			t.Fatalf("op %d at %s: %+v vs %+v", i, site, da, db)
+		}
+	}
+	if a.Injected(KindNone) == 0 {
+		t.Fatalf("no faults injected at prob 0.2 over 5000 ops")
+	}
+}
+
+// TestProbabilityRate: injected rate lands near the configured probability.
+func TestProbabilityRate(t *testing.T) {
+	in := New(Plan{Seed: 7, Rules: []Rule{{Site: "d.write", Kind: KindIOError, Prob: 0.05}}})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Decide(0, "d.write")
+	}
+	got := in.Injected(KindIOError)
+	if got < n*3/100 || got > n*7/100 {
+		t.Fatalf("injected %d of %d at prob 0.05 (want ~%d)", got, n, n/20)
+	}
+	if st := in.Stats()["d.write"]; st.Ops != n {
+		t.Fatalf("site ops = %d, want %d", st.Ops, n)
+	}
+}
+
+// TestNthTrigger fires exactly every Nth matching op.
+func TestNthTrigger(t *testing.T) {
+	in := New(Plan{Rules: []Rule{{Site: "d.read", Kind: KindIOError, Nth: 3}}})
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, in.Decide(0, "d.read").Fails())
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("op %d: fired=%v, want %v (pattern %v)", i, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+// TestTimeWindow: an always-on stall rule fires only inside [From, To).
+func TestTimeWindow(t *testing.T) {
+	in := New(Plan{Rules: []Rule{{
+		Site: "host-ssd.read", Kind: KindStall,
+		From: 2 * time.Second, To: 4 * time.Second, Delay: 30 * time.Millisecond,
+	}}})
+	cases := []struct {
+		now  time.Duration
+		want Kind
+	}{
+		{0, KindNone},
+		{2*time.Second - 1, KindNone},
+		{2 * time.Second, KindStall},
+		{3 * time.Second, KindStall},
+		{4*time.Second - 1, KindStall},
+		{4 * time.Second, KindNone},
+		{10 * time.Second, KindNone},
+	}
+	for _, c := range cases {
+		d := in.Decide(c.now, "host-ssd.read")
+		if d.Kind != c.want {
+			t.Fatalf("now=%v: kind=%v, want %v", c.now, d.Kind, c.want)
+		}
+		if d.Kind == KindStall && d.Delay != 30*time.Millisecond {
+			t.Fatalf("stall delay=%v, want 30ms", d.Delay)
+		}
+	}
+}
+
+// TestWildcardSite: "dev.*" matches reads and writes but not other devices.
+func TestWildcardSite(t *testing.T) {
+	in := New(Plan{Rules: []Rule{{Site: "dev.*", Kind: KindIOError}}})
+	if !in.Decide(0, "dev.read").Fails() || !in.Decide(0, "dev.write").Fails() {
+		t.Fatalf("wildcard did not match dev operations")
+	}
+	if in.Decide(0, "other.read").Fails() {
+		t.Fatalf("wildcard matched unrelated site")
+	}
+}
+
+// TestFirstMatchWins: rule order is precedence.
+func TestFirstMatchWins(t *testing.T) {
+	in := New(Plan{Rules: []Rule{
+		{Site: "d.read", Kind: KindLatency, Delay: time.Millisecond},
+		{Site: "d.*", Kind: KindIOError},
+	}})
+	d := in.Decide(0, "d.read")
+	if d.Kind != KindLatency || d.Delay != time.Millisecond {
+		t.Fatalf("got %+v, want latency rule", d)
+	}
+	if !in.Decide(0, "d.write").Fails() {
+		t.Fatalf("second rule did not catch d.write")
+	}
+}
+
+// TestParsePlan round-trips the JSON encoding and rejects malformed plans.
+func TestParsePlan(t *testing.T) {
+	src := `{
+		"seed": 99,
+		"rules": [
+			{"site": "host-ssd.*", "kind": "io-error", "prob": 0.05},
+			{"site": "host-ssd.read", "kind": "stall", "from": 1000000000, "to": 2000000000, "delay": 25000000},
+			{"site": "transport.batch", "kind": "corrupt", "nth": 50}
+		]
+	}`
+	p, err := ParsePlan([]byte(src))
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Seed != 99 || len(p.Rules) != 3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Rules[0].Kind != KindIOError || p.Rules[1].Kind != KindStall || p.Rules[2].Kind != KindCorrupt {
+		t.Fatalf("kinds wrong: %+v", p.Rules)
+	}
+	if p.Rules[1].From != time.Second || p.Rules[1].To != 2*time.Second {
+		t.Fatalf("window wrong: %+v", p.Rules[1])
+	}
+
+	// Round-trip through Marshal.
+	out, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	p2, err := ParsePlan(out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(p2.Rules) != len(p.Rules) || p2.Rules[2].Nth != 50 {
+		t.Fatalf("round trip lost rules: %+v", p2)
+	}
+
+	bad := []string{
+		`{"rules": [{"kind": "io-error"}]}`,                           // no site
+		`{"rules": [{"site": "x"}]}`,                                  // no kind
+		`{"rules": [{"site": "x", "kind": "bogus"}]}`,                 // unknown kind
+		`{"rules": [{"site": "x", "kind": "io-error", "prob": 1.5}]}`, // prob out of range
+		`{"rules": [{"site": "x", "kind": "io-error", "typo": 1}]}`,   // unknown field
+	}
+	for _, s := range bad {
+		if _, err := ParsePlan([]byte(s)); err == nil {
+			t.Fatalf("ParsePlan accepted %s", s)
+		}
+	}
+}
+
+// TestStatsSnapshotIsolated: mutating a returned snapshot must not affect
+// the injector.
+func TestStatsSnapshotIsolated(t *testing.T) {
+	in := New(Plan{Rules: []Rule{{Site: "d.read", Kind: KindIOError}}})
+	in.Decide(0, "d.read")
+	s := in.Stats()
+	s["d.read"].Injected[KindIOError] = 1000
+	if got := in.Injected(KindIOError); got != 1 {
+		t.Fatalf("snapshot mutation leaked: injected=%d", got)
+	}
+}
+
+// TestConcurrentDecide exercises the injector under -race.
+func TestConcurrentDecide(t *testing.T) {
+	in := New(Plan{Seed: 1, Rules: []Rule{{Site: "d.*", Kind: KindIOError, Prob: 0.5}}})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			site := "d.read"
+			if g%2 == 1 {
+				site = "d.write"
+			}
+			for i := 0; i < 2000; i++ {
+				in.Decide(time.Duration(i), site)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	st := in.Stats()
+	if st["d.read"].Ops+st["d.write"].Ops != 16000 {
+		t.Fatalf("lost ops: %+v", st)
+	}
+}
+
+// TestErrorType: the structured error carries site and kind.
+func TestErrorType(t *testing.T) {
+	err := &Error{Site: "host-ssd.write", Kind: KindIOError}
+	if err.Error() != "fault: injected io-error at host-ssd.write" {
+		t.Fatalf("error string: %q", err.Error())
+	}
+}

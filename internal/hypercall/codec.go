@@ -27,6 +27,25 @@ import (
 // page travels via the per-page copy cost; on a real wire it would ride
 // in a sidecar buffer indexed by frame position.
 
+// FNV-1a (64-bit) parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Checksum is the FNV-1a digest the transport stamps on every crossing.
+// The receive side recomputes it over the delivered frames and rejects
+// the whole batch on mismatch, turning in-flight corruption into a clean
+// retry instead of decoding garbage.
+func Checksum(b []byte) uint64 {
+	h := fnvOffset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
 // appendUint appends a uvarint.
 func appendUint(b []byte, v uint64) []byte {
 	return binary.AppendUvarint(b, v)

@@ -14,8 +14,12 @@
 package hypercall
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
+
+	"doubledecker/internal/fault"
 )
 
 // Default costs for a VMCALL-based transport on the paper's Xeon-class
@@ -26,15 +30,29 @@ const (
 	DefaultPageCopyCost = 450 * time.Nanosecond
 )
 
+// Fault-injection sites the transport consults: one decision per batched
+// crossing and one per synchronous call.
+const (
+	SiteBatch = "transport.batch"
+	SiteCall  = "transport.call"
+)
+
+// ErrCorrupt is returned when the receive-side checksum verification
+// rejects a crossing; the sender must re-send the same frames.
+var ErrCorrupt = errors.New("hypercall: batch checksum mismatch")
+
 // Channel is one VM's hypercall path to the hypervisor cache manager.
 // Traffic counters are atomic: a VM's vCPU threads (and the flush tick)
 // may charge costs concurrently.
 type Channel struct {
 	callCost time.Duration
 	copyCost time.Duration
+	faults   *fault.Injector
 
 	calls       atomic.Int64
 	pagesCopied atomic.Int64
+	drops       atomic.Int64
+	corrupts    atomic.Int64
 }
 
 // NewChannel returns a channel with the default VMCALL cost model.
@@ -56,8 +74,65 @@ func (c *Channel) Cost(pages int) time.Duration {
 	return c.callCost + time.Duration(pages)*c.copyCost
 }
 
+// WithFaults attaches a fault injector to the channel and returns it;
+// drop, corrupt and latency faults are then played on every Deliver.
+func (c *Channel) WithFaults(in *fault.Injector) *Channel {
+	c.faults = in
+	return c
+}
+
+// Deliver models one crossing at site carrying the wire-encoded payload
+// plus pages data pages. It charges the world-switch and copy cost,
+// stamps the payload with its FNV-1a checksum on the send side, plays the
+// fault plan in flight, and verifies the checksum on the receive side:
+//
+//   - a drop (or stall/io-error) loses the crossing — nothing arrives;
+//   - a corruption flips payload bits, so verification rejects the batch;
+//   - a latency spike delays delivery but the payload arrives intact.
+//
+// The returned latency is charged in every case — a lost crossing still
+// burned its cost — and a non-nil error means the payload did not arrive
+// intact, so the caller must re-send the same frames or abandon them.
+//
+// Without an injector nothing can be lost or corrupted in flight, so the
+// checksum work is skipped entirely: the healthy path costs exactly what
+// it did before fault injection existed.
+func (c *Channel) Deliver(now time.Duration, pages int, payload []byte, site string) (time.Duration, error) {
+	lat := c.Cost(pages)
+	if c.faults == nil {
+		return lat, nil
+	}
+	sent := Checksum(payload)
+	received := sent
+	d := c.faults.Decide(now, site)
+	switch d.Kind {
+	case fault.KindLatency:
+		lat += d.Delay
+	case fault.KindCorrupt:
+		received ^= 1 << 63 // a bit flipped in flight
+	case fault.KindDrop, fault.KindStall, fault.KindIOError:
+		c.drops.Add(1)
+		return lat + d.Delay, &fault.Error{Site: site, Kind: d.Kind}
+	}
+	if received != sent {
+		c.corrupts.Add(1)
+		return lat, fmt.Errorf("%w at %s: sent %016x, received %016x", ErrCorrupt, site, sent, received)
+	}
+	return lat, nil
+}
+
 // Calls reports the number of hypercalls issued.
 func (c *Channel) Calls() int64 { return c.calls.Load() }
 
 // PagesCopied reports the number of pages moved across the boundary.
 func (c *Channel) PagesCopied() int64 { return c.pagesCopied.Load() }
+
+// Drops reports the number of crossings lost in flight.
+func (c *Channel) Drops() int64 { return c.drops.Load() }
+
+// Corrupts reports the number of crossings rejected by checksum.
+func (c *Channel) Corrupts() int64 { return c.corrupts.Load() }
+
+// Faulty reports whether a fault injector is attached; callers can skip
+// building payloads that exist only to be checksummed or corrupted.
+func (c *Channel) Faulty() bool { return c.faults != nil }

@@ -30,6 +30,11 @@ func (r *Ring) Len() int { return r.ops }
 // Pages reports the page payload of the buffered operations.
 func (r *Ring) Pages() int { return r.pages }
 
+// Bytes exposes the encoded frames awaiting delivery, for checksumming.
+// The slice aliases the ring's buffer; callers must not retain it across
+// Push or Drain.
+func (r *Ring) Bytes() []byte { return r.buf }
+
 // Fits reports whether one more op moving pages of data can be accepted
 // without exceeding the ring bounds.
 func (r *Ring) Fits(pages int) bool {

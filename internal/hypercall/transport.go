@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"doubledecker/internal/cleancache"
+	"doubledecker/internal/fault"
 	"doubledecker/internal/metrics"
 )
 
@@ -14,6 +15,14 @@ import (
 const (
 	DefaultMaxBatchOps   = 512
 	DefaultMaxBatchPages = 512
+)
+
+// Retry defaults: exponential backoff from 10 µs capped at 1 ms, with at
+// most 8 delivery attempts per crossing before the payload is abandoned.
+const (
+	DefaultRetryBase   = 10 * time.Microsecond
+	DefaultRetryCap    = time.Millisecond
+	DefaultMaxAttempts = 8
 )
 
 // Options parameterizes a Transport.
@@ -38,6 +47,17 @@ type Options struct {
 	// MetricsPrefix namespaces the recorded metrics (default
 	// "hypercall").
 	MetricsPrefix string
+	// Faults injects transport faults (drop, corrupt, latency) at sites
+	// SiteBatch and SiteCall; nil disables injection.
+	Faults *fault.Injector
+	// RetryBase is the initial backoff after a dropped or corrupted
+	// crossing (default 10 µs).
+	RetryBase time.Duration
+	// RetryCap bounds the exponential backoff (default 1 ms).
+	RetryCap time.Duration
+	// MaxAttempts bounds delivery attempts per crossing (default 8);
+	// after that the payload is abandoned.
+	MaxAttempts int
 }
 
 // TransportStats is a snapshot of one transport's traffic.
@@ -56,6 +76,23 @@ type TransportStats struct {
 	SyncOps int64
 	// Pending is the number of operations currently buffered.
 	Pending int64
+	// Retries is the number of crossings re-sent after a drop or a
+	// checksum rejection.
+	Retries int64
+	// Backoff is the total virtual time spent backing off before retries.
+	Backoff time.Duration
+	// Drops and Corrupts count the in-flight faults the channel observed.
+	Drops    int64
+	Corrupts int64
+	// DroppedBatches is the number of batches abandoned after MaxAttempts
+	// delivery attempts.
+	DroppedBatches int64
+	// RequeuedOps is the number of flush ops from abandoned batches
+	// re-queued for the next crossing.
+	RequeuedOps int64
+	// SyncFailures is the number of synchronous ops whose crossing was
+	// abandoned (reported Ok=false to the guest).
+	SyncFailures int64
 }
 
 // Transport is the batched, pipelined hypercall path from one VM to the
@@ -81,11 +118,22 @@ type Transport struct {
 	mu   sync.Mutex
 	ch   *Channel
 	ring *Ring // ddlint:guarded-by mu
+	// scratch is the reusable encode buffer for synchronous crossings.
+	scratch []byte // ddlint:guarded-by mu
 
-	unbatched  bool
-	batches    int64 // ddlint:guarded-by mu
-	batchedOps int64 // ddlint:guarded-by mu
-	syncOps    int64 // ddlint:guarded-by mu
+	unbatched   bool
+	retryBase   time.Duration
+	retryCap    time.Duration
+	maxAttempts int
+
+	batches        int64         // ddlint:guarded-by mu
+	batchedOps     int64         // ddlint:guarded-by mu
+	syncOps        int64         // ddlint:guarded-by mu
+	retries        int64         // ddlint:guarded-by mu
+	backoff        time.Duration // ddlint:guarded-by mu
+	droppedBatches int64         // ddlint:guarded-by mu
+	requeuedOps    int64         // ddlint:guarded-by mu
+	syncFailures   int64         // ddlint:guarded-by mu
 }
 
 var _ cleancache.Transport = (*Transport)(nil)
@@ -107,13 +155,25 @@ func NewTransport(be cleancache.Backend, opts Options) *Transport {
 	if opts.MetricsPrefix == "" {
 		opts.MetricsPrefix = "hypercall"
 	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = DefaultRetryBase
+	}
+	if opts.RetryCap <= 0 {
+		opts.RetryCap = DefaultRetryCap
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
 	return &Transport{
-		be:        be,
-		reg:       opts.Metrics,
-		prefix:    opts.MetricsPrefix,
-		ch:        NewChannelWithCosts(opts.CallCost, opts.PageCopyCost),
-		ring:      NewRing(opts.MaxBatchOps, opts.MaxBatchPages),
-		unbatched: opts.Unbatched,
+		be:          be,
+		reg:         opts.Metrics,
+		prefix:      opts.MetricsPrefix,
+		ch:          NewChannelWithCosts(opts.CallCost, opts.PageCopyCost).WithFaults(opts.Faults),
+		ring:        NewRing(opts.MaxBatchOps, opts.MaxBatchPages),
+		unbatched:   opts.Unbatched,
+		retryBase:   opts.RetryBase,
+		retryCap:    opts.RetryCap,
+		maxAttempts: opts.MaxAttempts,
 	}
 }
 
@@ -125,12 +185,19 @@ func (t *Transport) Stats() TransportStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TransportStats{
-		Calls:       t.ch.Calls(),
-		PagesCopied: t.ch.PagesCopied(),
-		Batches:     t.batches,
-		BatchedOps:  t.batchedOps,
-		SyncOps:     t.syncOps,
-		Pending:     int64(t.ring.Len()),
+		Calls:          t.ch.Calls(),
+		PagesCopied:    t.ch.PagesCopied(),
+		Batches:        t.batches,
+		BatchedOps:     t.batchedOps,
+		SyncOps:        t.syncOps,
+		Pending:        int64(t.ring.Len()),
+		Retries:        t.retries,
+		Backoff:        t.backoff,
+		Drops:          t.ch.Drops(),
+		Corrupts:       t.ch.Corrupts(),
+		DroppedBatches: t.droppedBatches,
+		RequeuedOps:    t.requeuedOps,
+		SyncFailures:   t.syncFailures,
 	}
 }
 
@@ -158,14 +225,90 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 	}
 
 	// Synchronous path: barrier-drain buffered ops first so the backend
-	// sees FIFO order, then pay this op's own crossing.
+	// sees FIFO order, then pay this op's own crossing. The wire encoding
+	// exists only for the fault model to checksum or corrupt, so the
+	// healthy path skips it.
 	lat := t.drainLocked(now)
-	lat += t.ch.Cost(req.Op.Pages())
+	var payload []byte
+	if t.ch.Faulty() {
+		t.scratch = EncodeRequest(t.scratch[:0], req)
+		payload = t.scratch
+	}
+	clat, ok := t.crossLocked(now+lat, req.Op.Pages(), payload, SiteCall)
+	lat += clat
 	t.syncOps++
+	if !ok {
+		// The call never reached the hypervisor. Reporting Ok=false is
+		// cleancache-safe: a failed get is a miss (the guest re-reads from
+		// its virtual disk), a failed control op surfaces to its caller.
+		t.syncFailures++
+		if t.reg != nil {
+			t.reg.Counter(t.prefix + ".sync_failures").Inc()
+		}
+		t.observe(req.Op, lat)
+		return cleancache.Response{Op: req.Op, Ok: false, Latency: lat}
+	}
 	resp := t.be.Dispatch(now+lat, req)
 	resp.Latency += lat
 	t.observe(req.Op, resp.Latency)
 	return resp
+}
+
+// crossLocked delivers payload across the boundary, re-sending dropped or
+// checksum-rejected crossings with capped exponential backoff. Replay is
+// idempotent because batches are FIFO and all-or-nothing: the receiver
+// either decoded the whole payload or saw none of it, so re-sending the
+// same frames cannot double-apply an op. Returns the total latency
+// (crossings plus backoff) and whether the payload was delivered within
+// the attempt budget. Requires t.mu.
+//
+// ddlint:requires-lock mu
+func (t *Transport) crossLocked(now time.Duration, pages int, payload []byte, site string) (time.Duration, bool) {
+	var lat time.Duration
+	backoff := t.retryBase
+	for attempt := 1; ; attempt++ {
+		dlat, err := t.ch.Deliver(now+lat, pages, payload, site)
+		lat += dlat
+		if err == nil {
+			return lat, true
+		}
+		if attempt >= t.maxAttempts {
+			return lat, false
+		}
+		t.retries++
+		t.backoff += backoff
+		if t.reg != nil {
+			t.reg.Counter(t.prefix + ".retries").Inc()
+		}
+		lat += backoff
+		backoff *= 2
+		if backoff > t.retryCap {
+			backoff = t.retryCap
+		}
+	}
+}
+
+// requeueLocked empties an abandoned batch, dropping its puts (the pages
+// are simply not cached — free under the cleancache contract) and
+// re-queuing its flushes for the next crossing: a lost flush would leave
+// the hypervisor holding an object the guest invalidated, so flushes must
+// eventually be delivered. Requires t.mu.
+//
+// ddlint:requires-lock mu
+func (t *Transport) requeueLocked() {
+	var keep []cleancache.Request
+	t.ring.Drain(func(req cleancache.Request) {
+		if req.Op != cleancache.OpPut {
+			keep = append(keep, req)
+		}
+	})
+	for _, req := range keep {
+		if !t.ring.Fits(req.Op.Pages()) {
+			break // cannot happen: flushes carry no pages and count ≤ maxOps
+		}
+		t.ring.Push(req)
+		t.requeuedOps++
+	}
 }
 
 // Flush implements cleancache.Transport: the guest's periodic transport
@@ -176,22 +319,34 @@ func (t *Transport) Flush(now time.Duration) time.Duration {
 	return t.drainLocked(now)
 }
 
-// drainLocked delivers the buffered batch in one crossing: one world
-// switch for the whole batch plus the page copies, then each op
-// dispatched in FIFO order at its pipelined delivery time. Returns the
+// drainLocked delivers the buffered batch in one checksummed crossing:
+// one world switch for the whole batch plus the page copies (re-sent with
+// backoff if the crossing is dropped or corrupted in flight), then each
+// op dispatched in FIFO order at its pipelined delivery time. Returns the
 // total latency charged to the draining caller. Requires t.mu.
 func (t *Transport) drainLocked(now time.Duration) time.Duration {
 	ops := t.ring.Len()
 	if ops == 0 {
 		return 0
 	}
-	lat := t.ch.Cost(t.ring.Pages())
+	pages := t.ring.Pages()
+	lat, ok := t.crossLocked(now, pages, t.ring.Bytes(), SiteBatch)
+	if !ok {
+		// Attempt budget exhausted: abandon the batch, salvaging what the
+		// contract requires (see requeueLocked).
+		t.droppedBatches++
+		if t.reg != nil {
+			t.reg.Counter(t.prefix + ".dropped_batches").Inc()
+		}
+		t.requeueLocked()
+		return lat
+	}
 	t.batches++
 	perOp := lat / time.Duration(ops) // amortized transport share
 	if t.reg != nil {
 		t.reg.Counter(t.prefix + ".batches").Inc()
 		t.reg.Counter(t.prefix + ".batched_ops").Add(int64(ops))
-		t.reg.Counter(t.prefix + ".batch_pages").Add(int64(t.ring.Pages()))
+		t.reg.Counter(t.prefix + ".batch_pages").Add(int64(pages))
 		t.reg.Series(t.prefix+".batch_ops").Record(now, float64(ops))
 	}
 	acc := lat

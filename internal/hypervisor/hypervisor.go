@@ -10,6 +10,7 @@ import (
 	"doubledecker/internal/blockdev"
 	"doubledecker/internal/cleancache"
 	"doubledecker/internal/ddcache"
+	"doubledecker/internal/fault"
 	"doubledecker/internal/guest"
 	"doubledecker/internal/hypercall"
 	"doubledecker/internal/metrics"
@@ -42,10 +43,18 @@ type Config struct {
 	// batched defaults.
 	Transport hypercall.Options
 	// Metrics, when set, receives the transports' per-op-code latency
-	// histograms and batch telemetry.
+	// histograms and batch telemetry, plus the SSD breaker's events.
 	Metrics *metrics.Registry
 	// GuestFlushInterval overrides the guests' transport flush tick.
 	GuestFlushInterval time.Duration
+	// Faults attaches a fault-injection plan to the host: the SSD cache
+	// device consults it at sites "host-ssd.read"/"host-ssd.write" and
+	// every VM's transport at "transport.batch"/"transport.call". Nil
+	// disables injection.
+	Faults *fault.Injector
+	// Breaker tunes the cache manager's SSD circuit breaker; the zero
+	// value keeps the defaults.
+	Breaker ddcache.BreakerConfig
 }
 
 // Host is a physical machine running the DoubleDecker-enabled hypervisor.
@@ -68,10 +77,13 @@ func New(engine *sim.Engine, cfg Config) *Host {
 	if topts.Metrics == nil {
 		topts.Metrics = cfg.Metrics
 	}
+	if topts.Faults == nil {
+		topts.Faults = cfg.Faults
+	}
 	h := &Host{
 		engine:     engine,
 		ram:        blockdev.NewRAM("host-ram"),
-		ssd:        blockdev.NewSSD("host-ssd"),
+		ssd:        blockdev.NewSSD("host-ssd", blockdev.WithFaults(cfg.Faults)),
 		caching:    !cfg.DisableCaching,
 		diskFor:    cfg.VMDiskFactory,
 		topts:      topts,
@@ -82,6 +94,8 @@ func New(engine *sim.Engine, cfg Config) *Host {
 		Mode:            cfg.Mode,
 		EvictBatchBytes: cfg.EvictBatchBytes,
 		VictimSelector:  cfg.VictimSelector,
+		Metrics:         cfg.Metrics,
+		Breaker:         cfg.Breaker,
 	}
 	if cfg.MemCacheBytes > 0 {
 		mcfg.Mem = store.NewMem(h.ram, cfg.MemCacheBytes)

@@ -248,7 +248,11 @@ func (c *Cache) Read(now time.Duration, g *cgroup.Group, f *fsmodel.File, start,
 			runEnd++
 		}
 		runLen := runEnd - b
-		lat += c.disk.Read(now+lat, f.BlockOffset(b), runLen*fsmodel.BlockSize)
+		// Guest virtual-disk errors are outside the cleancache failure
+		// model (the guest would retry or surface EIO to the app); the
+		// simulation charges the latency and carries on.
+		dl, _ := c.disk.Read(now+lat, f.BlockOffset(b), runLen*fsmodel.BlockSize)
+		lat += dl
 		st.DiskReads += runLen
 		st.Misses += runLen - 1
 		for rb := b; rb < runEnd; rb++ {
@@ -323,7 +327,8 @@ func (c *Cache) Fsync(now time.Duration, g *cgroup.Group, f *fsmodel.File) time.
 	runStart := dirtyBlocks[0]
 	runLen := int64(1)
 	flushRun := func(startBlock, length int64) {
-		lat += c.disk.Write(now+lat, f.BlockOffset(startBlock), length*fsmodel.BlockSize)
+		wl, _ := c.disk.Write(now+lat, f.BlockOffset(startBlock), length*fsmodel.BlockSize)
+		lat += wl
 		st.DiskWrites += length
 	}
 	for _, b := range dirtyBlocks[1:] {
@@ -423,7 +428,8 @@ func (c *Cache) throttleDirty(now time.Duration, g *cgroup.Group) time.Duration 
 		if len(run) == 0 {
 			break
 		}
-		lat += c.disk.Write(now+lat, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
+		wl, _ := c.disk.Write(now+lat, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
+		lat += wl
 		c.clean(run)
 	}
 	return lat
@@ -468,7 +474,7 @@ func (c *Cache) FlushDirty(now time.Duration, max int) int {
 			if len(run) == 0 {
 				continue
 			}
-			c.disk.WriteAsync(now, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
+			_ = c.disk.WriteAsync(now, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
 			c.clean(run)
 			n += len(run)
 			progressed = true
@@ -532,7 +538,8 @@ func (c *Cache) ReclaimFile(now time.Duration, g *cgroup.Group, want int64) (int
 				}
 				run = append(run, q)
 			}
-			lat += c.disk.Write(now+lat, p.diskOff, int64(len(run))*fsmodel.BlockSize)
+			wl, _ := c.disk.Write(now+lat, p.diskOff, int64(len(run))*fsmodel.BlockSize)
+			lat += wl
 			c.clean(run)
 		}
 		if c.front != nil {

@@ -11,6 +11,12 @@
 // that Store/Release are independent operations: the manager's fast path
 // checks capacity before storing, so concurrent putters may transiently
 // overshoot a full store (the manager documents and bounds this).
+//
+// Failure contract: Store and Fetch propagate the underlying device's
+// error. A failed Store charges no usage — the object was never admitted —
+// so the caller must not Release it. A failed Fetch leaves the object's
+// usage charged; the caller decides whether to invalidate (and then
+// Release as usual).
 package store
 
 import (
@@ -34,19 +40,32 @@ type Backend interface {
 	SetCapacityBytes(n int64)
 	UsedBytes() int64
 	// Store allocates and copies an object in, returning the latency the
-	// storing path observes.
-	Store(now time.Duration, size int64) time.Duration
-	// Fetch reads an object out (a get), returning the read latency.
-	Fetch(now time.Duration, size int64) time.Duration
+	// storing path observes. On error the object was not stored and no
+	// usage was charged.
+	Store(now time.Duration, size int64) (time.Duration, error)
+	// Fetch reads an object out (a get), returning the read latency. On
+	// error the stored bytes are unreadable; usage stays charged until
+	// the caller Releases the object.
+	Fetch(now time.Duration, size int64) (time.Duration, error)
 	// Release frees an object's space (eviction or flush); free of charge.
 	Release(size int64)
 }
 
-// release decrements an atomic usage counter with the defensive clamp the
-// accounting has always had: usage never reads negative.
+// release decrements an atomic usage counter, clamping at zero: usage
+// never reads negative. The clamp is a CAS loop — a plain Add-then-fixup
+// could race with a concurrent Store and erase its charge (or lose the
+// clamp entirely when the CAS failed), which is exactly the bug the
+// TestReleaseClampRace regression pins.
 func release(used *atomic.Int64, size int64) {
-	if n := used.Add(-size); n < 0 {
-		used.CompareAndSwap(n, 0)
+	for {
+		cur := used.Load()
+		next := cur - size
+		if next < 0 {
+			next = 0
+		}
+		if used.CompareAndSwap(cur, next) {
+			return
+		}
 	}
 }
 
@@ -77,15 +96,19 @@ func (m *Mem) SetCapacityBytes(n int64) { m.capacity.Store(n) }
 func (m *Mem) UsedBytes() int64 { return m.used.Load() }
 
 // Store implements Backend: a synchronous page copy into host memory.
-func (m *Mem) Store(now time.Duration, size int64) time.Duration {
-	m.used.Add(size)
-	return m.ram.Write(now, 0, size)
+// Usage is charged only when the copy succeeds.
+func (m *Mem) Store(now time.Duration, size int64) (time.Duration, error) {
+	lat, err := m.ram.Write(now, 0, size)
+	if err == nil {
+		m.used.Add(size)
+	}
+	return lat, err
 }
 
 // Fetch implements Backend: a synchronous page copy out; the object is
 // removed by the subsequent Release from the cache manager (exclusive
 // caching).
-func (m *Mem) Fetch(now time.Duration, size int64) time.Duration {
+func (m *Mem) Fetch(now time.Duration, size int64) (time.Duration, error) {
 	return m.ram.Read(now, 0, size)
 }
 
@@ -124,8 +147,8 @@ func (s *SSD) UsedBytes() int64 { return s.used.Load() }
 
 // Store implements Backend: the write is issued asynchronously, so the
 // caller pays only the submission cost while the device absorbs the work.
-func (s *SSD) Store(now time.Duration, size int64) time.Duration {
-	s.used.Add(size)
+// A write rejected at submission charges no usage and stores nothing.
+func (s *SSD) Store(now time.Duration, size int64) (time.Duration, error) {
 	s.mu.Lock()
 	offset := s.cursor
 	s.cursor += size
@@ -133,12 +156,15 @@ func (s *SSD) Store(now time.Duration, size int64) time.Duration {
 		s.cursor %= c
 	}
 	s.mu.Unlock()
-	s.dev.WriteAsync(now, offset, size)
-	return time.Microsecond // submission overhead
+	if err := s.dev.WriteAsync(now, offset, size); err != nil {
+		return time.Microsecond, err // submission cost was still paid
+	}
+	s.used.Add(size)
+	return time.Microsecond, nil // submission overhead
 }
 
 // Fetch implements Backend: a synchronous block read.
-func (s *SSD) Fetch(now time.Duration, size int64) time.Duration {
+func (s *SSD) Fetch(now time.Duration, size int64) (time.Duration, error) {
 	return s.dev.Read(now, 0, size)
 }
 

@@ -2,19 +2,41 @@ package store
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"doubledecker/internal/blockdev"
 	"doubledecker/internal/cgroup"
+	"doubledecker/internal/fault"
 )
+
+// mustStore/mustFetch assert the fault-free paths stay error-free.
+func mustStore(t *testing.T, b Backend, now time.Duration, size int64) time.Duration {
+	t.Helper()
+	lat, err := b.Store(now, size)
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	return lat
+}
+
+func mustFetch(t *testing.T, b Backend, now time.Duration, size int64) time.Duration {
+	t.Helper()
+	lat, err := b.Fetch(now, size)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	return lat
+}
 
 func TestMemStoreAccounting(t *testing.T) {
 	m := NewMem(blockdev.NewRAM("hostram"), 1<<20)
 	if m.Type() != cgroup.StoreMem {
 		t.Fatalf("Type = %v", m.Type())
 	}
-	lat := m.Store(0, 4096)
+	lat := mustStore(t, m, 0, 4096)
 	if lat <= 0 {
 		t.Fatal("memcpy should cost time")
 	}
@@ -34,11 +56,11 @@ func TestMemStoreAccounting(t *testing.T) {
 func TestSSDStoreAsyncWriteSyncRead(t *testing.T) {
 	dev := blockdev.NewSSD("ssd")
 	s := NewSSD(dev, 240<<30)
-	wlat := s.Store(0, 4096)
+	wlat := mustStore(t, s, 0, 4096)
 	if wlat > 10*time.Microsecond {
 		t.Fatalf("async store latency %v too high", wlat)
 	}
-	rlat := s.Fetch(0, 4096)
+	rlat := mustFetch(t, s, 0, 4096)
 	if rlat < 60*time.Microsecond {
 		t.Fatalf("sync fetch latency %v too low for SSD", rlat)
 	}
@@ -51,10 +73,10 @@ func TestSSDFetchQueuesBehindWrites(t *testing.T) {
 	dev := blockdev.NewSSD("ssd")
 	s := NewSSD(dev, 1<<30)
 	for i := 0; i < 100; i++ {
-		s.Store(0, 4096)
+		mustStore(t, s, 0, 4096)
 	}
-	blocked := s.Fetch(0, 4096)
-	idle := NewSSD(blockdev.NewSSD("x"), 1<<30).Fetch(0, 4096)
+	blocked := mustFetch(t, s, 0, 4096)
+	idle := mustFetch(t, NewSSD(blockdev.NewSSD("x"), 1<<30), 0, 4096)
 	if blocked <= idle {
 		t.Fatalf("read should queue behind async writes: %v vs %v", blocked, idle)
 	}
@@ -75,8 +97,101 @@ func TestSetCapacity(t *testing.T) {
 
 func TestDescribe(t *testing.T) {
 	m := NewMem(blockdev.NewRAM("r"), 100)
-	m.Store(0, 10)
+	mustStore(t, m, 0, 10)
 	if got := Describe(m); !strings.Contains(got, "mem store: 10/100") {
 		t.Fatalf("Describe = %q", got)
+	}
+}
+
+// TestFailedStoreChargesNoUsage: a store rejected by the device must leave
+// usage untouched — the caller will not Release an object that was never
+// admitted.
+func TestFailedStoreChargesNoUsage(t *testing.T) {
+	in := fault.New(fault.Plan{Rules: []fault.Rule{{Site: "ssd.write", Kind: fault.KindIOError}}})
+	s := NewSSD(blockdev.NewSSD("ssd", blockdev.WithFaults(in)), 1<<30)
+	if _, err := s.Store(0, 4096); err == nil {
+		t.Fatal("store under write faults did not fail")
+	}
+	if s.UsedBytes() != 0 {
+		t.Fatalf("failed store charged usage: %d", s.UsedBytes())
+	}
+
+	inMem := fault.New(fault.Plan{Rules: []fault.Rule{{Site: "ram.write", Kind: fault.KindIOError}}})
+	m := NewMem(blockdev.NewRAM("ram", blockdev.WithFaults(inMem)), 1<<30)
+	if _, err := m.Store(0, 4096); err == nil {
+		t.Fatal("mem store under write faults did not fail")
+	}
+	if m.UsedBytes() != 0 {
+		t.Fatalf("failed mem store charged usage: %d", m.UsedBytes())
+	}
+}
+
+// TestFailedFetchKeepsUsage: a fetch error leaves the accounting to the
+// caller — usage stays charged until an explicit Release.
+func TestFailedFetchKeepsUsage(t *testing.T) {
+	in := fault.New(fault.Plan{Rules: []fault.Rule{{Site: "ssd.read", Kind: fault.KindIOError}}})
+	s := NewSSD(blockdev.NewSSD("ssd", blockdev.WithFaults(in)), 1<<30)
+	mustStore(t, s, 0, 4096)
+	if _, err := s.Fetch(0, 4096); err == nil {
+		t.Fatal("fetch under read faults did not fail")
+	}
+	if s.UsedBytes() != 4096 {
+		t.Fatalf("failed fetch changed usage: %d", s.UsedBytes())
+	}
+	s.Release(4096)
+	if s.UsedBytes() != 0 {
+		t.Fatalf("release after failed fetch: %d", s.UsedBytes())
+	}
+}
+
+// TestReleaseClampRace is the regression for the old Add-then-CompareAndSwap
+// clamp: concurrent over-releases racing against stores could either leave
+// the counter negative (the failed-CAS path) or erase a concurrent store's
+// charge. With the CAS-loop clamp the counter must never read negative at
+// any point, and a balanced workload must end at exactly zero.
+func TestReleaseClampRace(t *testing.T) {
+	var used atomic.Int64
+	const (
+		workers = 8
+		rounds  = 5000
+	)
+	var wg sync.WaitGroup
+	var sawNegative atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				used.Add(64)
+				release(&used, 64)
+				release(&used, 64) // over-release: exercises the clamp
+				if used.Load() < 0 {
+					sawNegative.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sawNegative.Load() {
+		t.Fatal("usage read negative during concurrent release")
+	}
+	if got := used.Load(); got != 0 {
+		t.Fatalf("final usage = %d, want 0", got)
+	}
+}
+
+// TestReleaseClampSequential pins the exact interleaving the old code got
+// wrong: an over-release whose fixup CAS fails (because another goroutine
+// moved the counter) used to leave the negative value in place.
+func TestReleaseClampSequential(t *testing.T) {
+	var used atomic.Int64
+	release(&used, 100) // over-release on an empty counter
+	if got := used.Load(); got != 0 {
+		t.Fatalf("usage after over-release = %d, want 0", got)
+	}
+	used.Store(50)
+	release(&used, 100) // partial over-release
+	if got := used.Load(); got != 0 {
+		t.Fatalf("usage after partial over-release = %d, want 0", got)
 	}
 }
