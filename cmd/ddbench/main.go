@@ -9,6 +9,15 @@
 //	ddbench -parallel N
 //	ddbench [-quick] -transportjson BENCH_transport.json
 //	ddbench [-quick] -faultjson BENCH_fault.json
+//	ddbench [-quick] -scalingjson BENCH_scaling.json [-minscaling F]
+//
+// -scalingjson runs the hot-path scaling experiment: closed-loop guests
+// (each pacing its modeled device latency) drive the sharded manager and
+// a single-lock baseline (the sequential oracle behind one mutex that is
+// held across each operation's device wait) at 1, 2, 4 and 8 guests, and
+// writes throughput rows plus the 8-vs-1 speedups. -minscaling F makes
+// the run fail unless the sharded 8-guest throughput is at least F times
+// the sharded 1-guest throughput.
 //
 // -transportjson runs the batched-vs-unbatched hypercall transport
 // benchmark and writes machine-readable results (hypercalls/op, ns/op,
@@ -29,10 +38,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"doubledecker/internal/blockdev"
 	"doubledecker/internal/ddcache"
+	"doubledecker/internal/ddcache/oracle"
 	"doubledecker/internal/experiments"
+	"doubledecker/internal/store"
 )
 
 func main() {
@@ -51,6 +64,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "run the concurrent stress driver with N workers per VM and exit")
 	transportJSON := fs.String("transportjson", "", "write the transport benchmark as JSON to this file and exit")
 	faultJSON := fs.String("faultjson", "", "write the fault-injection benchmark as JSON to this file and exit")
+	scalingJSON := fs.String("scalingjson", "", "write the hot-path scaling benchmark as JSON to this file and exit")
+	minScaling := fs.Float64("minscaling", 0, "fail unless sharded 8-guest throughput is at least this multiple of 1-guest (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +77,9 @@ func run(args []string) error {
 	}
 	if *faultJSON != "" {
 		return writeFaultJSON(*faultJSON, *seed, *quick, *stretch)
+	}
+	if *scalingJSON != "" {
+		return writeScalingJSON(*scalingJSON, *seed, *quick, *minScaling)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -185,6 +203,127 @@ func writeTransportJSON(path string, seed int64, quick bool, stretch float64) er
 	fmt.Printf("wrote %s: %.1fx hypercall reduction (%d → %d) at hit %% %.1f/%.1f\n",
 		path, out.Reduction, b.Unbatched.Calls, b.Batched.Calls,
 		b.Unbatched.HitPct, b.Batched.HitPct)
+	return nil
+}
+
+// scalingRow is the JSON shape of one (implementation, guest count) cell
+// of the scaling experiment.
+type scalingRow struct {
+	Impl      string  `json:"impl"` // "sharded" or "single-lock"
+	CPUs      int     `json:"cpus"` // GOMAXPROCS for the run
+	Guests    int     `json:"guests"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	GetHits   int64   `json:"get_hits"`
+	Puts      int64   `json:"puts"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// scalingBackends builds one fresh sharded manager and one fresh
+// single-lock baseline (the sequential oracle behind a mutex held across
+// each op's modeled device wait) with identical capacities.
+func scalingBackends() (*ddcache.Manager, *oracle.Sequential) {
+	const (
+		memCap = int64(64 << 20)
+		ssdCap = int64(256 << 20)
+	)
+	m := ddcache.New(
+		ddcache.WithMode(ddcache.ModeDD),
+		ddcache.WithMemCapacity(memCap),
+		ddcache.WithSSDCapacity(ssdCap),
+	)
+	o := oracle.New(oracle.Config{
+		Mode: oracle.ModeDD,
+		Mem:  store.NewMem(blockdev.NewRAM("scale.ram"), memCap),
+		SSD:  store.NewSSD(blockdev.NewSSD("scale.ssd"), ssdCap),
+	})
+	return m, oracle.NewSequential(o, true)
+}
+
+// writeScalingJSON runs the hot-path scaling experiment and emits
+// BENCH_scaling.json for CI tracking. Closed-loop guests issue an
+// SSD-heavy mix (the modeled ~90µs device reads dominate): against the
+// sharded manager each guest paces its own latency, so guests overlap
+// their device waits and throughput grows with the guest count; against
+// the single-lock baseline the wait is served while holding the global
+// mutex, so adding guests adds no throughput. minScaling > 0 gates the
+// run on sharded 8-guest vs 1-guest throughput.
+func writeScalingJSON(path string, seed int64, quick bool, minScaling float64) error {
+	opsPerGuest := 2000
+	if quick {
+		opsPerGuest = 500
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []scalingRow
+	byImpl := map[string]map[int]float64{"sharded": {}, "single-lock": {}}
+	for _, guests := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(guests)
+		opts := ddcache.BackendStressOptions{
+			Guests:   guests,
+			Ops:      opsPerGuest,
+			Seed:     seed,
+			SSDHeavy: true,
+		}
+		m, baseline := scalingBackends()
+		shardedOpts := opts
+		shardedOpts.Pace = true // guest sleeps its own latency: waits overlap
+		res := ddcache.RunStressBackend(m, shardedOpts)
+		rows = append(rows, scalingRow{
+			Impl: "sharded", CPUs: guests, Guests: guests,
+			Ops: res.Ops, OpsPerSec: res.OpsPerSec(),
+			GetHits: res.GetHits, Puts: res.Puts,
+			WallMS: float64(res.Wall.Milliseconds()),
+		})
+		byImpl["sharded"][guests] = res.OpsPerSec()
+
+		res = ddcache.RunStressBackend(baseline, opts) // wrapper paces inside the lock
+		rows = append(rows, scalingRow{
+			Impl: "single-lock", CPUs: guests, Guests: guests,
+			Ops: res.Ops, OpsPerSec: res.OpsPerSec(),
+			GetHits: res.GetHits, Puts: res.Puts,
+			WallMS: float64(res.Wall.Milliseconds()),
+		})
+		byImpl["single-lock"][guests] = res.OpsPerSec()
+	}
+
+	speedup := func(impl string) float64 {
+		if byImpl[impl][1] <= 0 {
+			return 0
+		}
+		return byImpl[impl][8] / byImpl[impl][1]
+	}
+	out := struct {
+		Benchmark       string       `json:"benchmark"`
+		Seed            int64        `json:"seed"`
+		OpsPerGuest     int          `json:"ops_per_guest"`
+		Rows            []scalingRow `json:"rows"`
+		ShardedSpeedup  float64      `json:"sharded_speedup_8v1"`
+		BaselineSpeedup float64      `json:"single_lock_speedup_8v1"`
+	}{
+		Benchmark:       "scaling",
+		Seed:            seed,
+		OpsPerGuest:     opsPerGuest,
+		Rows:            rows,
+		ShardedSpeedup:  speedup("sharded"),
+		BaselineSpeedup: speedup("single-lock"),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: sharded 8v1 speedup %.2fx (%.0f → %.0f ops/s), single-lock %.2fx (%.0f → %.0f ops/s)\n",
+		path, out.ShardedSpeedup, byImpl["sharded"][1], byImpl["sharded"][8],
+		out.BaselineSpeedup, byImpl["single-lock"][1], byImpl["single-lock"][8])
+	if minScaling > 0 && out.ShardedSpeedup < minScaling {
+		return fmt.Errorf("sharded 8-guest throughput scaled only %.2fx over 1-guest, want >= %.2fx",
+			out.ShardedSpeedup, minScaling)
+	}
 	return nil
 }
 

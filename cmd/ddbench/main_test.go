@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -17,6 +22,37 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunNoArgs(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("missing experiment not rejected")
+	}
+}
+
+func TestRunScalingJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the paced scaling rows in real time")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	if err := run([]string{"-quick", "-scalingjson", path}); err != nil {
+		t.Fatalf("run -scalingjson: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	var out struct {
+		Benchmark string `json:"benchmark"`
+		Rows      []struct {
+			Impl   string `json:"impl"`
+			Guests int    `json:"guests"`
+		} `json:"rows"`
+		ShardedSpeedup float64 `json:"sharded_speedup_8v1"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Benchmark != "scaling" || len(out.Rows) != 8 {
+		t.Fatalf("unexpected shape: benchmark %q, %d rows", out.Benchmark, len(out.Rows))
+	}
+	if out.ShardedSpeedup <= 1 {
+		t.Fatalf("sharded manager did not scale: 8v1 speedup %.2f", out.ShardedSpeedup)
 	}
 }
 

@@ -76,6 +76,23 @@ func (t *transport) Deliver() bool {
 	return t.crossLocked() // lockcheck: requires-lock callee, mu not held
 }
 
+// cache mirrors the sharded ddcache.Manager's epoch shape: the epoch
+// sequence is published atomically on every snapshot swap.
+type cache struct {
+	seq uint64 // published via atomic.AddUint64 in publish
+}
+
+func (c *cache) publish() {
+	atomic.AddUint64(&c.seq, 1)
+}
+
+// EpochSeq reads the published sequence without sync/atomic — the
+// plain-read-of-epoch-state shape the shard refactor must keep out of
+// the lock-free hot path.
+func (c *cache) EpochSeq() uint64 {
+	return c.seq // atomiccheck: plain read of atomically-published epoch seq
+}
+
 // breaker mirrors the ddcache SSD circuit breaker's guarded state
 // machine.
 type breaker struct {

@@ -23,33 +23,54 @@
 //
 // A Manager is safe for use by any number of goroutines — the intended
 // deployment is one or more goroutines per guest VM all sharing one
-// manager, exactly as concurrent guests share the hypervisor cache. The
-// lock hierarchy, from outermost to innermost:
+// manager, exactly as concurrent guests share the hypervisor cache.
 //
-//  1. Manager.mu (store-level RWMutex). Held for writing by structural
-//     and cross-VM operations: VM registration, pool create/destroy,
-//     weight and capacity changes, eviction, and cross-VM migration. Held
-//     for reading by every per-VM data operation.
-//  2. vmState.mu (per-VM mutex). Acquired only while holding Manager.mu
-//     for reading; guards one VM's pool indexes, specs and entitlement
-//     inputs. Get/Put/Flush/SetSpec for different VMs therefore never
-//     contend beyond the shared read lock. Two VM locks are never held at
-//     once: any operation spanning VMs upgrades to Manager.mu instead.
-//  3. Manager.dedupMu (leaf mutex) guards the cross-VM content-reference
-//     table used by deduplication.
+// The design splits configuration state from data state so that the
+// common path (Get/Put/Flush) never takes a store-wide lock:
 //
-// Hot counters — eviction and dedup totals, per-pool statistics, per-pool
-// and per-store byte accounting — are atomics, so the read-only
-// observation paths (PoolUsedBytes, VMUsedBytes, StoreUsedBytes,
-// TotalEvictions, DedupSavedBytes) never take a VM lock and never block
-// the data path.
+//   - Configuration state — registered VMs, weights, pool specs and the
+//     two-level entitlements derived from them — is published as an
+//     immutable epoch snapshot (see epoch.go) swapped through an atomic
+//     pointer. Data-path operations load the current epoch with one
+//     atomic read; configuration operations build a successor epoch
+//     under Manager.configMu and publish it atomically.
+//   - Object state — each pool's index structure — is striped per VM:
+//     poolState.idx and poolState.dead are guarded by the owning VM's
+//     vmState.mu, so guests operating on different VMs never contend.
+//   - The cross-VM content-reference table used by deduplication is an
+//     N-way sharded hash table (see dedup.go): contentKey hashes select
+//     a shard mutex, replacing the old manager-global dedupMu.
+//   - Capacity enforcement batches under a per-store eviction token
+//     (evictMemMu/evictSSDMu), so at most one evictor per store runs
+//     Algorithm 1 at a time while readers and same-store putters keep
+//     flowing.
 //
-// Capacity checks on the Put fast path are check-then-act under the read
-// lock: concurrent putters may transiently overshoot a full store by up
-// to one object each before the next put takes the write lock and evicts.
-// The index (package index) and storage (package store) modules document
-// their own sides of this contract: index relies on the locks above,
-// store and blockdev are self-locking.
+// The lock hierarchy, from outermost to innermost:
+//
+//  1. Manager.configMu — serializes configuration/structural operations
+//     (VM registration, pool create/destroy, weight/spec/capacity
+//     changes). Never taken by data-path operations.
+//  2. Eviction tokens (Manager.evictMemMu, Manager.evictSSDMu) — one
+//     evictor per store. Taken with configMu held (capacity shrink) or
+//     with no lock held (Put slow path).
+//  3. vmState.mu — one VM's pool indexes and liveness flags. Cross-VM
+//     migration acquires two VM locks in VM-id order; every other
+//     operation holds at most one.
+//  4. Leaf locks: dedup shard mutexes, the SSD breaker's internal lock.
+//
+// A goroutine may hold an epoch that a concurrent configuration change
+// has already superseded. That is safe by construction: epochs are
+// immutable, byte accounting lives in index.Accounting atomics shared by
+// all epochs, and destroyed pools are tombstoned via poolState.dead
+// (checked under the VM lock) before they leave the epoch, so a stale
+// reference can never resurrect a drained pool.
+//
+// Capacity checks on the Put fast path remain check-then-act: concurrent
+// putters may transiently overshoot a full store by up to one object each
+// before the next put takes the slow path and evicts under the store's
+// eviction token. The index (package index) and storage (package store)
+// modules document their own sides of this contract: index relies on the
+// VM locks above, store and blockdev are self-locking.
 package ddcache
 
 import (
@@ -112,13 +133,17 @@ type Config struct {
 	// with the same content identity share one physical copy (the
 	// extension the paper names in its related-work discussion).
 	Dedup bool
+	// DedupShards is the stripe width of the sharded content-reference
+	// table; 0 selects DefaultDedupShards.
+	DedupShards int
 	// Inclusive disables the exclusive-caching protocol: gets leave the
 	// object in the cache, so guest page cache and hypervisor cache hold
 	// duplicate copies — the wasteful design the paper's §2 argues
 	// against. For the ablation benchmark only.
 	Inclusive bool
 	// Metrics receives the SSD circuit breaker's trip/probe/restore
-	// events and state gauge; nil disables recording.
+	// events, the epoch.*/shard.* gauges, and the breaker state gauge;
+	// nil disables recording.
 	Metrics *metrics.Registry
 	// Breaker tunes the SSD circuit breaker; the zero value selects the
 	// defaults documented on BreakerConfig. The breaker exists whenever
@@ -129,31 +154,14 @@ type Config struct {
 // DefaultEvictBatch is the paper's 2 MiB eviction batch.
 const DefaultEvictBatch = 2 << 20
 
-// vmState tracks one registered VM.
+// vmState is the mutable per-VM state record. It is shared by every
+// epoch that includes the VM; the frozen attributes (weight, pool list)
+// live on the epoch instead.
 type vmState struct {
 	id cleancache.VMID
-	// weight is guarded by Manager.mu: written under the write lock,
-	// read under either lock mode.
-	// ddlint:guarded-by mu
-	weight int64
-	// mu is the per-VM lock (level 2 of the hierarchy); acquired only
-	// while holding Manager.mu for reading.
+	// mu is the per-VM data lock (level 3 of the hierarchy); it guards
+	// the VM's pool index structures and liveness flags.
 	mu sync.Mutex
-	// pools is mutated only under Manager.mu held for writing; data-path
-	// readers hold Manager.mu for reading.
-	// ddlint:guarded-by mu
-	pools []*poolState // creation order, for deterministic iteration
-}
-
-// usedBytes sums the VM's occupancy in st across its pools.
-//
-// ddlint:requires-lock mu
-func (v *vmState) usedBytes(st cgroup.StoreType) int64 {
-	var u int64
-	for _, p := range v.pools {
-		u += p.idx.UsedBytes(st)
-	}
-	return u
 }
 
 // poolCounters are the per-pool statistics, atomic so GET_STATS snapshots
@@ -176,27 +184,24 @@ func (c *poolCounters) snapshot() cleancache.PoolStats {
 	}
 }
 
-// poolState tracks one container pool. spec and idx structure are guarded
-// by the owning VM's lock (or Manager.mu held for writing).
+// poolState is the mutable per-pool state record, shared by every epoch
+// that includes the pool. The pool's spec and entitlements are frozen on
+// the epoch (epochPool); only the index structure, the liveness flag and
+// the statistics live here.
 type poolState struct {
+	id cleancache.PoolID
 	// ddlint:guarded-by mu
 	idx *index.Pool
+	// acct is the pool's lock-free accounting view (atomic reads of
+	// occupancy), shared with every epoch referencing this pool.
+	acct *index.Accounting
+	vm   *vmState
+	// dead tombstones a destroyed pool: set under the VM lock before the
+	// pool leaves the epoch, so goroutines holding a stale epoch reject
+	// the pool instead of resurrecting drained state.
 	// ddlint:guarded-by mu
-	spec     cgroup.HCacheSpec
-	vm       *vmState
+	dead     bool
 	counters poolCounters
-}
-
-// usesStore reports whether the pool may place objects in st.
-//
-// ddlint:requires-lock mu
-func (p *poolState) usesStore(st cgroup.StoreType) bool {
-	switch p.spec.Store {
-	case cgroup.StoreHybrid:
-		return st == cgroup.StoreMem || st == cgroup.StoreSSD
-	default:
-		return p.spec.Store == st
-	}
 }
 
 // Manager is the DoubleDecker hypervisor cache manager. See the package
@@ -204,18 +209,25 @@ func (p *poolState) usesStore(st cgroup.StoreType) bool {
 type Manager struct {
 	cfg Config
 
-	// mu is the store-level lock (level 1 of the hierarchy). It guards
-	// the vms/pools maps, vmOrder, nextPool and every VM weight.
-	mu       sync.RWMutex
-	vms      map[cleancache.VMID]*vmState     // ddlint:guarded-by mu
-	vmOrder  []*vmState                       // ddlint:guarded-by mu
-	pools    map[cleancache.PoolID]*poolState // ddlint:guarded-by mu
-	nextPool cleancache.PoolID                // ddlint:guarded-by mu
+	// configMu (level 1 of the hierarchy) serializes configuration and
+	// structural operations; the data path never takes it.
+	configMu sync.Mutex
+	// nextPool allocates pool ids.
+	// ddlint:guarded-by configMu
+	nextPool cleancache.PoolID
 
-	// dedupMu (leaf lock) guards contentRefs, the logical reference
-	// counts per (store, content); the physical copy is charged once.
-	dedupMu     sync.Mutex
-	contentRefs map[contentKey]int64 // ddlint:guarded-by dedupMu
+	// epoch is the current immutable configuration snapshot, read
+	// lock-free by the data path and swapped by configuration ops.
+	epoch atomic.Pointer[epoch]
+
+	// dedup is the sharded cross-VM content-reference table (leaf locks).
+	dedup *dedupTable
+
+	// evictMemMu and evictSSDMu are the per-store eviction tokens (level
+	// 2): capacity enforcement for a store batches under its token
+	// instead of blocking readers store-wide.
+	evictMemMu sync.Mutex
+	evictSSDMu sync.Mutex
 
 	// ssdBreaker guards the SSD store against a failing device: after
 	// Config.Breaker.Threshold errors in the sliding window, SSD traffic
@@ -228,7 +240,6 @@ type Manager struct {
 	// run-wide counters
 	nextSeq        atomic.Uint64
 	totalEvictions atomic.Int64
-	dedupSaved     atomic.Int64 // physical bytes avoided by deduplication
 }
 
 // contentKey identifies one deduplicated physical copy.
@@ -257,12 +268,11 @@ func NewManager(cfg Config) *Manager {
 		cfg.VictimSelector = policy.SelectVictim
 	}
 	m := &Manager{
-		cfg:         cfg,
-		vms:         make(map[cleancache.VMID]*vmState),
-		pools:       make(map[cleancache.PoolID]*poolState),
-		nextPool:    1,
-		contentRefs: make(map[contentKey]int64),
+		cfg:      cfg,
+		nextPool: 1,
+		dedup:    newDedupTable(cfg.DedupShards),
 	}
+	m.epoch.Store(emptyEpoch())
 	if cfg.SSD != nil {
 		m.ssdBreaker = newBreaker(cfg.Breaker, cfg.Metrics, "breaker.ssd")
 	}
@@ -288,93 +298,77 @@ func (m *Manager) backend(st cgroup.StoreType) store.Backend {
 
 // RegisterVM announces a VM with its cache-distribution weight.
 func (m *Manager) RegisterVM(id cleancache.VMID, weight int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.registerVMLocked(id, weight)
-}
-
-func (m *Manager) registerVMLocked(id cleancache.VMID, weight int64) *vmState {
-	if v, ok := m.vms[id]; ok {
-		v.weight = weight
-		return v
-	}
-	v := &vmState{id: id, weight: weight}
-	m.vms[id] = v
-	m.vmOrder = append(m.vmOrder, v)
-	return v
+	m.configMu.Lock()
+	defer m.configMu.Unlock()
+	m.mutateEpoch(func(b *epochBuilder) {
+		bv := b.ensureVM(id, weight)
+		bv.weight = weight
+	})
 }
 
 // UnregisterVM drops a VM and all its pools.
 func (m *Manager) UnregisterVM(id cleancache.VMID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	v, ok := m.vms[id]
+	m.configMu.Lock()
+	defer m.configMu.Unlock()
+	ev, ok := m.epoch.Load().vmByID[id]
 	if !ok {
 		return
 	}
-	for _, p := range append([]*poolState(nil), v.pools...) {
-		m.destroyPoolLocked(p)
+	for _, pe := range ev.pools {
+		m.killPool(pe.state)
 	}
-	delete(m.vms, id)
-	for i, other := range m.vmOrder {
-		if other == v {
-			m.vmOrder = append(m.vmOrder[:i], m.vmOrder[i+1:]...)
-			break
-		}
-	}
+	m.mutateEpoch(func(b *epochBuilder) { b.removeVM(id) })
 }
 
 // SetVMWeight updates a VM's weight (dynamic re-provisioning, Figure 14).
 func (m *Manager) SetVMWeight(id cleancache.VMID, weight int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if v, ok := m.vms[id]; ok {
-		v.weight = weight
-	}
-}
-
-// SetMemCapacity resizes the memory store at runtime and evicts down to
-// the new capacity if needed.
-func (m *Manager) SetMemCapacity(now time.Duration, n int64) {
-	if m.cfg.Mem == nil {
+	m.configMu.Lock()
+	defer m.configMu.Unlock()
+	if _, ok := m.epoch.Load().vmByID[id]; !ok {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cfg.Mem.SetCapacityBytes(n)
-	m.enforceCapacity(now, cgroup.StoreMem, 0)
+	m.mutateEpoch(func(b *epochBuilder) {
+		if bv := b.findVM(id); bv != nil {
+			bv.weight = weight
+		}
+	})
 }
 
-// SetSSDCapacity resizes the SSD store at runtime.
-func (m *Manager) SetSSDCapacity(now time.Duration, n int64) {
-	if m.cfg.SSD == nil {
-		return
+// SetMemCapacity resizes the memory store at runtime, evicts down to the
+// new capacity if needed, and returns the latency the resize incurred —
+// the eviction cost is charged to the configuration op, not smeared over
+// unrelated data ops.
+func (m *Manager) SetMemCapacity(now time.Duration, n int64) time.Duration {
+	return m.setCapacity(now, cgroup.StoreMem, n)
+}
+
+// SetSSDCapacity resizes the SSD store at runtime; see SetMemCapacity
+// for the latency contract.
+func (m *Manager) SetSSDCapacity(now time.Duration, n int64) time.Duration {
+	return m.setCapacity(now, cgroup.StoreSSD, n)
+}
+
+func (m *Manager) setCapacity(now time.Duration, st cgroup.StoreType, n int64) time.Duration {
+	be := m.backend(st)
+	if be == nil {
+		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cfg.SSD.SetCapacityBytes(n)
-	m.enforceCapacity(now, cgroup.StoreSSD, 0)
+	m.configMu.Lock()
+	defer m.configMu.Unlock()
+	be.SetCapacityBytes(n)
+	// Entitlements are capacity-derived: publish a recomputed epoch.
+	m.mutateEpoch(nil)
+	lat := m.cfg.OpOverhead
+	lat += m.enforceCapacity(now+lat, st, 0)
+	return lat
 }
 
 // --- op handlers (routed through Dispatch, see dispatch.go) ----------------
 
 // CreatePool handles the CREATE_CGROUP op.
 func (m *Manager) CreatePool(_ time.Duration, vm cleancache.VMID, name string, spec cgroup.HCacheSpec) (cleancache.PoolID, time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	v, ok := m.vms[vm]
-	if !ok {
-		// Auto-register unknown VMs with a default weight, mirroring a
-		// hypervisor admitting an unconfigured guest.
-		v = m.registerVMLocked(vm, 100)
-	}
-	p := m.newPoolLocked(v, name, spec)
-	return p.idx.ID, m.cfg.OpOverhead
-}
-
-func (m *Manager) newPoolLocked(v *vmState, name string, spec cgroup.HCacheSpec) *poolState {
-	id := m.nextPool
-	m.nextPool++
+	m.configMu.Lock()
+	defer m.configMu.Unlock()
 	if spec.Store == 0 {
 		spec.Store = cgroup.StoreMem
 		if spec.Weight <= 0 {
@@ -384,64 +378,74 @@ func (m *Manager) newPoolLocked(v *vmState, name string, spec cgroup.HCacheSpec)
 	if spec.Weight < 0 {
 		spec.Weight = 0
 	}
-	p := &poolState{idx: index.NewPool(id, v.id, name), spec: spec, vm: v}
-	m.pools[id] = p
-	v.pools = append(v.pools, p)
-	return p
+	id := m.nextPool
+	m.nextPool++
+	m.mutateEpoch(func(b *epochBuilder) {
+		// Auto-register unknown VMs with a default weight, mirroring a
+		// hypervisor admitting an unconfigured guest.
+		bv := b.ensureVM(vm, 100)
+		idx := index.NewPool(id, bv.state.id, name)
+		p := &poolState{id: id, idx: idx, acct: idx.Acct(), vm: bv.state}
+		bv.pools = append(bv.pools, &builderPool{id: id, state: p, spec: spec})
+	})
+	return id, m.cfg.OpOverhead
 }
 
 // DestroyPool handles the DESTROY_CGROUP op.
 func (m *Manager) DestroyPool(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID) time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p, ok := m.pools[pool]
+	m.configMu.Lock()
+	defer m.configMu.Unlock()
+	pe, ok := m.epoch.Load().pools[pool]
 	if !ok {
 		return 0
 	}
-	m.destroyPoolLocked(p)
+	m.killPool(pe.state)
+	m.mutateEpoch(func(b *epochBuilder) { b.removePool(pool) })
 	return m.cfg.OpOverhead
 }
 
-// destroyPoolLocked requires Manager.mu held for writing.
-func (m *Manager) destroyPoolLocked(p *poolState) {
+// killPool tombstones and drains one pool under its VM lock. Goroutines
+// holding a stale epoch observe dead and treat the pool as gone.
+//
+// ddlint:requires-lock configMu
+func (m *Manager) killPool(p *poolState) {
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p.dead = true
 	for _, obj := range p.idx.DrainAll() {
 		m.releaseObject(obj)
 	}
-	delete(m.pools, p.idx.ID)
-	for i, other := range p.vm.pools {
-		if other == p {
-			p.vm.pools = append(p.vm.pools[:i], p.vm.pools[i+1:]...)
-			break
-		}
-	}
 }
 
-// SetSpec handles the SET_CG_WEIGHT op. Changing the
-// store type flushes objects from stores the pool no longer uses; the
-// freed share is redistributed implicitly by the entitlement math.
+// SetSpec handles the SET_CG_WEIGHT op. Changing the store type flushes
+// objects from stores the pool no longer uses; the freed share is
+// redistributed implicitly by the entitlement math of the new epoch.
 func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, spec cgroup.HCacheSpec) time.Duration {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[pool]
+	m.configMu.Lock()
+	defer m.configMu.Unlock()
+	pe, ok := m.epoch.Load().pools[pool]
 	if !ok {
 		return 0
 	}
 	if m.cfg.Mode == ModeGlobal {
 		return m.cfg.OpOverhead // baseline ignores container policy
 	}
-	v := p.vm
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	old := p.spec
+	old := pe.spec
 	if spec.Weight <= 0 {
 		spec.Weight = old.Weight
 	}
 	if spec.Store == 0 {
 		spec.Store = old.Store
 	}
-	p.spec = spec
+	next := m.mutateEpoch(func(b *epochBuilder) { b.setSpec(pool, spec) })
+	npe := next.pools[pool]
+	p := pe.state
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
-		if p.usesStore(st) || p.idx.UsedBytes(st) == 0 {
+		if npe.usesStore(st) || p.acct.UsedBytes(st) == 0 {
 			continue
 		}
 		// Drop objects stranded in a de-configured store.
@@ -468,15 +472,17 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 // breaker is open, gets of SSD-resident objects miss without invalidating
 // (the stored bytes are intact; only the device is being avoided).
 func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (bool, time.Duration) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[key.Pool]
+	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
 		return false, 0
 	}
+	p := pe.state
 	v := p.vm
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if p.dead {
+		return false, 0
+	}
 	p.counters.gets.Add(1)
 	lat := m.cfg.OpOverhead
 	obj := p.idx.Lookup(key.Inode, key.Block)
@@ -526,34 +532,37 @@ func (m *Manager) SSDBreakerStats() BreakerStats { return m.ssdBreaker.snapshot(
 // deduplication enabled, an object whose content is already stored shares
 // the existing physical copy.
 //
-// The fast path runs under the read lock plus the VM lock; only when the
-// target store is full does Put upgrade to the store-level write lock to
-// evict, re-validating everything after the lock switch.
+// The fast path runs entirely under the VM lock (epoch state is read
+// lock-free); only when the target store is full does Put drop to the
+// slow path, which evicts under the store's eviction token and then
+// re-validates everything.
 func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
-	m.mu.RLock()
-	p, ok := m.pools[key.Pool]
+	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
-		m.mu.RUnlock()
 		return false, 0
 	}
+	p := pe.state
 	v := p.vm
 	v.mu.Lock()
+	if p.dead {
+		v.mu.Unlock()
+		return false, 0
+	}
 	p.counters.puts.Add(1)
 	lat := m.cfg.OpOverhead
-	st, stOK := m.placementStore(now, p)
+	st, stOK := m.placementStore(now, pe)
 	be := m.backend(st)
 	if !stOK || be == nil || be.CapacityBytes() <= 0 {
 		p.counters.putRejects.Add(1)
 		v.mu.Unlock()
-		m.mu.RUnlock()
 		return false, lat
 	}
 	dedup := m.cfg.Dedup && content != 0
 	if m.needsPhysical(st, content, dedup) && be.UsedBytes()+ObjectSize > be.CapacityBytes() {
-		// Eviction needs the store-level write lock; drop the data-path
-		// locks (never upgrade in place) and retry on the slow path.
+		// Eviction runs under the store's eviction token; drop the VM
+		// lock (tokens are above VM locks in the hierarchy) and retry on
+		// the slow path.
 		v.mu.Unlock()
-		m.mu.RUnlock()
 		return m.putSlow(now, key, content, lat)
 	}
 	ok = m.commitPut(now, p, st, be, key, content, dedup, &lat)
@@ -561,21 +570,20 @@ func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, 
 		p.counters.putRejects.Add(1)
 	}
 	v.mu.Unlock()
-	m.mu.RUnlock()
 	return ok, lat
 }
 
-// putSlow is the eviction path of Put: it re-resolves the pool under the
-// store-level write lock (the pool may have been destroyed while the
-// data-path locks were dropped), evicts per Algorithm 1 and stores.
+// putSlow is the eviction path of Put: it evicts per Algorithm 1 under
+// the store's eviction token, then re-resolves the pool in the current
+// epoch (the pool may have been destroyed while no lock was held) and
+// stores.
 func (m *Manager) putSlow(now time.Duration, key cleancache.Key, content uint64, lat time.Duration) (bool, time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p, ok := m.pools[key.Pool]
+	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
 		return false, lat
 	}
-	st, stOK := m.placementStore(now, p)
+	p := pe.state
+	st, stOK := m.placementStore(now, pe)
 	be := m.backend(st)
 	if !stOK || be == nil || be.CapacityBytes() <= 0 {
 		p.counters.putRejects.Add(1)
@@ -588,6 +596,12 @@ func (m *Manager) putSlow(now time.Duration, key cleancache.Key, content uint64,
 			p.counters.putRejects.Add(1)
 			return false, lat
 		}
+	}
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if p.dead {
+		return false, lat
 	}
 	if !m.commitPut(now, p, st, be, key, content, dedup, &lat) {
 		p.counters.putRejects.Add(1)
@@ -602,33 +616,23 @@ func (m *Manager) needsPhysical(st cgroup.StoreType, content uint64, dedup bool)
 	if !dedup {
 		return true
 	}
-	m.dedupMu.Lock()
-	n := m.contentRefs[contentKey{st, content}]
-	m.dedupMu.Unlock()
-	return n == 0
+	return m.dedup.peek(contentKey{st, content}) == 0
 }
 
 // commitPut charges the store and indexes the object, reporting whether
 // it was admitted. The device write happens before the index insert: a
 // failed write drops the object — put returns not-stored, which the
 // cleancache contract makes safe — leaving index, dedup table and usage
-// accounting exactly as they were. Callers hold either the data-path
-// locks (read lock + VM lock) or the write lock.
+// accounting exactly as they were. Callers hold the pool's VM lock.
 //
 // ddlint:requires-lock mu
 func (m *Manager) commitPut(now time.Duration, p *poolState, st cgroup.StoreType, be store.Backend, key cleancache.Key, content uint64, dedup bool, lat *time.Duration) bool {
 	obj := &index.Object{Inode: key.Inode, Block: key.Block, Size: ObjectSize, Store: st, Seq: m.nextSeq.Add(1)}
 	if dedup {
 		obj.Content = content
-		ck := contentKey{st, content}
-		m.dedupMu.Lock()
-		m.contentRefs[ck]++
-		shared := m.contentRefs[ck] > 1
-		m.dedupMu.Unlock()
-		if shared {
+		if m.dedup.acquire(contentKey{st, content}, ObjectSize) {
 			// Shared copy: only the in-band comparison cost is paid, and
 			// no device write can fail.
-			m.dedupSaved.Add(ObjectSize)
 			if replaced := p.idx.Insert(obj); replaced != nil {
 				m.releaseObject(replaced)
 			}
@@ -641,14 +645,7 @@ func (m *Manager) commitPut(now time.Duration, p *poolState, st cgroup.StoreType
 	if err != nil {
 		if dedup {
 			// Undo the reference taken above: the copy was never written.
-			ck := contentKey{st, content}
-			m.dedupMu.Lock()
-			if m.contentRefs[ck] <= 1 {
-				delete(m.contentRefs, ck)
-			} else {
-				m.contentRefs[ck]--
-			}
-			m.dedupMu.Unlock()
+			m.dedup.undo(contentKey{st, content})
 		}
 		return false
 	}
@@ -665,16 +662,8 @@ func (m *Manager) releaseObject(obj *index.Object) {
 	if be == nil {
 		return
 	}
-	if obj.Content != 0 {
-		ck := contentKey{obj.Store, obj.Content}
-		m.dedupMu.Lock()
-		if m.contentRefs[ck] > 1 {
-			m.contentRefs[ck]--
-			m.dedupMu.Unlock()
-			return
-		}
-		delete(m.contentRefs, ck)
-		m.dedupMu.Unlock()
+	if obj.Content != 0 && !m.dedup.release(contentKey{obj.Store, obj.Content}) {
+		return // other logical references still share the physical copy
 	}
 	be.Release(obj.Size)
 }
@@ -684,18 +673,16 @@ func (m *Manager) releaseObject(obj *index.Object) {
 // exhausted, then SSD (the paper's hybrid-mode semantics). When the SSD
 // breaker is open, SSD placements transparently degrade to the memory
 // store if one exists; otherwise ok is false and the put is rejected (the
-// page is simply not cached — cleancache-safe). Callers hold the pool's
-// VM lock or the store-level write lock.
-//
-// ddlint:requires-lock mu
-func (m *Manager) placementStore(now time.Duration, p *poolState) (st cgroup.StoreType, ok bool) {
+// page is simply not cached — cleancache-safe). Reads only epoch state
+// and atomic accounting, so callers need no lock.
+func (m *Manager) placementStore(now time.Duration, pe *epochPool) (st cgroup.StoreType, ok bool) {
 	if m.cfg.Mode == ModeGlobal {
 		// The nesting-agnostic baseline is a plain memory cache.
 		return cgroup.StoreMem, true
 	}
-	st = p.spec.Store
+	st = pe.spec.Store
 	if st == cgroup.StoreHybrid {
-		if m.cfg.Mem != nil && p.idx.UsedBytes(cgroup.StoreMem)+ObjectSize <= m.poolEntitlement(p, cgroup.StoreMem) {
+		if m.cfg.Mem != nil && pe.acct.UsedBytes(cgroup.StoreMem)+ObjectSize <= pe.ent[entSlot(cgroup.StoreMem)] {
 			return cgroup.StoreMem, true
 		}
 		st = cgroup.StoreSSD
@@ -711,15 +698,17 @@ func (m *Manager) placementStore(now time.Duration, p *poolState) (st cgroup.Sto
 
 // FlushPage handles the FLUSH_PAGE op.
 func (m *Manager) FlushPage(_ time.Duration, _ cleancache.VMID, key cleancache.Key) time.Duration {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[key.Pool]
+	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
 		return 0
 	}
+	p := pe.state
 	v := p.vm
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if p.dead {
+		return 0
+	}
 	if obj := p.idx.Lookup(key.Inode, key.Block); obj != nil {
 		p.idx.Remove(obj)
 		m.releaseObject(obj)
@@ -729,53 +718,62 @@ func (m *Manager) FlushPage(_ time.Duration, _ cleancache.VMID, key cleancache.K
 
 // FlushInode handles the FLUSH_INODE op.
 func (m *Manager) FlushInode(_ time.Duration, _ cleancache.VMID, pool cleancache.PoolID, inode uint64) time.Duration {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[pool]
+	pe, ok := m.epoch.Load().pools[pool]
 	if !ok {
 		return 0
 	}
+	p := pe.state
 	v := p.vm
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if p.dead {
+		return 0
+	}
 	for _, obj := range p.idx.RemoveInode(inode) {
 		m.releaseObject(obj)
 	}
 	return m.cfg.OpOverhead
 }
 
-// MigrateInode handles the MIGRATE_OBJECT op: cached
-// blocks of a shared file change pool ownership without moving data.
-// Migration within one VM runs on the data path; the cross-VM case takes
-// the store-level write lock, because two VM locks are never held at once.
+// MigrateInode handles the MIGRATE_OBJECT op: cached blocks of a shared
+// file change pool ownership without moving data. Migration within one
+// VM holds that VM's lock; the cross-VM case acquires both VM locks in
+// VM-id order (the one place two VM locks are held at once).
 func (m *Manager) MigrateInode(_ time.Duration, _ cleancache.VMID, from, to cleancache.PoolID, inode uint64) time.Duration {
-	m.mu.RLock()
-	src, okSrc := m.pools[from]
-	dst, okDst := m.pools[to]
+	ep := m.epoch.Load()
+	src, okSrc := ep.pools[from]
+	dst, okDst := ep.pools[to]
 	if !okSrc || !okDst {
-		m.mu.RUnlock()
 		return 0
 	}
-	if src.vm == dst.vm {
-		v := src.vm
-		v.mu.Lock()
-		m.migrateLocked(src, dst, inode)
-		v.mu.Unlock()
-		m.mu.RUnlock()
+	a, b := src.state.vm, dst.state.vm
+	if a == b {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if src.state.dead || dst.state.dead {
+			return 0
+		}
+		m.migrateLocked(src.state, dst.state, inode)
 		return m.cfg.OpOverhead
 	}
-	m.mu.RUnlock()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	src, okSrc = m.pools[from]
-	dst, okDst = m.pools[to]
-	if !okSrc || !okDst {
+	if b.id < a.id {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if src.state.dead || dst.state.dead {
 		return 0
 	}
-	m.migrateLocked(src, dst, inode)
+	m.migrateLocked(src.state, dst.state, inode)
 	return m.cfg.OpOverhead
 }
 
+// migrateLocked moves inode's objects from src to dst. Callers hold the
+// VM lock(s) covering both pools.
+//
+// ddlint:requires-lock mu
 func (m *Manager) migrateLocked(src, dst *poolState, inode uint64) {
 	for _, obj := range src.idx.RemoveInode(inode) {
 		if replaced := dst.idx.Insert(obj); replaced != nil {
@@ -784,96 +782,56 @@ func (m *Manager) migrateLocked(src, dst *poolState, inode uint64) {
 	}
 }
 
-// PoolStats handles the GET_STATS op. Counters are
-// atomic snapshots; the entitlement figure needs the VM lock because it
-// reads the sibling pools' specs.
+// PoolStats handles the GET_STATS op. Counters, occupancy and epoch
+// entitlements are all read lock-free; under concurrent traffic the
+// figures are individually exact but not one instantaneous snapshot.
 func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancache.PoolStats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[pool]
+	pe, ok := m.epoch.Load().pools[pool]
 	if !ok {
 		return cleancache.PoolStats{}
 	}
-	v := p.vm
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	s := p.counters.snapshot()
-	s.UsedBytes = p.idx.TotalBytes()
-	s.Objects = p.idx.Count()
+	s := pe.state.counters.snapshot()
+	s.UsedBytes = pe.acct.TotalBytes()
+	s.Objects = pe.acct.Count()
 	var ent int64
 	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
-		if p.usesStore(st) {
-			ent += m.poolEntitlement(p, st)
+		if pe.usesStore(st) {
+			ent += pe.ent[entSlot(st)]
 		}
 	}
 	s.EntitlementBytes = ent
 	return s
 }
 
-// --- policy: entitlements and Algorithm 1 ----------------------------------
+// --- policy: capacity enforcement and Algorithm 1 --------------------------
 
-// vmEntitlement computes a VM's share of the st store from the host-level
-// weights (the per-VM ratio applies to both stores, per the paper).
-// Callers hold Manager.mu in either mode.
-//
-// ddlint:requires-lock mu
-func (m *Manager) vmEntitlement(v *vmState, st cgroup.StoreType) int64 {
-	be := m.backend(st)
-	if be == nil {
-		return 0
+// evictToken returns the eviction token serializing capacity
+// enforcement for st, or nil for store types that are never enforced
+// directly (hybrid resolves to mem/SSD before eviction).
+func (m *Manager) evictToken(st cgroup.StoreType) *sync.Mutex {
+	switch st {
+	case cgroup.StoreMem:
+		return &m.evictMemMu
+	case cgroup.StoreSSD:
+		return &m.evictSSDMu
+	default:
+		return nil
 	}
-	weights := make([]int64, len(m.vmOrder))
-	idx := -1
-	for i, other := range m.vmOrder {
-		weights[i] = other.weight
-		if other == v {
-			idx = i
-		}
-	}
-	if idx < 0 {
-		return 0
-	}
-	return policy.Shares(be.CapacityBytes(), weights)[idx]
-}
-
-// poolEntitlement computes a container's share of its VM's st partition.
-// Callers hold the pool's VM lock or the store-level write lock (sibling
-// specs are read).
-//
-// ddlint:requires-lock mu
-func (m *Manager) poolEntitlement(p *poolState, st cgroup.StoreType) int64 {
-	if !p.usesStore(st) {
-		return 0
-	}
-	vmShare := m.vmEntitlement(p.vm, st)
-	weights := make([]int64, len(p.vm.pools))
-	idx := -1
-	for i, other := range p.vm.pools {
-		if other.usesStore(st) {
-			weights[i] = int64(other.spec.Weight)
-		}
-		if other == p {
-			idx = i
-		}
-	}
-	if idx < 0 {
-		return 0
-	}
-	return policy.Shares(vmShare, weights)[idx]
 }
 
 // enforceCapacity evicts from the st store until incoming bytes fit,
 // selecting victims per Algorithm 1: first the victim VM, then the victim
 // container within it, then FIFO within the container's pool, in
 // EvictBatchBytes batches. Returns the (metadata) latency incurred.
-// Requires Manager.mu held for writing.
-//
-// ddlint:requires-lock mu
+// Runs under the store's eviction token; callers hold no VM lock.
 func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incoming int64) time.Duration {
 	be := m.backend(st)
-	if be == nil {
+	tok := m.evictToken(st)
+	if be == nil || tok == nil {
 		return 0
 	}
+	tok.Lock()
+	defer tok.Unlock()
 	var lat time.Duration
 	for be.UsedBytes()+incoming > be.CapacityBytes() {
 		need := be.UsedBytes() + incoming - be.CapacityBytes()
@@ -891,14 +849,15 @@ func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incomi
 }
 
 // evictBatch frees up to batch bytes from the st store and returns the
-// bytes actually freed. Requires Manager.mu held for writing.
-//
-// ddlint:requires-lock mu
+// bytes actually freed. Victim selection reads the current epoch and the
+// pools' atomic accounting lock-free; the selected pool is then evicted
+// under its VM lock.
 func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
+	ep := m.epoch.Load()
 	if m.cfg.Mode == ModeGlobal {
-		return m.evictGlobalFIFO(st, batch)
+		return m.evictGlobalFIFO(ep, st, batch)
 	}
-	victimVM := m.selectVictimVM(st, batch)
+	victimVM := m.selectVictimVM(ep, st, batch)
 	if victimVM == nil {
 		return 0
 	}
@@ -906,16 +865,23 @@ func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 	if victim == nil {
 		return 0
 	}
+	p := victim.state
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if p.dead {
+		return 0
+	}
 	var freed int64
 	for freed < batch {
-		obj := victim.idx.Oldest(st)
+		obj := p.idx.Oldest(st)
 		if obj == nil {
 			break
 		}
-		victim.idx.Remove(obj)
+		p.idx.Remove(obj)
 		m.releaseObject(obj)
 		freed += obj.Size
-		victim.counters.evictions.Add(1)
+		p.counters.evictions.Add(1)
 		m.totalEvictions.Add(1)
 	}
 	return freed
@@ -923,55 +889,68 @@ func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 
 // evictGlobalFIFO implements the baseline's container-agnostic policy:
 // evict the globally oldest objects regardless of which container (or VM)
-// inserted them. Requires Manager.mu held for writing.
-//
-// ddlint:requires-lock mu
-func (m *Manager) evictGlobalFIFO(st cgroup.StoreType, batch int64) int64 {
+// inserted them. The scan takes each VM's lock in turn; the chosen pool
+// is re-validated under its VM lock before removal.
+func (m *Manager) evictGlobalFIFO(ep *epoch, st cgroup.StoreType, batch int64) int64 {
 	var freed int64
 	for freed < batch {
 		var (
-			victim *poolState
-			oldest *index.Object
+			victim    *epochPool
+			oldestSeq uint64
 		)
-		for _, v := range m.vmOrder {
-			for _, p := range v.pools {
-				obj := p.idx.Oldest(st)
+		for _, ev := range ep.vms {
+			ev.state.mu.Lock()
+			for _, pe := range ev.pools {
+				if pe.state.dead {
+					continue
+				}
+				obj := pe.state.idx.Oldest(st)
 				if obj == nil {
 					continue
 				}
-				if oldest == nil || obj.Seq < oldest.Seq {
-					victim, oldest = p, obj
+				if victim == nil || obj.Seq < oldestSeq {
+					victim, oldestSeq = pe, obj.Seq
 				}
 			}
+			ev.state.mu.Unlock()
 		}
 		if victim == nil {
 			break
 		}
-		victim.idx.Remove(oldest)
-		m.releaseObject(oldest)
-		freed += oldest.Size
-		victim.counters.evictions.Add(1)
+		p := victim.state
+		v := p.vm
+		v.mu.Lock()
+		obj := p.idx.Oldest(st)
+		if obj == nil || p.dead {
+			// The candidate vanished between scan and lock: someone else
+			// freed bytes, so stop rather than rescan (conservative).
+			v.mu.Unlock()
+			break
+		}
+		p.idx.Remove(obj)
+		m.releaseObject(obj)
+		freed += obj.Size
+		p.counters.evictions.Add(1)
 		m.totalEvictions.Add(1)
+		v.mu.Unlock()
 	}
 	return freed
 }
 
 // selectVictimVM picks the Algorithm 1 victim VM for an eviction of batch
-// bytes from st. Requires Manager.mu held for writing.
-//
-// ddlint:requires-lock mu
-func (m *Manager) selectVictimVM(st cgroup.StoreType, batch int64) *vmState {
-	candidates := make([]*vmState, 0, len(m.vmOrder))
-	ents := make([]policy.Entity, 0, len(m.vmOrder))
-	for _, v := range m.vmOrder {
-		used := v.usedBytes(st)
+// bytes from st, reading only epoch state and atomic accounting.
+func (m *Manager) selectVictimVM(ep *epoch, st cgroup.StoreType, batch int64) *epochVM {
+	candidates := make([]*epochVM, 0, len(ep.vms))
+	ents := make([]policy.Entity, 0, len(ep.vms))
+	for _, ev := range ep.vms {
+		used := ev.usedBytes(st)
 		if used == 0 {
 			continue
 		}
-		candidates = append(candidates, v)
+		candidates = append(candidates, ev)
 		ents = append(ents, policy.Entity{
-			Weight:      v.weight,
-			Entitlement: m.vmEntitlement(v, st),
+			Weight:      ev.weight,
+			Entitlement: ev.ent[entSlot(st)],
 			Used:        used,
 		})
 	}
@@ -988,22 +967,20 @@ func (m *Manager) selectVictimVM(st cgroup.StoreType, batch int64) *vmState {
 	return candidates[i]
 }
 
-// selectVictimPool picks the Algorithm 1 victim container within v.
-// Requires Manager.mu held for writing.
-//
-// ddlint:requires-lock mu
-func (m *Manager) selectVictimPool(v *vmState, st cgroup.StoreType, batch int64) *poolState {
-	candidates := make([]*poolState, 0, len(v.pools))
-	ents := make([]policy.Entity, 0, len(v.pools))
-	for _, p := range v.pools {
-		used := p.idx.UsedBytes(st)
+// selectVictimPool picks the Algorithm 1 victim container within ev,
+// reading only epoch state and atomic accounting.
+func (m *Manager) selectVictimPool(ev *epochVM, st cgroup.StoreType, batch int64) *epochPool {
+	candidates := make([]*epochPool, 0, len(ev.pools))
+	ents := make([]policy.Entity, 0, len(ev.pools))
+	for _, pe := range ev.pools {
+		used := pe.acct.UsedBytes(st)
 		if used == 0 {
 			continue
 		}
-		candidates = append(candidates, p)
+		candidates = append(candidates, pe)
 		ents = append(ents, policy.Entity{
-			Weight:      int64(p.spec.Weight),
-			Entitlement: m.poolEntitlement(p, st),
+			Weight:      int64(pe.spec.Weight),
+			Entitlement: pe.ent[entSlot(st)],
 			Used:        used,
 		})
 	}
@@ -1035,51 +1012,71 @@ func largestUser(ents []policy.Entity) int {
 // Contains reports whether a block is currently cached, without the
 // exclusive-get side effect — an inspection hook for tests and tooling.
 func (m *Manager) Contains(key cleancache.Key) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[key.Pool]
+	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
 		return false
 	}
+	p := pe.state
 	v := p.vm
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if p.dead {
+		return false
+	}
 	return p.idx.Lookup(key.Inode, key.Block) != nil
 }
 
 // PoolUsedBytes reports a pool's occupancy in the given store. Byte
 // accounting is atomic, so this never blocks the data path.
 func (m *Manager) PoolUsedBytes(pool cleancache.PoolID, st cgroup.StoreType) int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[pool]
+	pe, ok := m.epoch.Load().pools[pool]
 	if !ok {
 		return 0
 	}
-	return p.idx.UsedBytes(st)
+	return pe.acct.UsedBytes(st)
 }
 
 // PoolTotalBytes reports a pool's occupancy across stores.
 func (m *Manager) PoolTotalBytes(pool cleancache.PoolID) int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pools[pool]
+	pe, ok := m.epoch.Load().pools[pool]
 	if !ok {
 		return 0
 	}
-	return p.idx.TotalBytes()
+	return pe.acct.TotalBytes()
 }
 
 // VMUsedBytes reports a VM's total occupancy in the given store.
 func (m *Manager) VMUsedBytes(vm cleancache.VMID, st cgroup.StoreType) int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	v, ok := m.vms[vm]
+	ev, ok := m.epoch.Load().vmByID[vm]
 	if !ok {
 		return 0
 	}
-	return v.usedBytes(st)
+	return ev.usedBytes(st)
 }
+
+// VMEntitlement reports a VM's current epoch entitlement in the given
+// store (0 for unknown VMs). Lock-free.
+func (m *Manager) VMEntitlement(vm cleancache.VMID, st cgroup.StoreType) int64 {
+	ev, ok := m.epoch.Load().vmByID[vm]
+	if !ok {
+		return 0
+	}
+	return ev.ent[entSlot(st)]
+}
+
+// PoolEntitlement reports a pool's current epoch entitlement in the
+// given store (0 for unknown pools). Lock-free.
+func (m *Manager) PoolEntitlement(pool cleancache.PoolID, st cgroup.StoreType) int64 {
+	pe, ok := m.epoch.Load().pools[pool]
+	if !ok {
+		return 0
+	}
+	return pe.ent[entSlot(st)]
+}
+
+// EpochSeq reports the sequence number of the currently published epoch
+// (0 before any configuration op).
+func (m *Manager) EpochSeq() uint64 { return m.epoch.Load().seq }
 
 // StoreUsedBytes reports a store's total occupancy.
 func (m *Manager) StoreUsedBytes(st cgroup.StoreType) int64 {
@@ -1096,4 +1093,9 @@ func (m *Manager) TotalEvictions() int64 { return m.totalEvictions.Load() }
 
 // DedupSavedBytes reports the cumulative physical bytes avoided by
 // content deduplication (0 unless Config.Dedup).
-func (m *Manager) DedupSavedBytes() int64 { return m.dedupSaved.Load() }
+func (m *Manager) DedupSavedBytes() int64 { return m.dedup.savedBytes() }
+
+// DedupMinRef reports the smallest live dedup reference count (and
+// whether any exists) — an invariant hook for the differential tests:
+// counts must stay strictly positive.
+func (m *Manager) DedupMinRef() (int64, bool) { return m.dedup.minRef() }

@@ -62,6 +62,11 @@ func WithVictimSelector(fn func(ents []policy.Entity, evictionSize int64) int) O
 // WithDedup enables content deduplication within each store.
 func WithDedup(on bool) Option { return func(c *Config) { c.Dedup = on } }
 
+// WithDedupShards sets the stripe width of the sharded content-reference
+// table (0 keeps DefaultDedupShards). More shards reduce put/put
+// contention on the dedup path at a few hundred bytes per shard.
+func WithDedupShards(n int) Option { return func(c *Config) { c.DedupShards = n } }
+
 // WithInclusive disables the exclusive-caching protocol (ablation only).
 func WithInclusive(on bool) Option { return func(c *Config) { c.Inclusive = on } }
 

@@ -188,6 +188,133 @@ func RunStress(m *Manager, o StressOptions) StressResult {
 	}
 }
 
+// BackendStressOptions configures RunStressBackend, the dispatch-driven
+// closed-loop driver used by the scaling experiment: unlike RunStress it
+// drives any cleancache.Backend (the sharded manager, the sequential
+// oracle, a transport), so two implementations can be measured under the
+// byte-identical workload.
+type BackendStressOptions struct {
+	// Guests is the number of concurrent closed-loop guests; each drives
+	// its own pools, so Guests is the parallelism the backend may exploit.
+	Guests int
+	// PoolsPerGuest is the number of container pools each guest creates.
+	PoolsPerGuest int
+	// Ops is the number of operations each guest issues.
+	Ops int
+	// Seed makes each guest's operation stream deterministic.
+	Seed int64
+	// Inodes and Blocks bound the per-pool keyspace.
+	Inodes int
+	Blocks int64
+	// SSDHeavy places every pool on the SSD store, making the modeled
+	// 90µs device reads dominate — the regime where overlap between
+	// guests, not CPU count, decides throughput.
+	SSDHeavy bool
+	// Pace sleeps each operation's modeled latency in real time (closed
+	// loop): a guest issues its next op only after the previous one's
+	// device wait has elapsed.
+	Pace bool
+}
+
+func (o *BackendStressOptions) defaults() {
+	if o.Guests <= 0 {
+		o.Guests = 4
+	}
+	if o.PoolsPerGuest <= 0 {
+		o.PoolsPerGuest = 2
+	}
+	if o.Ops <= 0 {
+		o.Ops = 1000
+	}
+	if o.Inodes <= 0 {
+		o.Inodes = 32
+	}
+	if o.Blocks <= 0 {
+		o.Blocks = 32
+	}
+}
+
+// RunStressBackend creates o.Guests guests × o.PoolsPerGuest pools
+// through the op-dispatch interface and fans out one closed-loop
+// goroutine per guest issuing a deterministic Put/Get/Flush mix. It is
+// the measurement harness of `ddbench -scalingjson`: the same options
+// against the sharded Manager and against the mutex-wrapped sequential
+// oracle yield the scaling table.
+func RunStressBackend(be cleancache.Backend, o BackendStressOptions) StressResult {
+	o.defaults()
+	st := cgroup.StoreMem
+	if o.SSDHeavy {
+		st = cgroup.StoreSSD
+	}
+	pools := make([][]cleancache.PoolID, o.Guests)
+	for g := 0; g < o.Guests; g++ {
+		vm := cleancache.VMID(g + 1)
+		for p := 0; p < o.PoolsPerGuest; p++ {
+			resp := be.Dispatch(0, cleancache.Request{
+				Op:   cleancache.OpCreateCgroup,
+				VM:   vm,
+				Name: "scale",
+				Spec: cgroup.HCacheSpec{Store: st, Weight: 100},
+			})
+			pools[g] = append(pools[g], resp.Pool)
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		ops  atomic.Int64
+		hits atomic.Int64
+		puts atomic.Int64
+	)
+	elapsed := wallclock.Stopwatch()
+	for g := 0; g < o.Guests; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vm := cleancache.VMID(g + 1)
+			rng := rand.New(rand.NewSource(o.Seed + int64(g)*7919))
+			var now time.Duration
+			for i := 0; i < o.Ops; i++ {
+				pool := pools[g][rng.Intn(len(pools[g]))]
+				key := cleancache.Key{
+					Pool:  pool,
+					Inode: uint64(1 + rng.Intn(o.Inodes)),
+					Block: rng.Int63n(o.Blocks),
+				}
+				req := cleancache.Request{VM: vm, Key: key}
+				switch r := rng.Intn(100); {
+				case r < 45:
+					req.Op = cleancache.OpPut
+				case r < 90:
+					req.Op = cleancache.OpGet
+				case r < 97:
+					req.Op = cleancache.OpFlushPage
+				default:
+					req.Op = cleancache.OpFlushInode
+				}
+				resp := be.Dispatch(now, req)
+				now += resp.Latency
+				ops.Add(1)
+				switch {
+				case req.Op == cleancache.OpGet && resp.Ok:
+					hits.Add(1)
+				case req.Op == cleancache.OpPut && resp.Ok:
+					puts.Add(1)
+				}
+				if o.Pace && resp.Latency > 0 {
+					time.Sleep(resp.Latency)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return StressResult{
+		Ops:     ops.Load(),
+		GetHits: hits.Load(),
+		Puts:    puts.Load(),
+		Wall:    elapsed(),
+	}
+}
+
 // poolSpec alternates store types so every backend sees traffic.
 func poolSpec(i int, hasSSD bool) cgroup.HCacheSpec {
 	st := cgroup.StoreMem

@@ -44,6 +44,34 @@ type Object struct {
 // small consecutive constants (mem, SSD, hybrid).
 const storeSlots = 4
 
+// Accounting is a pool's byte and object accounting, held apart from the
+// structural index so lock-free observers can share the pointer without
+// ever touching the caller-serialized structures. All fields are atomic:
+// writes happen on the structural paths (which the caller serializes),
+// reads are safe from any goroutine. The cache manager's stat paths and
+// its eviction victim selection read entirely through this view.
+type Accounting struct {
+	used  [storeSlots]atomic.Int64
+	count atomic.Int64
+}
+
+// UsedBytes reports bytes held in the given store.
+func (a *Accounting) UsedBytes(st cgroup.StoreType) int64 {
+	return a.used[storeSlot(st)].Load()
+}
+
+// TotalBytes reports bytes held across all stores.
+func (a *Accounting) TotalBytes() int64 {
+	var t int64
+	for i := range a.used {
+		t += a.used[i].Load()
+	}
+	return t
+}
+
+// Count reports the number of objects accounted.
+func (a *Accounting) Count() int64 { return a.count.Load() }
+
 // Pool indexes the objects of one container.
 type Pool struct {
 	ID   cleancache.PoolID
@@ -52,10 +80,9 @@ type Pool struct {
 
 	files map[uint64]*radix.Tree
 	fifo  map[cgroup.StoreType]*list.List
-	// used and count are atomic only for lock-free reads; writes happen
-	// on the caller-serialized structural paths.
-	used  [storeSlots]atomic.Int64
-	count atomic.Int64
+	// acct is atomic only for lock-free reads; writes happen on the
+	// caller-serialized structural paths.
+	acct Accounting
 }
 
 // NewPool returns an empty pool index.
@@ -102,8 +129,8 @@ func (p *Pool) Insert(obj *Object) *Object {
 		p.fifo[obj.Store] = q
 	}
 	obj.elem = q.PushBack(obj)
-	p.used[storeSlot(obj.Store)].Add(obj.Size)
-	p.count.Add(1)
+	p.acct.used[storeSlot(obj.Store)].Add(obj.Size)
+	p.acct.count.Add(1)
 	return replaced
 }
 
@@ -147,12 +174,12 @@ func (p *Pool) unlink(obj *Object) {
 		obj.elem = nil
 	}
 	slot := storeSlot(obj.Store)
-	if n := p.used[slot].Add(-obj.Size); n < 0 {
+	if n := p.acct.used[slot].Add(-obj.Size); n < 0 {
 		// Defensive clamp, as before the atomics: structural mutations
 		// are caller-serialized, so no concurrent writer can interleave.
-		p.used[slot].Store(0)
+		p.acct.used[slot].Store(0)
 	}
-	p.count.Add(-1)
+	p.acct.count.Add(-1)
 }
 
 // Oldest returns the pool's oldest object in the given store, or nil.
@@ -188,7 +215,7 @@ func (p *Pool) RemoveInode(inode uint64) []*Object {
 
 // DrainAll removes and returns every object in the pool (DestroyPool).
 func (p *Pool) DrainAll() []*Object {
-	objs := make([]*Object, 0, p.count.Load())
+	objs := make([]*Object, 0, p.acct.count.Load())
 	for inode := range p.files {
 		objs = append(objs, p.RemoveInode(inode)...)
 	}
@@ -204,22 +231,21 @@ func (p *Pool) Inodes() []uint64 {
 	return out
 }
 
+// Acct exposes the pool's lock-free accounting view. The returned
+// pointer stays valid for the pool's lifetime; callers that must read
+// occupancy without serializing against structural operations (the cache
+// manager's stat and victim-selection paths) hold this pointer instead of
+// the pool itself.
+func (p *Pool) Acct() *Accounting { return &p.acct }
+
 // UsedBytes reports bytes held in the given store. Safe without the
 // caller's locks.
-func (p *Pool) UsedBytes(st cgroup.StoreType) int64 {
-	return p.used[storeSlot(st)].Load()
-}
+func (p *Pool) UsedBytes(st cgroup.StoreType) int64 { return p.acct.UsedBytes(st) }
 
 // TotalBytes reports bytes held across all stores. Safe without the
 // caller's locks.
-func (p *Pool) TotalBytes() int64 {
-	var t int64
-	for i := range p.used {
-		t += p.used[i].Load()
-	}
-	return t
-}
+func (p *Pool) TotalBytes() int64 { return p.acct.TotalBytes() }
 
 // Count reports the number of objects in the pool. Safe without the
 // caller's locks.
-func (p *Pool) Count() int64 { return p.count.Load() }
+func (p *Pool) Count() int64 { return p.acct.Count() }

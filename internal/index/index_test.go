@@ -189,3 +189,31 @@ func TestPropertyAccountingConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAcctViewTracksPool pins the lock-free accounting split: the
+// pointer returned by Acct observes every structural mutation without
+// going through the pool itself.
+func TestAcctViewTracksPool(t *testing.T) {
+	p := NewPool(1, 1, "acct")
+	acct := p.Acct()
+	if acct.TotalBytes() != 0 || acct.Count() != 0 {
+		t.Fatalf("fresh pool not empty: %d bytes, %d objects", acct.TotalBytes(), acct.Count())
+	}
+	a := &Object{Inode: 1, Block: 0, Size: 4096, Store: cgroup.StoreMem}
+	b := &Object{Inode: 1, Block: 1, Size: 4096, Store: cgroup.StoreSSD}
+	p.Insert(a)
+	p.Insert(b)
+	if got := acct.UsedBytes(cgroup.StoreMem); got != 4096 {
+		t.Errorf("mem used = %d, want 4096", got)
+	}
+	if got := acct.UsedBytes(cgroup.StoreSSD); got != 4096 {
+		t.Errorf("ssd used = %d, want 4096", got)
+	}
+	if got, want := acct.TotalBytes(), p.TotalBytes(); got != want {
+		t.Errorf("acct total %d != pool total %d", got, want)
+	}
+	p.Remove(a)
+	if got := acct.Count(); got != 1 {
+		t.Errorf("count after remove = %d, want 1", got)
+	}
+}

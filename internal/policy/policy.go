@@ -93,6 +93,30 @@ func mulDiv(a, b, d int64) (q, r int64) {
 	return int64(uq), int64(ur)
 }
 
+// TwoLevel computes the paper's two-level differentiated partitioning in
+// one pure pass: capacity is split among VMs by vmWeights (exactly as
+// Shares does), and each VM's share is then split among its pools by
+// poolWeights[v]. Pools that should not participate (for example pools
+// that do not use the store being partitioned) are passed with weight 0
+// and receive a zero share.
+//
+// The function is snapshot-in/snapshot-out: it reads nothing but its
+// arguments and allocates fresh result slices, so the cache manager can
+// call it while building an immutable epoch snapshot without holding any
+// data-path lock. vmShares[v] is VM v's entitlement in bytes; poolShares
+// has the same shape as poolWeights.
+func TwoLevel(capacity int64, vmWeights []int64, poolWeights [][]int64) (vmShares []int64, poolShares [][]int64) {
+	if len(poolWeights) != len(vmWeights) {
+		panic("policy.TwoLevel: poolWeights shape does not match vmWeights")
+	}
+	vmShares = Shares(capacity, vmWeights)
+	poolShares = make([][]int64, len(poolWeights))
+	for v, weights := range poolWeights {
+		poolShares[v] = Shares(vmShares[v], weights)
+	}
+	return vmShares, poolShares
+}
+
 // SelectVictim implements the paper's Algorithm 1 (GETVICTIM): among
 // entities whose usage would exceed their entitlement after accounting for
 // evictionSize, pick the one with the largest exceed value, where unused

@@ -317,3 +317,101 @@ func TestPropertyVictimIsOverused(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTwoLevelMatchesNestedShares pins TwoLevel as exactly the
+// composition of Shares at both levels: the epoch builder in
+// internal/ddcache relies on this equivalence to replace the per-op
+// entitlement recomputation the pre-epoch manager did under its store
+// lock.
+func TestTwoLevelMatchesNestedShares(t *testing.T) {
+	capacity := int64(1 << 30)
+	vmWeights := []int64{100, 200, 0, 50}
+	poolWeights := [][]int64{
+		{50, 50},
+		{100},
+		{10, 20, 30},
+		{},
+	}
+	vmShares, poolShares := TwoLevel(capacity, vmWeights, poolWeights)
+	wantVM := Shares(capacity, vmWeights)
+	for v := range vmWeights {
+		if vmShares[v] != wantVM[v] {
+			t.Errorf("vmShares[%d] = %d, want %d", v, vmShares[v], wantVM[v])
+		}
+		wantPools := Shares(wantVM[v], poolWeights[v])
+		if len(poolShares[v]) != len(wantPools) {
+			t.Fatalf("poolShares[%d] has %d entries, want %d", v, len(poolShares[v]), len(wantPools))
+		}
+		var sum int64
+		for p := range wantPools {
+			if poolShares[v][p] != wantPools[p] {
+				t.Errorf("poolShares[%d][%d] = %d, want %d", v, p, poolShares[v][p], wantPools[p])
+			}
+			sum += poolShares[v][p]
+		}
+		anyPositive := false
+		for _, w := range poolWeights[v] {
+			if w > 0 {
+				anyPositive = true
+			}
+		}
+		if anyPositive && sum != vmShares[v] {
+			t.Errorf("VM %d pool shares sum to %d, want the full VM share %d", v, sum, vmShares[v])
+		}
+	}
+}
+
+// TestTwoLevelShapeMismatchPanics pins the misuse guard.
+func TestTwoLevelShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched shapes did not panic")
+		}
+	}()
+	TwoLevel(1<<20, []int64{1, 2}, [][]int64{{1}})
+}
+
+// Property: TwoLevel is weight-monotone at both levels — raising one
+// VM's weight (all else fixed) never shrinks that VM's share, and the
+// same holds for a pool within its VM. This is the invariant the epoch
+// swap property test in internal/ddcache leans on.
+func TestPropertyTwoLevelWeightMonotone(t *testing.T) {
+	prop := func(rawVM []uint16, rawPool []uint16, bump uint8, vmPick, poolPick uint8) bool {
+		if len(rawVM) == 0 || len(rawPool) == 0 {
+			return true
+		}
+		capacity := int64(1 << 26)
+		vmWeights := make([]int64, len(rawVM))
+		for i, w := range rawVM {
+			vmWeights[i] = int64(w % 500)
+		}
+		poolWeights := make([][]int64, len(vmWeights))
+		for v := range poolWeights {
+			poolWeights[v] = make([]int64, len(rawPool))
+			for p, w := range rawPool {
+				poolWeights[v][p] = int64(w % 500)
+			}
+		}
+		vi := int(vmPick) % len(vmWeights)
+		pi := int(poolPick) % len(poolWeights[vi])
+		vmShares, poolShares := TwoLevel(capacity, vmWeights, poolWeights)
+
+		bumpedVM := append([]int64(nil), vmWeights...)
+		bumpedVM[vi] += int64(bump) + 1
+		vmShares2, _ := TwoLevel(capacity, bumpedVM, poolWeights)
+		if vmShares2[vi] < vmShares[vi] {
+			return false
+		}
+
+		bumpedPools := make([][]int64, len(poolWeights))
+		for v := range poolWeights {
+			bumpedPools[v] = append([]int64(nil), poolWeights[v]...)
+		}
+		bumpedPools[vi][pi] += int64(bump) + 1
+		_, poolShares2 := TwoLevel(capacity, vmWeights, bumpedPools)
+		return poolShares2[vi][pi] >= poolShares[vi][pi]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
