@@ -64,14 +64,15 @@ func TestDdlintCatchesReintroducedViolations(t *testing.T) {
 		"plain access to seq",
 		"call to crossLocked requires mu",
 		"access to state (ddlint:guarded-by mu)",
+		"access to staged (ddlint:guarded-by mu)",
 		"bad.go:19:", // file:line:col anchoring
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("diagnostics missing %q; got:\n%s", want, got)
 		}
 	}
-	if n < 8 {
-		t.Errorf("expected at least 8 findings, got %d:\n%s", n, got)
+	if n < 9 {
+		t.Errorf("expected at least 9 findings, got %d:\n%s", n, got)
 	}
 }
 

@@ -93,6 +93,22 @@ func (c *cache) EpochSeq() uint64 {
 	return c.seq // atomiccheck: plain read of atomically-published epoch seq
 }
 
+// stagingTransport mirrors the hypercall.Transport readahead staging
+// buffer added with the async read path: the staged map and its FIFO
+// order are mu-guarded because gets consult them on the hot path.
+type stagingTransport struct {
+	mu sync.Mutex
+	// ddlint:guarded-by mu
+	staged map[cleancache.Key]time.Duration
+}
+
+// StagedPages reads the staging buffer without the lock — the shape
+// lockcheck must keep rejecting now that every get consults staged
+// state before paying a crossing.
+func (t *stagingTransport) StagedPages() int {
+	return len(t.staged) // lockcheck: guarded staging buffer, mu not held
+}
+
 // breaker mirrors the ddcache SSD circuit breaker's guarded state
 // machine.
 type breaker struct {

@@ -59,8 +59,9 @@ const (
 	OpSetCgWeight
 	OpMigrateObject
 	OpGetStats
+	OpReadAhead
 
-	opCount = int(OpGetStats)
+	opCount = int(OpReadAhead)
 )
 
 // OpCodes returns every defined op code, in wire order.
@@ -93,6 +94,8 @@ func (op OpCode) String() string {
 		return "MIGRATE_OBJECT"
 	case OpGetStats:
 		return "GET_STATS"
+	case OpReadAhead:
+		return "READ_AHEAD"
 	default:
 		return fmt.Sprintf("OpCode(%d)", int(op))
 	}
@@ -110,7 +113,7 @@ func (op OpCode) Batchable() bool {
 	// everything else (including future ops, until reviewed) defaults to
 	// the safe synchronous barrier path.
 	switch op {
-	case OpPut, OpFlushPage, OpFlushInode:
+	case OpPut, OpFlushPage, OpFlushInode, OpReadAhead:
 		return true
 	default: // ddlint:nonexhaustive
 		return false
@@ -140,6 +143,7 @@ func (op OpCode) Pages() int {
 //	SET_CG_WEIGHT       Key.Pool, Spec
 //	MIGRATE_OBJECT      Key.Pool (source), To, Key.Inode
 //	GET_STATS           Key.Pool
+//	READ_AHEAD          Key (first block), Count (max blocks)
 //
 // VM is always set. Requests are value types so a batch is just
 // []Request (or its wire encoding, see internal/hypercall).
@@ -151,6 +155,9 @@ type Request struct {
 	Name    string
 	Content uint64
 	To      PoolID
+	// Count bounds a READ_AHEAD: the hypervisor stages at most Count
+	// contiguous blocks starting at Key.Block.
+	Count int64
 }
 
 // Response answers one Request. Ok reports a GET hit or an accepted PUT;
@@ -163,6 +170,8 @@ type Response struct {
 	Pool    PoolID
 	Stats   PoolStats
 	Latency time.Duration
+	// Count reports how many contiguous blocks a READ_AHEAD extracted.
+	Count int64
 }
 
 // Backend is the hypervisor-side second-chance cache store, reached
@@ -237,7 +246,36 @@ type FrontStats struct {
 	Puts     int64
 	Flushes  int64
 	Migrates int64
+	// ReadAheads counts the READ_AHEAD requests the sequential-stream
+	// detector issued.
+	ReadAheads int64
 }
+
+// streamKey identifies one per-file read stream for the sequential
+// detector.
+type streamKey struct {
+	pool  PoolID
+	inode uint64
+}
+
+// stream is the detector state for one file: the block a sequential
+// reader would touch next, the current run length, and how far ahead
+// staging has already been requested.
+type stream struct {
+	next  int64
+	run   int
+	ahead int64 // first block not yet covered by an issued READ_AHEAD
+}
+
+// seqRunThreshold is how many consecutive blocks a reader must touch
+// before the detector calls the stream sequential and starts prefetching
+// (mirrors the guest kernel's readahead ramp-up).
+const seqRunThreshold = 3
+
+// maxTrackedStreams bounds the detector's per-file state; old streams
+// are forgotten wholesale when the table fills (readahead is best-effort,
+// so forgetting a stream only costs a re-ramp).
+const maxTrackedStreams = 256
 
 // Front is the guest-side cleancache layer for one VM. Its methods are
 // thin typed wrappers over the op API: each builds a Request and submits
@@ -250,6 +288,14 @@ type Front struct {
 	// filter implements the paper's cgroup-name filter: only matching
 	// containers get hypervisor cache pools. Nil admits every container.
 	filter func(name string) bool
+
+	// readAhead is the prefetch window (blocks) issued once a stream is
+	// detected sequential; 0 disables detection entirely. streams holds
+	// the per-file detector state. Like stats, these are owned by the
+	// VM's single submission context (the transport below does its own
+	// locking).
+	readAhead int
+	streams   map[streamKey]*stream
 
 	stats FrontStats
 }
@@ -274,6 +320,18 @@ func (f *Front) Enabled() bool { return f.enabled }
 
 // SetFilter installs the cgroup-name filter.
 func (f *Front) SetFilter(filter func(name string) bool) { f.filter = filter }
+
+// SetReadAhead sets the sequential-stream prefetch window in blocks
+// (0 disables detection). When a per-file read stream has touched
+// seqRunThreshold consecutive blocks, every further sequential get
+// extends a READ_AHEAD request so the hypervisor stages the next window
+// blocks for crossing-free consumption.
+func (f *Front) SetReadAhead(window int) {
+	f.readAhead = window
+	if window > 0 && f.streams == nil {
+		f.streams = make(map[streamKey]*stream)
+	}
+}
 
 // Stats returns the guest-side counters.
 func (f *Front) Stats() FrontStats { return f.stats }
@@ -323,14 +381,69 @@ func (f *Front) Get(now time.Duration, g *cgroup.Group, inode uint64, block int6
 		return false, 0
 	}
 	f.stats.Gets++
-	resp := f.tr.Submit(now, Request{
-		Op: OpGet, VM: f.vm,
-		Key: Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block},
-	})
+	key := Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block}
+	resp := f.tr.Submit(now, Request{Op: OpGet, VM: f.vm, Key: key})
 	if resp.Ok {
 		f.stats.GetHits++
 	}
-	return resp.Ok, resp.Latency
+	lat := resp.Latency
+	if f.readAhead > 0 {
+		lat += f.noteAccess(now+lat, key)
+	}
+	return resp.Ok, lat
+}
+
+// noteAccess feeds the sequential-stream detector with one get and, once
+// the stream is established, issues a READ_AHEAD covering the blocks
+// beyond what staging was already asked for. The request is batchable
+// fire-and-forget; the returned latency is whatever ring drain the
+// submission happened to trigger.
+func (f *Front) noteAccess(now time.Duration, key Key) time.Duration {
+	if len(f.streams) >= maxTrackedStreams {
+		f.streams = make(map[streamKey]*stream)
+	}
+	sk := streamKey{pool: key.Pool, inode: key.Inode}
+	s := f.streams[sk]
+	if s == nil {
+		s = &stream{}
+		f.streams[sk] = s
+	}
+	if key.Block == s.next {
+		s.run++
+	} else {
+		s.run = 1
+		s.ahead = key.Block + 1
+	}
+	s.next = key.Block + 1
+	if s.run < seqRunThreshold {
+		return 0
+	}
+	start := s.next
+	if s.ahead > start {
+		start = s.ahead
+	}
+	end := s.next + int64(f.readAhead)
+	if start >= end {
+		return 0 // window already requested
+	}
+	s.ahead = end
+	return f.ReadAhead(now, key.Pool, key.Inode, start, end-start)
+}
+
+// ReadAhead asks the hypervisor to stage up to count contiguous blocks of
+// (pool, inode) starting at block — the READ_AHEAD op the sequential
+// detector drives. Exposed for tests and custom prefetch policies.
+func (f *Front) ReadAhead(now time.Duration, pool PoolID, inode uint64, block, count int64) time.Duration {
+	if !f.enabled || pool == 0 || count <= 0 {
+		return 0
+	}
+	f.stats.ReadAheads++
+	resp := f.tr.Submit(now, Request{
+		Op: OpReadAhead, VM: f.vm,
+		Key:   Key{Pool: pool, Inode: inode, Block: block},
+		Count: count,
+	})
+	return resp.Latency
 }
 
 // Put offers a clean evicted page to the hypervisor cache. content

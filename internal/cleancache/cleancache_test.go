@@ -74,6 +74,16 @@ func (b *fakeBackend) Dispatch(_ time.Duration, req Request) Response {
 	case OpGetStats:
 		resp.Ok = true
 		resp.Stats = PoolStats{Objects: int64(len(b.pools[req.Key.Pool]))}
+	case OpReadAhead:
+		for i := int64(0); i < req.Count; i++ {
+			k := Key{Pool: req.Key.Pool, Inode: req.Key.Inode, Block: req.Key.Block + i}
+			if !b.pools[req.Key.Pool][k] {
+				break
+			}
+			delete(b.pools[req.Key.Pool], k) // exclusive, like GET
+			resp.Count++
+		}
+		resp.Ok = resp.Count > 0
 	}
 	return resp
 }
@@ -92,6 +102,7 @@ func TestOpCodeStringsAndProperties(t *testing.T) {
 		OpFlushInode: "FLUSH_INODE", OpCreateCgroup: "CREATE_CGROUP",
 		OpDestroyCgroup: "DESTROY_CGROUP", OpSetCgWeight: "SET_CG_WEIGHT",
 		OpMigrateObject: "MIGRATE_OBJECT", OpGetStats: "GET_STATS",
+		OpReadAhead: "READ_AHEAD",
 	}
 	if len(OpCodes()) != len(want) {
 		t.Fatalf("OpCodes() = %d codes, want %d", len(OpCodes()), len(want))
@@ -103,7 +114,7 @@ func TestOpCodeStringsAndProperties(t *testing.T) {
 		if op.String() != want[op] {
 			t.Fatalf("%d.String() = %q, want %q", int(op), op.String(), want[op])
 		}
-		wantBatch := op == OpPut || op == OpFlushPage || op == OpFlushInode
+		wantBatch := op == OpPut || op == OpFlushPage || op == OpFlushInode || op == OpReadAhead
 		if op.Batchable() != wantBatch {
 			t.Fatalf("%v.Batchable() = %v", op, op.Batchable())
 		}
@@ -271,5 +282,93 @@ func TestBackendTransportFlushIsFree(t *testing.T) {
 	f.RegisterGroup(0, g)
 	if d := f.FlushTransport(0); d != 0 {
 		t.Fatalf("unbuffered transport flush cost %v", d)
+	}
+}
+
+func TestSequentialDetectorIssuesReadAhead(t *testing.T) {
+	f, be, g := newTestFront()
+	f.SetReadAhead(4)
+	f.RegisterGroup(0, g)
+	for b := int64(0); b < 12; b++ {
+		f.Put(0, g, 1, b, 0)
+	}
+	opsBefore := len(be.ops)
+
+	// Two sequential gets: below the run threshold, no readahead yet.
+	f.Get(0, g, 1, 0)
+	f.Get(0, g, 1, 1)
+	for _, op := range be.ops[opsBefore:] {
+		if op == OpReadAhead {
+			t.Fatal("readahead issued below the sequential-run threshold")
+		}
+	}
+	// Third sequential access establishes the stream.
+	f.Get(0, g, 1, 2)
+	if f.Stats().ReadAheads != 1 {
+		t.Fatalf("ReadAheads = %d after run of 3, want 1", f.Stats().ReadAheads)
+	}
+	// Continuing the stream extends the window without re-requesting the
+	// blocks staging was already asked for.
+	f.Get(0, g, 1, 3)
+	f.Get(0, g, 1, 4)
+	if f.Stats().ReadAheads < 2 {
+		t.Fatalf("window did not slide: ReadAheads = %d", f.Stats().ReadAheads)
+	}
+}
+
+func TestRandomAccessNeverTriggersReadAhead(t *testing.T) {
+	f, _, g := newTestFront()
+	f.SetReadAhead(4)
+	f.RegisterGroup(0, g)
+	for b := int64(0); b < 16; b++ {
+		f.Put(0, g, 1, b, 0)
+	}
+	for _, b := range []int64{0, 5, 2, 9, 1, 14, 7, 3, 11} {
+		f.Get(0, g, 1, b)
+	}
+	if n := f.Stats().ReadAheads; n != 0 {
+		t.Fatalf("random access issued %d readaheads", n)
+	}
+}
+
+func TestReadAheadWindowsDoNotOverlap(t *testing.T) {
+	// The sliding window must never ask staging for the same block twice:
+	// each issued window starts where the previous one ended (or past the
+	// read position, whichever is further).
+	f, _, g := newTestFront()
+	f.SetReadAhead(4)
+	f.RegisterGroup(0, g)
+	for b := int64(0); b < 32; b++ {
+		f.Put(0, g, 1, b, 0)
+	}
+	sk := streamKey{pool: PoolID(g.PoolID()), inode: 1}
+	covered := make(map[int64]int)
+	for b := int64(0); b < 16; b++ {
+		var prevAhead int64
+		if s := f.streams[sk]; s != nil {
+			prevAhead = s.ahead
+		}
+		before := f.Stats().ReadAheads
+		f.Get(0, g, 1, b)
+		if f.Stats().ReadAheads == before {
+			continue
+		}
+		// A window was issued at read position b: it spans
+		// [max(b+1, prevAhead), s.ahead).
+		start := b + 1
+		if prevAhead > start {
+			start = prevAhead
+		}
+		for blk := start; blk < f.streams[sk].ahead; blk++ {
+			covered[blk]++
+		}
+	}
+	if len(covered) == 0 {
+		t.Fatal("sequential scan issued no readahead windows")
+	}
+	for blk, n := range covered {
+		if n > 1 {
+			t.Fatalf("block %d requested %d times by the sliding window", blk, n)
+		}
 	}
 }

@@ -510,6 +510,56 @@ func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) 
 	return true, lat
 }
 
+// ReadAhead handles the READ_AHEAD op: a bulk get of up to count
+// contiguous blocks starting at key.Block, stopping at the first block
+// the pool does not hold. Each extracted block follows the exact GET
+// semantics — counted as a get, fetched from its store, removed under
+// the exclusive protocol — so a readahead is observationally a prefix of
+// gets the guest would otherwise have issued one crossing at a time.
+// Returns the number of blocks extracted and the accumulated latency.
+func (m *Manager) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.Key, count int64) (int64, time.Duration) {
+	pe, ok := m.epoch.Load().pools[key.Pool]
+	if !ok {
+		return 0, 0
+	}
+	p := pe.state
+	v := p.vm
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if p.dead {
+		return 0, 0
+	}
+	lat := m.cfg.OpOverhead
+	var n int64
+	for i := int64(0); i < count; i++ {
+		obj := p.idx.Lookup(key.Inode, key.Block+i)
+		if obj == nil {
+			break
+		}
+		p.counters.gets.Add(1)
+		if obj.Store == cgroup.StoreSSD && !m.ssdBreaker.allow(now+lat) {
+			break
+		}
+		if be := m.backend(obj.Store); be != nil {
+			flat, err := be.Fetch(now+lat, obj.Size)
+			lat += flat
+			m.feedBreaker(now+lat, obj.Store, err)
+			if err != nil {
+				p.idx.Remove(obj)
+				m.releaseObject(obj)
+				break
+			}
+		}
+		p.counters.getHits.Add(1)
+		if !m.cfg.Inclusive {
+			m.releaseObject(obj)
+			p.idx.Remove(obj)
+		}
+		n++
+	}
+	return n, lat
+}
+
 // feedBreaker reports an SSD store operation's outcome to the circuit
 // breaker; operations on other stores are ignored.
 func (m *Manager) feedBreaker(now time.Duration, st cgroup.StoreType, err error) {

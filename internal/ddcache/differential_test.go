@@ -73,7 +73,7 @@ func newDuo(t testing.TB, mode ddcache.Mode, memCap, ssdCap, batch int64, dedup 
 func (d *duo) step(req cleancache.Request) cleancache.Response {
 	rm := d.m.Dispatch(d.now, req)
 	ro := d.o.Dispatch(d.now, req)
-	if rm.Ok != ro.Ok || rm.Pool != ro.Pool || rm.Stats != ro.Stats || rm.Latency != ro.Latency {
+	if rm.Ok != ro.Ok || rm.Pool != ro.Pool || rm.Count != ro.Count || rm.Stats != ro.Stats || rm.Latency != ro.Latency {
 		d.t.Fatalf("op %d (%v vm=%d key=%+v) diverged:\n  manager %+v\n  oracle  %+v",
 			d.nops, req.Op, req.VM, req.Key, rm, ro)
 	}
@@ -231,8 +231,11 @@ func (d *duo) run(seed int64, ops int) {
 				if d.dedup {
 					req.Content = 1 + uint64(rng.Intn(40)) // heavy sharing across pools and VMs
 				}
-			case x < 85:
+			case x < 78:
 				req.Op = cleancache.OpGet
+			case x < 85:
+				req.Op = cleancache.OpReadAhead
+				req.Count = 1 + rng.Int63n(8)
 			case x < 95:
 				req.Op = cleancache.OpFlushPage
 			default:

@@ -33,6 +33,9 @@ func (m *Manager) Dispatch(now time.Duration, req cleancache.Request) cleancache
 	case cleancache.OpGetStats:
 		resp.Ok = true
 		resp.Stats = m.PoolStats(req.VM, req.Key.Pool)
+	case cleancache.OpReadAhead:
+		resp.Count, resp.Latency = m.ReadAhead(now, req.VM, req.Key, req.Count)
+		resp.Ok = resp.Count > 0
 	}
 	return resp
 }

@@ -162,6 +162,9 @@ func (o *Oracle) Dispatch(now time.Duration, req cleancache.Request) cleancache.
 	case cleancache.OpGetStats:
 		resp.Ok = true
 		resp.Stats = o.PoolStats(req.VM, req.Key.Pool)
+	case cleancache.OpReadAhead:
+		resp.Count, resp.Latency = o.ReadAhead(now, req.VM, req.Key, req.Count)
+		resp.Ok = resp.Count > 0
 	}
 	return resp
 }
@@ -357,6 +360,41 @@ func (o *Oracle) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (
 		o.unlink(p, ob)
 	}
 	return true, lat
+}
+
+// ReadAhead mirrors READ_AHEAD: a bulk get of up to count contiguous
+// blocks from key.Block, stopping at the first absent block, each block
+// following the exact GET semantics.
+func (o *Oracle) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.Key, count int64) (int64, time.Duration) {
+	p, ok := o.pools[key.Pool]
+	if !ok {
+		return 0, 0
+	}
+	lat := o.cfg.OpOverhead
+	var n int64
+	for i := int64(0); i < count; i++ {
+		ob := p.objs[objKey{key.Inode, key.Block + i}]
+		if ob == nil {
+			break
+		}
+		p.stats.Gets++
+		if be := o.backend(ob.store); be != nil {
+			flat, err := be.Fetch(now+lat, ob.size)
+			lat += flat
+			if err != nil {
+				o.unlink(p, ob)
+				o.releaseObject(ob)
+				break
+			}
+		}
+		p.stats.GetHits++
+		if !o.cfg.Inclusive {
+			o.releaseObject(ob)
+			o.unlink(p, ob)
+		}
+		n++
+	}
+	return n, lat
 }
 
 // Put mirrors PUT: placement, dedup, capacity enforcement, commit.

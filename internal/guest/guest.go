@@ -34,6 +34,11 @@ type Config struct {
 	// that drains buffered hypercall batches so puts and flushes never
 	// linger unsent (default 10ms).
 	HypercallFlushInterval time.Duration
+	// ReadAheadWindow enables sequential-stream detection in the
+	// cleancache front: once a stream is detected, the front issues
+	// READ_AHEAD ops prefetching up to this many blocks ahead into the
+	// hypervisor-side staging buffer. Zero disables readahead.
+	ReadAheadWindow int
 	// Disk overrides the VM's virtual disk; nil selects a 7200 RPM HDD.
 	Disk blockdev.Device
 }
@@ -78,6 +83,9 @@ func New(engine *sim.Engine, cfg Config, front *cleancache.Front) *VM {
 		disk:   disk,
 		alloc:  fsmodel.NewAllocator(),
 		front:  front,
+	}
+	if front != nil && cfg.ReadAheadWindow > 0 {
+		front.SetReadAhead(cfg.ReadAheadWindow)
 	}
 	vm.cache = pagecache.New(vm.root, front, vm.disk)
 	vm.flusher = engine.Every(cfg.FlushInterval, func() {

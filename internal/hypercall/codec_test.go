@@ -30,6 +30,9 @@ func sampleRequest(op cleancache.OpCode) cleancache.Request {
 	case cleancache.OpMigrateObject:
 		req.Key = cleancache.Key{Pool: 4, Inode: 77}
 		req.To = 6
+	case cleancache.OpReadAhead:
+		req.Key = cleancache.Key{Pool: 8, Inode: 1 << 50, Block: 1 << 20}
+		req.Count = 64
 	}
 	return req
 }
@@ -69,6 +72,93 @@ func TestCodecFrameStream(t *testing.T) {
 			t.Fatalf("frame %d: got %+v, want %+v", i, got, want[i])
 		}
 		buf = buf[n:]
+	}
+}
+
+func TestTaggedFrameRoundTrip(t *testing.T) {
+	// A mixed stream of plain and tagged frames decodes back in order
+	// with tags intact — the shape DrainFrames consumes.
+	type wantFrame struct {
+		tagged bool
+		tag    uint64
+		req    cleancache.Request
+	}
+	var buf []byte
+	var want []wantFrame
+	for _, op := range cleancache.OpCodes() {
+		req := sampleRequest(op)
+		buf = EncodeRequest(buf, req)
+		want = append(want, wantFrame{req: req})
+		if op == cleancache.OpGet {
+			for _, tg := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+				buf = EncodeTagged(buf, tg, req)
+				want = append(want, wantFrame{tagged: true, tag: tg, req: req})
+			}
+		}
+	}
+	for i := 0; len(buf) > 0; i++ {
+		f, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		w := want[i]
+		if f.Tagged != w.tagged || f.Tag != w.tag || f.Req != w.req {
+			t.Fatalf("frame %d:\n got %+v\nwant %+v", i, f, w)
+		}
+		buf = buf[n:]
+	}
+}
+
+func TestCompletionRoundTrip(t *testing.T) {
+	comps := []Completion{
+		{Tag: 0, Ok: false, Count: 0, At: 0},
+		{Tag: 1, Ok: true, Count: 1, At: 1800},
+		{Tag: 1 << 50, Ok: true, Count: -3, At: 1 << 40},
+		{Tag: ^uint64(0), Ok: false, Count: 1 << 40, At: 1},
+	}
+	var buf []byte
+	for _, c := range comps {
+		buf = EncodeCompletion(buf, c)
+	}
+	for i := 0; len(buf) > 0; i++ {
+		got, n, err := DecodeCompletion(buf)
+		if err != nil {
+			t.Fatalf("completion %d: %v", i, err)
+		}
+		if got != comps[i] {
+			t.Fatalf("completion %d:\n got %+v\nwant %+v", i, got, comps[i])
+		}
+		buf = buf[n:]
+	}
+}
+
+func TestCompletionRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeCompletion(nil); err == nil {
+		t.Fatal("empty completion decoded")
+	}
+	// A request frame is not a completion.
+	reqFrame := EncodeRequest(nil, sampleRequest(cleancache.OpGet))
+	if _, _, err := DecodeCompletion(reqFrame); err == nil {
+		t.Fatal("request frame decoded as completion")
+	}
+	full := EncodeCompletion(nil, Completion{Tag: 1 << 30, Ok: true, Count: 7, At: 12345})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeCompletion(full[:cut]); err == nil {
+			t.Fatalf("truncated completion (%d of %d bytes) decoded", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeRequestRejectsFramingMarkers(t *testing.T) {
+	// The tagged/completion markers live outside the OpCode range; the
+	// plain-request decoder must reject them rather than misparse.
+	tagged := EncodeTagged(nil, 9, sampleRequest(cleancache.OpGet))
+	if _, _, err := DecodeRequest(tagged); err == nil {
+		t.Fatal("tagged frame decoded as plain request")
+	}
+	comp := EncodeCompletion(nil, Completion{Tag: 9, Ok: true})
+	if _, _, err := DecodeRequest(comp); err == nil {
+		t.Fatal("completion frame decoded as plain request")
 	}
 }
 

@@ -51,6 +51,47 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzCompletionStream feeds arbitrary byte streams to the completion
+// decoder the way deliverCompletionsLocked consumes them: never panic,
+// strict forward progress, and everything accepted must re-encode to a
+// frame that decodes identically.
+func FuzzCompletionStream(f *testing.F) {
+	var stream []byte
+	for _, c := range []Completion{
+		{Tag: 0, Ok: false},
+		{Tag: 1, Ok: true, Count: 1, At: 1800},
+		{Tag: ^uint64(0), Ok: true, Count: -9, At: 1 << 40},
+	} {
+		frame := EncodeCompletion(nil, c)
+		f.Add(frame)
+		stream = append(stream, frame...)
+	}
+	f.Add(stream)
+	f.Add([]byte{})
+	f.Add([]byte{0xf9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			c, n, err := DecodeCompletion(rest)
+			if err != nil {
+				break
+			}
+			if n <= 0 || n > len(rest) {
+				t.Fatalf("decode consumed %d of %d bytes", n, len(rest))
+			}
+			re := EncodeCompletion(nil, c)
+			c2, n2, err := DecodeCompletion(re)
+			if err != nil {
+				t.Fatalf("re-encoded completion rejected: %v (%+v)", err, c)
+			}
+			if n2 != len(re) || c2 != c {
+				t.Fatalf("re-encode round trip:\n got %+v (%d bytes)\nwant %+v (%d bytes)", c2, n2, c, len(re))
+			}
+			rest = rest[n:]
+		}
+	})
+}
+
 // FuzzRoundTrip drives structured requests through encode→decode and
 // demands exact equality and full consumption, for every op code and
 // arbitrary field values (including the signed/huge varint corners).
@@ -86,6 +127,9 @@ func FuzzRoundTrip(f *testing.F) {
 		case cleancache.OpMigrateObject:
 			req.Key = cleancache.Key{Pool: cleancache.PoolID(pool), Inode: inode}
 			req.To = cleancache.PoolID(to)
+		case cleancache.OpReadAhead:
+			req.Key = cleancache.Key{Pool: cleancache.PoolID(pool), Inode: inode, Block: block}
+			req.Count = to
 		}
 		buf := EncodeRequest(nil, req)
 		got, n, err := DecodeRequest(buf)

@@ -28,6 +28,10 @@ import (
 const (
 	DefaultCallCost     = 1800 * time.Nanosecond
 	DefaultPageCopyCost = 450 * time.Nanosecond
+	// DefaultPageMapCost is the zero-copy alternative to a page copy:
+	// remapping a shared page into the guest (a PTE update plus TLB
+	// shootdown share) instead of moving 4 KiB through a bounce buffer.
+	DefaultPageMapCost = 150 * time.Nanosecond
 )
 
 // Fault-injection sites the transport consults: one decision per batched
@@ -47,23 +51,34 @@ var ErrCorrupt = errors.New("hypercall: batch checksum mismatch")
 type Channel struct {
 	callCost time.Duration
 	copyCost time.Duration
+	mapCost  time.Duration
 	faults   *fault.Injector
 
 	calls       atomic.Int64
 	pagesCopied atomic.Int64
+	pagesMapped atomic.Int64
 	drops       atomic.Int64
 	corrupts    atomic.Int64
 }
 
 // NewChannel returns a channel with the default VMCALL cost model.
 func NewChannel() *Channel {
-	return &Channel{callCost: DefaultCallCost, copyCost: DefaultPageCopyCost}
+	return NewChannelWithCosts(DefaultCallCost, DefaultPageCopyCost)
 }
 
 // NewChannelWithCosts returns a channel with explicit costs, for
 // sensitivity experiments.
 func NewChannelWithCosts(call, pageCopy time.Duration) *Channel {
-	return &Channel{callCost: call, copyCost: pageCopy}
+	return &Channel{callCost: call, copyCost: pageCopy, mapCost: DefaultPageMapCost}
+}
+
+// WithMapCost overrides the zero-copy page-map cost and returns the
+// channel.
+func (c *Channel) WithMapCost(d time.Duration) *Channel {
+	if d > 0 {
+		c.mapCost = d
+	}
+	return c
 }
 
 // Cost returns the transport latency for one call moving pages of data,
@@ -72,6 +87,22 @@ func (c *Channel) Cost(pages int) time.Duration {
 	c.calls.Add(1)
 	c.pagesCopied.Add(int64(pages))
 	return c.callCost + time.Duration(pages)*c.copyCost
+}
+
+// CopyPages accounts n response pages copied outside a crossing (staged
+// or bulk data moved on the completion path) and returns the copy cost.
+// Safe for concurrent use.
+func (c *Channel) CopyPages(n int) time.Duration {
+	c.pagesCopied.Add(int64(n))
+	return time.Duration(n) * c.copyCost
+}
+
+// MapPages accounts n response pages handed over as shared-page
+// references — the zero-copy bulk path — and returns the mapping cost.
+// Safe for concurrent use.
+func (c *Channel) MapPages(n int) time.Duration {
+	c.pagesMapped.Add(int64(n))
+	return time.Duration(n) * c.mapCost
 }
 
 // WithFaults attaches a fault injector to the channel and returns it;
@@ -126,6 +157,10 @@ func (c *Channel) Calls() int64 { return c.calls.Load() }
 
 // PagesCopied reports the number of pages moved across the boundary.
 func (c *Channel) PagesCopied() int64 { return c.pagesCopied.Load() }
+
+// PagesMapped reports the number of pages handed over as zero-copy
+// shared-page references.
+func (c *Channel) PagesMapped() int64 { return c.pagesMapped.Load() }
 
 // Drops reports the number of crossings lost in flight.
 func (c *Channel) Drops() int64 { return c.drops.Load() }

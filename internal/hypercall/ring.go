@@ -54,18 +54,36 @@ func (r *Ring) Push(req cleancache.Request) {
 	r.pages += req.Op.Pages()
 }
 
+// PushTagged encodes a tagged request onto the ring: an asynchronous get
+// riding the batch, whose completion is demultiplexed by tag. pages is
+// the response payload the frame reserves in the batch's page budget
+// (0 when the answer page is mapped instead of copied). The caller must
+// have checked Fits.
+func (r *Ring) PushTagged(tag uint64, req cleancache.Request, pages int) {
+	r.buf = EncodeTagged(r.buf, tag, req)
+	r.ops++
+	r.pages += pages
+}
+
 // Drain decodes every buffered frame in FIFO order, invoking fn for
-// each, and empties the ring. Decode errors are impossible for frames
-// produced by Push, so fn sees exactly the pushed sequence.
+// each, and empties the ring. Tags are dropped; transports that push
+// tagged frames must use DrainFrames. Decode errors are impossible for
+// frames produced by Push, so fn sees exactly the pushed sequence.
 func (r *Ring) Drain(fn func(req cleancache.Request)) {
+	r.DrainFrames(func(f Frame) { fn(f.Req) })
+}
+
+// DrainFrames decodes every buffered frame — plain and tagged — in FIFO
+// order, invoking fn for each, and empties the ring.
+func (r *Ring) DrainFrames(fn func(f Frame)) {
 	b := r.buf
 	for len(b) > 0 {
-		req, n, err := DecodeRequest(b)
+		f, n, err := DecodeFrame(b)
 		if err != nil {
 			break // corrupted tail: drop it (cannot happen via Push)
 		}
 		b = b[n:]
-		fn(req)
+		fn(f)
 	}
 	r.buf = r.buf[:0]
 	r.ops = 0

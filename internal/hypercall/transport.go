@@ -25,6 +25,18 @@ const (
 	DefaultMaxAttempts = 8
 )
 
+// DefaultStagingPages bounds the per-VM staging buffer: 256 pages (1 MiB)
+// of readahead-filled blocks awaiting consumption.
+//
+// DefaultMaxRequeues bounds how many crossings a flush salvaged from an
+// abandoned batch may ride before the transport gives up on it: under a
+// persistent fault every drain would otherwise re-queue the same flushes
+// forever, livelocking the flush tick.
+const (
+	DefaultStagingPages = 256
+	DefaultMaxRequeues  = 4
+)
+
 // Options parameterizes a Transport.
 type Options struct {
 	// MaxBatchOps bounds the number of operations per crossing
@@ -37,10 +49,27 @@ type Options struct {
 	// selects the defaults.
 	CallCost     time.Duration
 	PageCopyCost time.Duration
+	// PageMapCost overrides the zero-copy page-map cost; zero selects
+	// DefaultPageMapCost.
+	PageMapCost time.Duration
 	// Unbatched disables coalescing: every op pays its own world switch,
 	// the pre-batching behaviour. The baseline for the transport
 	// experiment.
 	Unbatched bool
+	// AsyncGets enables tagged get pipelining: gets ride the batch ring as
+	// tagged frames instead of paying a private synchronous crossing, and
+	// their completions are demultiplexed by tag when the batch drains.
+	// Multiple gets per VM may then be outstanding at once (SubmitAsync /
+	// Await); Submit still blocks, but shares the batch crossing. Ignored
+	// in Unbatched mode.
+	AsyncGets bool
+	// ZeroCopy hands bulk response pages back as shared-page references
+	// (MapPages) instead of copies: tagged gets reserve no page budget in
+	// the batch and readahead fills map their blocks into the staging
+	// buffer at PageMapCost per page.
+	ZeroCopy bool
+	// StagingPages bounds the staging buffer (default 256 pages).
+	StagingPages int
 	// Metrics receives per-op-code latency histograms and batch
 	// telemetry; nil disables recording.
 	Metrics *metrics.Registry
@@ -58,6 +87,9 @@ type Options struct {
 	// MaxAttempts bounds delivery attempts per crossing (default 8);
 	// after that the payload is abandoned.
 	MaxAttempts int
+	// MaxRequeues bounds how many abandoned crossings a flush survives
+	// before it too is dropped and counted as FlushAbandoned (default 4).
+	MaxRequeues int
 }
 
 // TransportStats is a snapshot of one transport's traffic.
@@ -67,6 +99,9 @@ type TransportStats struct {
 	Calls int64
 	// PagesCopied is the number of pages moved across the boundary.
 	PagesCopied int64
+	// PagesMapped is the number of pages handed over as zero-copy
+	// shared-page references.
+	PagesMapped int64
 	// Batches is the number of multi-op crossings.
 	Batches int64
 	// BatchedOps is the number of operations delivered via batches.
@@ -74,6 +109,17 @@ type TransportStats struct {
 	// SyncOps is the number of operations delivered synchronously (gets,
 	// control ops, and everything in Unbatched mode).
 	SyncOps int64
+	// AsyncGets is the number of gets delivered as tagged batch frames.
+	AsyncGets int64
+	// StagedHits is the number of gets served from the staging buffer
+	// without paying a crossing.
+	StagedHits int64
+	// StagedFills is the number of blocks readahead placed in the staging
+	// buffer; StagedEvictions counts the ones pushed out unconsumed.
+	StagedFills     int64
+	StagedEvictions int64
+	// StagedPages is the number of blocks currently staged.
+	StagedPages int64
 	// Pending is the number of operations currently buffered.
 	Pending int64
 	// Retries is the number of crossings re-sent after a drop or a
@@ -90,27 +136,103 @@ type TransportStats struct {
 	// RequeuedOps is the number of flush ops from abandoned batches
 	// re-queued for the next crossing.
 	RequeuedOps int64
+	// FlushAbandoned is the number of flushes dropped after MaxRequeues
+	// abandoned crossings.
+	FlushAbandoned int64
 	// SyncFailures is the number of synchronous ops whose crossing was
 	// abandoned (reported Ok=false to the guest).
 	SyncFailures int64
 }
 
+// transportMetrics holds the metric handles the transport touches on hot
+// paths, resolved once at construction. A registry lookup concatenates a
+// name and takes the registry lock; doing that per retry or per drained
+// op inside t.mu serializes unrelated VMs on the registry. Nil when no
+// registry is configured.
+type transportMetrics struct {
+	batches        *metrics.Counter
+	batchedOps     *metrics.Counter
+	batchPages     *metrics.Counter
+	batchOps       *metrics.Series
+	droppedBatches *metrics.Counter
+	retries        *metrics.Counter
+	syncFailures   *metrics.Counter
+	flushAbandoned *metrics.Counter
+	asyncGets      *metrics.Counter
+	stagedHits     *metrics.Counter
+	stagedFills    *metrics.Counter
+	lat            []*metrics.Histogram // indexed by OpCode
+}
+
+func newTransportMetrics(reg *metrics.Registry, prefix string) *transportMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &transportMetrics{
+		batches:        reg.Counter(prefix + ".batches"),
+		batchedOps:     reg.Counter(prefix + ".batched_ops"),
+		batchPages:     reg.Counter(prefix + ".batch_pages"),
+		batchOps:       reg.Series(prefix + ".batch_ops"),
+		droppedBatches: reg.Counter(prefix + ".dropped_batches"),
+		retries:        reg.Counter(prefix + ".retries"),
+		syncFailures:   reg.Counter(prefix + ".sync_failures"),
+		flushAbandoned: reg.Counter(prefix + ".flush_abandoned"),
+		asyncGets:      reg.Counter(prefix + ".async_gets"),
+		stagedHits:     reg.Counter(prefix + ".staged_hits"),
+		stagedFills:    reg.Counter(prefix + ".staged_fills"),
+	}
+	ops := cleancache.OpCodes()
+	m.lat = make([]*metrics.Histogram, int(ops[len(ops)-1])+1)
+	for _, op := range ops {
+		m.lat[int(op)] = reg.Histogram(prefix + ".lat." + op.String())
+	}
+	return m
+}
+
+// PendingGet is the handle to one in-flight asynchronous get: created by
+// SubmitAsync, completed when the crossing carrying its tagged frame
+// drains (or is abandoned), redeemed with Await. All fields are guarded
+// by the owning transport's mu.
+type PendingGet struct {
+	tag     uint64
+	done    bool
+	ok      bool
+	failed  bool // crossing abandoned: the frame never reached the hypervisor
+	readyAt time.Duration
+
+	resolved bool
+	resp     cleancache.Response
+}
+
 // Transport is the batched, pipelined hypercall path from one VM to the
 // hypervisor cache manager. It implements cleancache.Transport.
 //
-// Batchable operations (put, flush) are encoded onto a bounded Ring and
-// delivered together in one crossing — one world switch for the whole
-// batch plus per-page copy costs — when the ring fills or when the
+// Batchable operations (put, flush, readahead) are encoded onto a bounded
+// Ring and delivered together in one crossing — one world switch for the
+// whole batch plus per-page copy costs — when the ring fills or when the
 // guest's flush tick calls Flush. Synchronous operations (get and the
 // control ops) first drain the ring, preserving per-VM FIFO order, so
 // the backend observes exactly the unbatched operation sequence: a get
 // following a buffered put of the same key sees the put.
 //
+// With AsyncGets enabled, gets instead ride the ring as tagged frames:
+// the frame keeps its FIFO position (so ordering against buffered puts
+// and flushes is unchanged), but its completion — (tag, ok, ready-at) —
+// is demultiplexed back to a per-op waiter, letting one VM keep several
+// gets in flight and letting completions land out of submission order in
+// virtual time.
+//
+// Readahead responses fill a bounded staging buffer modelling the per-VM
+// shared staging region: subsequent gets for staged blocks are answered
+// from the buffer without any crossing at all. Staged entries are
+// invalidated by the ops that could stale them (put, flush, migrate,
+// destroy) — dropping a staged page is always safe under the cleancache
+// contract.
+//
 // Transport is safe for concurrent use by a VM's vCPU threads.
 type Transport struct {
-	be     cleancache.Backend
-	reg    *metrics.Registry
-	prefix string
+	be cleancache.Backend
+	m  *transportMetrics
 
 	// mu guards the ring and the traffic counters below. ch is set once at
 	// construction and read without the lock (Channel()); the Channel is
@@ -122,18 +244,44 @@ type Transport struct {
 	scratch []byte // ddlint:guarded-by mu
 
 	unbatched   bool
+	asyncGets   bool
+	zeroCopy    bool
+	stagingCap  int
 	retryBase   time.Duration
 	retryCap    time.Duration
 	maxAttempts int
+	maxRequeues int
 
-	batches        int64         // ddlint:guarded-by mu
-	batchedOps     int64         // ddlint:guarded-by mu
-	syncOps        int64         // ddlint:guarded-by mu
-	retries        int64         // ddlint:guarded-by mu
-	backoff        time.Duration // ddlint:guarded-by mu
-	droppedBatches int64         // ddlint:guarded-by mu
-	requeuedOps    int64         // ddlint:guarded-by mu
-	syncFailures   int64         // ddlint:guarded-by mu
+	// Async get demultiplexing: the next frame tag, the waiters keyed by
+	// tag, and the wire-encoded completions of the drain in progress.
+	nextTag     uint64                 // ddlint:guarded-by mu
+	waiters     map[uint64]*PendingGet // ddlint:guarded-by mu
+	completions []byte                 // ddlint:guarded-by mu
+
+	// Staging buffer: readahead-filled blocks and the virtual time their
+	// fill completes. stagedOrder is the FIFO eviction queue (lazily
+	// pruned: consumed or invalidated keys go stale in place).
+	staged      map[cleancache.Key]time.Duration // ddlint:guarded-by mu
+	stagedOrder []cleancache.Key                 // ddlint:guarded-by mu
+
+	// requeueGens[i] is the abandoned-crossing count of the i-th buffered
+	// op: requeued flushes re-enter at the front of the emptied ring, so
+	// positions align, and ops beyond len(requeueGens) are fresh.
+	requeueGens []int // ddlint:guarded-by mu
+
+	batches         int64         // ddlint:guarded-by mu
+	batchedOps      int64         // ddlint:guarded-by mu
+	syncOps         int64         // ddlint:guarded-by mu
+	asyncGetOps     int64         // ddlint:guarded-by mu
+	stagedHits      int64         // ddlint:guarded-by mu
+	stagedFills     int64         // ddlint:guarded-by mu
+	stagedEvictions int64         // ddlint:guarded-by mu
+	retries         int64         // ddlint:guarded-by mu
+	backoff         time.Duration // ddlint:guarded-by mu
+	droppedBatches  int64         // ddlint:guarded-by mu
+	requeuedOps     int64         // ddlint:guarded-by mu
+	flushAbandoned  int64         // ddlint:guarded-by mu
+	syncFailures    int64         // ddlint:guarded-by mu
 }
 
 var _ cleancache.Transport = (*Transport)(nil)
@@ -152,6 +300,9 @@ func NewTransport(be cleancache.Backend, opts Options) *Transport {
 	if opts.PageCopyCost == 0 {
 		opts.PageCopyCost = DefaultPageCopyCost
 	}
+	if opts.StagingPages <= 0 {
+		opts.StagingPages = DefaultStagingPages
+	}
 	if opts.MetricsPrefix == "" {
 		opts.MetricsPrefix = "hypercall"
 	}
@@ -164,16 +315,24 @@ func NewTransport(be cleancache.Backend, opts Options) *Transport {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = DefaultMaxAttempts
 	}
+	if opts.MaxRequeues <= 0 {
+		opts.MaxRequeues = DefaultMaxRequeues
+	}
 	return &Transport{
 		be:          be,
-		reg:         opts.Metrics,
-		prefix:      opts.MetricsPrefix,
-		ch:          NewChannelWithCosts(opts.CallCost, opts.PageCopyCost).WithFaults(opts.Faults),
+		m:           newTransportMetrics(opts.Metrics, opts.MetricsPrefix),
+		ch:          NewChannelWithCosts(opts.CallCost, opts.PageCopyCost).WithMapCost(opts.PageMapCost).WithFaults(opts.Faults),
 		ring:        NewRing(opts.MaxBatchOps, opts.MaxBatchPages),
 		unbatched:   opts.Unbatched,
+		asyncGets:   opts.AsyncGets && !opts.Unbatched,
+		zeroCopy:    opts.ZeroCopy,
+		stagingCap:  opts.StagingPages,
 		retryBase:   opts.RetryBase,
 		retryCap:    opts.RetryCap,
 		maxAttempts: opts.MaxAttempts,
+		maxRequeues: opts.MaxRequeues,
+		waiters:     make(map[uint64]*PendingGet),
+		staged:      make(map[cleancache.Key]time.Duration),
 	}
 }
 
@@ -185,19 +344,26 @@ func (t *Transport) Stats() TransportStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TransportStats{
-		Calls:          t.ch.Calls(),
-		PagesCopied:    t.ch.PagesCopied(),
-		Batches:        t.batches,
-		BatchedOps:     t.batchedOps,
-		SyncOps:        t.syncOps,
-		Pending:        int64(t.ring.Len()),
-		Retries:        t.retries,
-		Backoff:        t.backoff,
-		Drops:          t.ch.Drops(),
-		Corrupts:       t.ch.Corrupts(),
-		DroppedBatches: t.droppedBatches,
-		RequeuedOps:    t.requeuedOps,
-		SyncFailures:   t.syncFailures,
+		Calls:           t.ch.Calls(),
+		PagesCopied:     t.ch.PagesCopied(),
+		PagesMapped:     t.ch.PagesMapped(),
+		Batches:         t.batches,
+		BatchedOps:      t.batchedOps,
+		SyncOps:         t.syncOps,
+		AsyncGets:       t.asyncGetOps,
+		StagedHits:      t.stagedHits,
+		StagedFills:     t.stagedFills,
+		StagedEvictions: t.stagedEvictions,
+		StagedPages:     int64(len(t.staged)),
+		Pending:         int64(t.ring.Len()),
+		Retries:         t.retries,
+		Backoff:         t.backoff,
+		Drops:           t.ch.Drops(),
+		Corrupts:        t.ch.Corrupts(),
+		DroppedBatches:  t.droppedBatches,
+		RequeuedOps:     t.requeuedOps,
+		FlushAbandoned:  t.flushAbandoned,
+		SyncFailures:    t.syncFailures,
 	}
 }
 
@@ -206,10 +372,14 @@ func (t *Transport) Stats() TransportStats {
 // way, matching the paper's fire-and-forget put semantics); the reported
 // latency is whatever drain this submission triggered. Synchronous ops
 // drain the ring, pay their own crossing, dispatch, and return the
-// backend's answer with transport cost folded into Latency.
+// backend's answer with transport cost folded into Latency. Gets check
+// the staging buffer first and, when AsyncGets is on, ride the batch as
+// tagged frames instead of paying a private crossing.
 func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache.Response {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+
+	t.invalidateStagedLocked(req)
 
 	if !t.unbatched && req.Op.Batchable() {
 		var lat time.Duration
@@ -224,63 +394,306 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 		return cleancache.Response{Op: req.Op, Ok: true, Latency: lat}
 	}
 
+	if req.Op == cleancache.OpGet && t.asyncGets {
+		pg, lat := t.enqueueGetLocked(now, req)
+		if !pg.done {
+			lat += t.drainLocked(now + lat)
+		}
+		return t.resolveLocked(now, lat, pg)
+	}
+
+	if req.Op == cleancache.OpGet {
+		// A staged block is guest-visible memory: consuming it needs no
+		// crossing and no drain. Nothing buffered can stale it — the ops
+		// that could (put, flush) invalidated it at their own Submit.
+		if wait, hit := t.consumeStagedLocked(now, req.Key); hit {
+			t.observe(req.Op, wait)
+			return cleancache.Response{Op: req.Op, Ok: true, Latency: wait}
+		}
+	}
+
 	// Synchronous path: barrier-drain buffered ops first so the backend
-	// sees FIFO order, then pay this op's own crossing. The wire encoding
+	// sees FIFO order, then pay this op's own crossing. The dispatch
+	// timestamp `at` is threaded explicitly — every drain, delivery and
+	// backoff advances it — so the backend is invoked at exactly the
+	// virtual time the request arrives and the guest-visible latency is
+	// always at-now plus the backend's own latency. The wire encoding
 	// exists only for the fault model to checksum or corrupt, so the
 	// healthy path skips it.
-	lat := t.drainLocked(now)
+	at := now
+	at += t.drainLocked(at)
+	if req.Op == cleancache.OpGet {
+		// The drain may have dispatched a buffered readahead that staged
+		// this very block: re-check before paying a crossing.
+		if wait, hit := t.consumeStagedLocked(at, req.Key); hit {
+			t.observe(req.Op, at+wait-now)
+			return cleancache.Response{Op: req.Op, Ok: true, Latency: at + wait - now}
+		}
+	}
 	var payload []byte
 	if t.ch.Faulty() {
 		t.scratch = EncodeRequest(t.scratch[:0], req)
 		payload = t.scratch
 	}
-	clat, ok := t.crossLocked(now+lat, req.Op.Pages(), payload, SiteCall)
-	lat += clat
+	clat, ok := t.crossLocked(at, req.Op.Pages(), payload, SiteCall)
+	at += clat
 	t.syncOps++
 	if !ok {
 		// The call never reached the hypervisor. Reporting Ok=false is
 		// cleancache-safe: a failed get is a miss (the guest re-reads from
 		// its virtual disk), a failed control op surfaces to its caller.
 		t.syncFailures++
-		if t.reg != nil {
-			t.reg.Counter(t.prefix + ".sync_failures").Inc()
+		if t.m != nil {
+			t.m.syncFailures.Inc()
 		}
-		t.observe(req.Op, lat)
-		return cleancache.Response{Op: req.Op, Ok: false, Latency: lat}
+		t.observe(req.Op, at-now)
+		return cleancache.Response{Op: req.Op, Ok: false, Latency: at - now}
 	}
-	resp := t.be.Dispatch(now+lat, req)
-	resp.Latency += lat
+	resp := t.be.Dispatch(at, req)
+	resp.Latency += at - now
 	t.observe(req.Op, resp.Latency)
 	return resp
+}
+
+// SubmitAsync issues a get without waiting for its completion: the
+// request is pushed as a tagged frame (draining the ring only if the
+// frame does not fit) and a handle is returned for Await. The returned
+// latency is the submission cost charged to the caller now — any drain
+// this push triggered — not the get's completion time. Ops other than
+// get, and transports without AsyncGets, fall back to the synchronous
+// Submit and return an already-completed handle.
+func (t *Transport) SubmitAsync(now time.Duration, req cleancache.Request) (*PendingGet, time.Duration) {
+	if req.Op != cleancache.OpGet || !t.asyncGets {
+		resp := t.Submit(now, req)
+		return &PendingGet{
+			done: true, resolved: true,
+			ok:      resp.Ok,
+			readyAt: now + resp.Latency,
+			resp:    resp,
+		}, resp.Latency
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enqueueGetLocked(now, req)
+}
+
+// Await blocks (in virtual time) until pg completes, forcing a ring
+// drain if the completion is still in flight. The returned Latency is
+// the wait remaining from now; a get whose completion already landed in
+// the past costs nothing more.
+func (t *Transport) Await(now time.Duration, pg *PendingGet) cleancache.Response {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var lat time.Duration
+	if !pg.done {
+		lat = t.drainLocked(now)
+	}
+	return t.resolveLocked(now, lat, pg)
+}
+
+// enqueueGetLocked pushes req as a tagged frame, serving it from the
+// staging buffer instead when the block is staged (no crossing at all).
+// Returns the pending handle and the submission latency charged now.
+//
+// ddlint:requires-lock mu
+func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) (*PendingGet, time.Duration) {
+	if wait, hit := t.consumeStagedLocked(now, req.Key); hit {
+		return &PendingGet{done: true, ok: true, readyAt: now + wait}, 0
+	}
+	pages := req.Op.Pages()
+	if t.zeroCopy {
+		pages = 0 // the answer page is mapped, not copied through the batch
+	}
+	var lat time.Duration
+	if !t.ring.Fits(pages) {
+		lat = t.drainLocked(now)
+		// That drain may have dispatched a readahead staging this block.
+		if wait, hit := t.consumeStagedLocked(now+lat, req.Key); hit {
+			return &PendingGet{done: true, ok: true, readyAt: now + lat + wait}, lat
+		}
+	}
+	tag := t.nextTag
+	t.nextTag++
+	pg := &PendingGet{tag: tag}
+	t.waiters[tag] = pg
+	t.ring.PushTagged(tag, req, pages)
+	t.asyncGetOps++
+	if t.m != nil {
+		t.m.asyncGets.Inc()
+	}
+	if t.ring.Full() {
+		lat += t.drainLocked(now + lat)
+	}
+	return pg, lat
+}
+
+// resolveLocked turns a completed handle into the guest-visible
+// response. submitLat is the latency already accumulated by the caller
+// this submission (drains it triggered); the reported latency is the
+// later of that and the completion's ready-at. Failure of the crossing
+// (abandoned batch) is reported as Ok=false — a miss, never data loss —
+// and counted as a sync failure. Idempotent: a second resolution returns
+// the recorded response with only the wait remaining from now.
+//
+// ddlint:requires-lock mu
+func (t *Transport) resolveLocked(now, submitLat time.Duration, pg *PendingGet) cleancache.Response {
+	if pg.resolved {
+		resp := pg.resp
+		resp.Latency = 0
+		if pg.readyAt > now {
+			resp.Latency = pg.readyAt - now
+		}
+		return resp
+	}
+	if !pg.done {
+		// Cannot happen — a drain completes or fails every tagged frame —
+		// but a stuck waiter must not hang the guest.
+		pg.done, pg.failed = true, true
+		pg.readyAt = now + submitLat
+	}
+	if pg.failed {
+		t.syncFailures++
+		if t.m != nil {
+			t.m.syncFailures.Inc()
+		}
+	}
+	total := submitLat
+	if wait := pg.readyAt - now; wait > total {
+		total = wait
+	}
+	pg.resolved = true
+	pg.resp = cleancache.Response{Op: cleancache.OpGet, Ok: pg.ok && !pg.failed, Latency: total}
+	t.observe(cleancache.OpGet, total)
+	return pg.resp
+}
+
+// consumeStagedLocked serves key from the staging buffer if present:
+// the entry is consumed (gets are exclusive) and the returned wait is
+// the time until its fill completes — zero for a block staged in the
+// past. The fill already paid the page movement, so consumption is free.
+//
+// ddlint:requires-lock mu
+func (t *Transport) consumeStagedLocked(now time.Duration, key cleancache.Key) (time.Duration, bool) {
+	readyAt, ok := t.stagedHitLocked(key)
+	if !ok {
+		return 0, false
+	}
+	if readyAt <= now {
+		return 0, true
+	}
+	return readyAt - now, true
+}
+
+// stageLocked records a readahead response: the extracted blocks become
+// staged entries whose fill completes after the backend latency plus the
+// page handover — mapped references under ZeroCopy, copies otherwise.
+// The buffer is bounded; the oldest unconsumed entries are evicted,
+// which is always safe (an evicted block is simply re-fetched).
+//
+// ddlint:requires-lock mu
+func (t *Transport) stageLocked(at time.Duration, req cleancache.Request, resp cleancache.Response) {
+	if resp.Count <= 0 {
+		return
+	}
+	n := int(resp.Count)
+	ready := at + resp.Latency
+	if t.zeroCopy {
+		ready += t.ch.MapPages(n)
+	} else {
+		ready += t.ch.CopyPages(n)
+	}
+	for i := int64(0); i < resp.Count; i++ {
+		key := cleancache.Key{Pool: req.Key.Pool, Inode: req.Key.Inode, Block: req.Key.Block + i}
+		if _, dup := t.staged[key]; dup {
+			t.staged[key] = ready
+			continue
+		}
+		for len(t.staged) >= t.stagingCap {
+			t.evictStagedLocked()
+		}
+		t.staged[key] = ready
+		t.stagedOrder = append(t.stagedOrder, key)
+		t.stagedFills++
+		if t.m != nil {
+			t.m.stagedFills.Inc()
+		}
+	}
+}
+
+// evictStagedLocked removes the oldest live staged entry, skipping keys
+// already consumed or invalidated (their order slots went stale).
+//
+// ddlint:requires-lock mu
+func (t *Transport) evictStagedLocked() {
+	for len(t.stagedOrder) > 0 {
+		key := t.stagedOrder[0]
+		t.stagedOrder = t.stagedOrder[1:]
+		if _, live := t.staged[key]; live {
+			delete(t.staged, key)
+			t.stagedEvictions++
+			return
+		}
+	}
+}
+
+// invalidateStagedLocked drops staged blocks the submitted op could
+// stale: the guest is about to overwrite or invalidate them, and serving
+// a stale staged page would violate the cleancache contract. Dropping is
+// always safe — a dropped staged block is re-fetched on demand.
+//
+// ddlint:requires-lock mu
+func (t *Transport) invalidateStagedLocked(req cleancache.Request) {
+	if len(t.staged) == 0 {
+		return
+	}
+	switch req.Op {
+	case cleancache.OpPut, cleancache.OpFlushPage:
+		delete(t.staged, req.Key)
+	case cleancache.OpFlushInode, cleancache.OpMigrateObject:
+		for key := range t.staged {
+			if key.Pool == req.Key.Pool && key.Inode == req.Key.Inode {
+				delete(t.staged, key)
+			}
+		}
+	case cleancache.OpDestroyCgroup:
+		for key := range t.staged {
+			if key.Pool == req.Key.Pool {
+				delete(t.staged, key)
+			}
+		}
+	default: // ddlint:nonexhaustive — gets and the remaining control ops cannot stale staged blocks
+	}
 }
 
 // crossLocked delivers payload across the boundary, re-sending dropped or
 // checksum-rejected crossings with capped exponential backoff. Replay is
 // idempotent because batches are FIFO and all-or-nothing: the receiver
 // either decoded the whole payload or saw none of it, so re-sending the
-// same frames cannot double-apply an op. Returns the total latency
-// (crossings plus backoff) and whether the payload was delivered within
-// the attempt budget. Requires t.mu.
+// same frames cannot double-apply an op. The delivery timestamp `at`
+// advances through every attempt and backoff, so each retry hits the
+// fault plan at the virtual time it actually occurs. Returns the total
+// latency (at-now: crossings plus backoff) and whether the payload was
+// delivered within the attempt budget. Requires t.mu.
 //
 // ddlint:requires-lock mu
 func (t *Transport) crossLocked(now time.Duration, pages int, payload []byte, site string) (time.Duration, bool) {
-	var lat time.Duration
+	at := now
 	backoff := t.retryBase
 	for attempt := 1; ; attempt++ {
-		dlat, err := t.ch.Deliver(now+lat, pages, payload, site)
-		lat += dlat
+		dlat, err := t.ch.Deliver(at, pages, payload, site)
+		at += dlat
 		if err == nil {
-			return lat, true
+			return at - now, true
 		}
 		if attempt >= t.maxAttempts {
-			return lat, false
+			return at - now, false
 		}
 		t.retries++
 		t.backoff += backoff
-		if t.reg != nil {
-			t.reg.Counter(t.prefix + ".retries").Inc()
+		if t.m != nil {
+			t.m.retries.Inc()
 		}
-		lat += backoff
+		at += backoff
 		backoff *= 2
 		if backoff > t.retryCap {
 			backoff = t.retryCap
@@ -288,27 +701,76 @@ func (t *Transport) crossLocked(now time.Duration, pages int, payload []byte, si
 	}
 }
 
-// requeueLocked empties an abandoned batch, dropping its puts (the pages
-// are simply not cached — free under the cleancache contract) and
-// re-queuing its flushes for the next crossing: a lost flush would leave
-// the hypervisor holding an object the guest invalidated, so flushes must
-// eventually be delivered. Requires t.mu.
+// requeueLocked empties an abandoned batch at virtual time at, salvaging
+// what the contract requires:
+//
+//   - puts and readaheads are dropped — the pages are simply not cached
+//     (or not prefetched), free under the cleancache contract;
+//   - tagged gets complete their waiters with Ok=false — a miss, so the
+//     guest re-reads from its virtual disk, never data loss;
+//   - flushes are re-queued for the next crossing, since a lost flush
+//     would leave the hypervisor holding an object the guest invalidated
+//     — but only up to MaxRequeues abandoned crossings each, so a
+//     persistent transport fault surfaces as FlushAbandoned instead of
+//     re-queuing the same flushes forever.
+//
+// Requires t.mu.
 //
 // ddlint:requires-lock mu
-func (t *Transport) requeueLocked() {
+func (t *Transport) requeueLocked(at time.Duration) {
+	gens := t.requeueGens
+	t.requeueGens = nil
 	var keep []cleancache.Request
-	t.ring.Drain(func(req cleancache.Request) {
-		if req.Op != cleancache.OpPut {
-			keep = append(keep, req)
+	var keepGens []int
+	idx := -1
+	t.ring.DrainFrames(func(f Frame) {
+		idx++
+		if f.Tagged {
+			t.failWaiterLocked(f.Tag, at)
+			return
 		}
+		switch f.Req.Op {
+		case cleancache.OpPut, cleancache.OpReadAhead:
+			return // droppable, fire-and-forget
+		default: // ddlint:nonexhaustive — only flushes remain buffered untagged
+		}
+		gen := 1
+		if idx < len(gens) {
+			gen = gens[idx] + 1
+		}
+		if gen > t.maxRequeues {
+			t.flushAbandoned++
+			if t.m != nil {
+				t.m.flushAbandoned.Inc()
+			}
+			return
+		}
+		keep = append(keep, f.Req)
+		keepGens = append(keepGens, gen)
 	})
-	for _, req := range keep {
+	for i, req := range keep {
 		if !t.ring.Fits(req.Op.Pages()) {
 			break // cannot happen: flushes carry no pages and count ≤ maxOps
 		}
 		t.ring.Push(req)
+		t.requeueGens = append(t.requeueGens, keepGens[i])
 		t.requeuedOps++
 	}
+}
+
+// failWaiterLocked completes a tagged get's waiter as a transport
+// failure at virtual time at.
+//
+// ddlint:requires-lock mu
+func (t *Transport) failWaiterLocked(tag uint64, at time.Duration) {
+	pg := t.waiters[tag]
+	if pg == nil {
+		return
+	}
+	delete(t.waiters, tag)
+	pg.done = true
+	pg.failed = true
+	pg.readyAt = at
 }
 
 // Flush implements cleancache.Transport: the guest's periodic transport
@@ -322,8 +784,15 @@ func (t *Transport) Flush(now time.Duration) time.Duration {
 // drainLocked delivers the buffered batch in one checksummed crossing:
 // one world switch for the whole batch plus the page copies (re-sent with
 // backoff if the crossing is dropped or corrupted in flight), then each
-// op dispatched in FIFO order at its pipelined delivery time. Returns the
-// total latency charged to the draining caller. Requires t.mu.
+// op dispatched in FIFO order at its pipelined delivery time. Puts and
+// flushes accumulate serially — the hypervisor applies them in order on
+// the draining vCPU's time. Tagged gets and readaheads dispatch at their
+// FIFO position but do not delay the ops behind them: their latency
+// lands on their own completion (the waiter's ready-at, the staged
+// fill's ready-at) instead of the draining caller, which is what lets
+// several gets overlap. Completions are wire-encoded during the walk and
+// demultiplexed to waiters afterwards. Returns the total latency charged
+// to the draining caller. Requires t.mu.
 func (t *Transport) drainLocked(now time.Duration) time.Duration {
 	ops := t.ring.Len()
 	if ops == 0 {
@@ -335,33 +804,114 @@ func (t *Transport) drainLocked(now time.Duration) time.Duration {
 		// Attempt budget exhausted: abandon the batch, salvaging what the
 		// contract requires (see requeueLocked).
 		t.droppedBatches++
-		if t.reg != nil {
-			t.reg.Counter(t.prefix + ".dropped_batches").Inc()
+		if t.m != nil {
+			t.m.droppedBatches.Inc()
 		}
-		t.requeueLocked()
+		t.requeueLocked(now + lat)
 		return lat
 	}
 	t.batches++
+	t.requeueGens = t.requeueGens[:0] // delivered: salvaged flushes made it
 	perOp := lat / time.Duration(ops) // amortized transport share
-	if t.reg != nil {
-		t.reg.Counter(t.prefix + ".batches").Inc()
-		t.reg.Counter(t.prefix + ".batched_ops").Add(int64(ops))
-		t.reg.Counter(t.prefix + ".batch_pages").Add(int64(pages))
-		t.reg.Series(t.prefix+".batch_ops").Record(now, float64(ops))
+	if t.m != nil {
+		t.m.batches.Inc()
+		t.m.batchedOps.Add(int64(ops))
+		t.m.batchPages.Add(int64(pages))
+		t.m.batchOps.Record(now, float64(ops))
 	}
 	acc := lat
-	t.ring.Drain(func(req cleancache.Request) {
-		resp := t.be.Dispatch(now+acc, req)
+	t.completions = t.completions[:0]
+	t.ring.DrainFrames(func(f Frame) {
+		if f.Tagged {
+			t.completeGetLocked(now+acc, f)
+			return
+		}
+		if f.Req.Op == cleancache.OpReadAhead {
+			resp := t.be.Dispatch(now+acc, f.Req)
+			t.stageLocked(now+acc, f.Req, resp)
+			t.observe(f.Req.Op, resp.Latency+perOp)
+			return
+		}
+		resp := t.be.Dispatch(now+acc, f.Req)
 		acc += resp.Latency
-		t.observe(req.Op, resp.Latency+perOp)
+		t.observe(f.Req.Op, resp.Latency+perOp)
 	})
+	t.deliverCompletionsLocked()
 	return acc
+}
+
+// completeGetLocked dispatches one tagged get at virtual time at and
+// appends its wire-encoded completion. A block staged by an earlier
+// readahead in the same batch is served from the staging buffer — the
+// whole point of issuing the readahead ahead of the stream. Requires
+// t.mu.
+//
+// ddlint:requires-lock mu
+func (t *Transport) completeGetLocked(at time.Duration, f Frame) {
+	if readyAt, hit := t.stagedHitLocked(f.Req.Key); hit {
+		if readyAt < at {
+			readyAt = at
+		}
+		t.completions = EncodeCompletion(t.completions, Completion{Tag: f.Tag, Ok: true, At: readyAt})
+		return
+	}
+	resp := t.be.Dispatch(at, f.Req)
+	ready := at + resp.Latency
+	if t.zeroCopy && resp.Ok {
+		ready += t.ch.MapPages(1)
+	}
+	t.completions = EncodeCompletion(t.completions, Completion{Tag: f.Tag, Ok: resp.Ok, Count: resp.Count, At: ready})
+}
+
+// stagedHitLocked consumes key from the staging buffer if present,
+// returning its fill-ready time. Split from consumeStagedLocked so the
+// drain path can clamp ready-at to the dispatch time itself.
+//
+// ddlint:requires-lock mu
+func (t *Transport) stagedHitLocked(key cleancache.Key) (time.Duration, bool) {
+	readyAt, ok := t.staged[key]
+	if !ok {
+		return 0, false
+	}
+	delete(t.staged, key)
+	t.stagedHits++
+	if t.m != nil {
+		t.m.stagedHits.Inc()
+	}
+	return readyAt, true
+}
+
+// deliverCompletionsLocked decodes the drain's completion frames — the
+// same bytes a real transport would write into the shared completion
+// ring — and demultiplexes each to its waiter by tag. Requires t.mu.
+//
+// ddlint:requires-lock mu
+func (t *Transport) deliverCompletionsLocked() {
+	b := t.completions
+	for len(b) > 0 {
+		c, n, err := DecodeCompletion(b)
+		if err != nil {
+			break // cannot happen: frames come from EncodeCompletion
+		}
+		b = b[n:]
+		pg := t.waiters[c.Tag]
+		if pg == nil {
+			continue
+		}
+		delete(t.waiters, c.Tag)
+		pg.done = true
+		pg.ok = c.Ok
+		pg.readyAt = c.At
+	}
+	t.completions = t.completions[:0]
 }
 
 // observe records one op's charged latency in its per-op-code histogram.
 func (t *Transport) observe(op cleancache.OpCode, d time.Duration) {
-	if t.reg == nil {
+	if t.m == nil {
 		return
 	}
-	t.reg.Histogram(t.prefix + ".lat." + op.String()).Observe(d)
+	if i := int(op); i >= 0 && i < len(t.m.lat) && t.m.lat[i] != nil {
+		t.m.lat[i].Observe(d)
+	}
 }

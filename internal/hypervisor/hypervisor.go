@@ -47,6 +47,10 @@ type Config struct {
 	Metrics *metrics.Registry
 	// GuestFlushInterval overrides the guests' transport flush tick.
 	GuestFlushInterval time.Duration
+	// ReadAheadWindow enables sequential readahead in every guest's
+	// cleancache front (see guest.Config.ReadAheadWindow). Zero disables
+	// it.
+	ReadAheadWindow int
 	// Faults attaches a fault-injection plan to the host: the SSD cache
 	// device consults it at sites "host-ssd.read"/"host-ssd.write" and
 	// every VM's transport at "transport.batch"/"transport.call". Nil
@@ -68,6 +72,7 @@ type Host struct {
 	vms        []*guest.VM
 	topts      hypercall.Options
 	tick       time.Duration
+	rawin      int
 	transports map[cleancache.VMID]*hypercall.Transport
 }
 
@@ -88,6 +93,7 @@ func New(engine *sim.Engine, cfg Config) *Host {
 		diskFor:    cfg.VMDiskFactory,
 		topts:      topts,
 		tick:       cfg.GuestFlushInterval,
+		rawin:      cfg.ReadAheadWindow,
 		transports: make(map[cleancache.VMID]*hypercall.Transport),
 	}
 	mcfg := ddcache.Config{
@@ -124,7 +130,7 @@ func (h *Host) NewVM(id cleancache.VMID, memBytes int64, weight int64) *guest.VM
 		h.transports[id] = tr
 		front = cleancache.NewFront(id, tr)
 	}
-	gcfg := guest.Config{ID: id, MemBytes: memBytes, HypercallFlushInterval: h.tick}
+	gcfg := guest.Config{ID: id, MemBytes: memBytes, HypercallFlushInterval: h.tick, ReadAheadWindow: h.rawin}
 	if h.diskFor != nil {
 		gcfg.Disk = h.diskFor(id)
 	}
@@ -162,10 +168,24 @@ func (h *Host) TransportStats() hypercall.TransportStats {
 		s := tr.Stats()
 		agg.Calls += s.Calls
 		agg.PagesCopied += s.PagesCopied
+		agg.PagesMapped += s.PagesMapped
 		agg.Batches += s.Batches
 		agg.BatchedOps += s.BatchedOps
 		agg.SyncOps += s.SyncOps
+		agg.AsyncGets += s.AsyncGets
+		agg.StagedHits += s.StagedHits
+		agg.StagedFills += s.StagedFills
+		agg.StagedEvictions += s.StagedEvictions
+		agg.StagedPages += s.StagedPages
 		agg.Pending += s.Pending
+		agg.Retries += s.Retries
+		agg.Backoff += s.Backoff
+		agg.Drops += s.Drops
+		agg.Corrupts += s.Corrupts
+		agg.DroppedBatches += s.DroppedBatches
+		agg.RequeuedOps += s.RequeuedOps
+		agg.FlushAbandoned += s.FlushAbandoned
+		agg.SyncFailures += s.SyncFailures
 	}
 	return agg
 }
