@@ -220,6 +220,16 @@ type PoolStats struct {
 	Puts             int64
 	PutRejects       int64
 	Evictions        int64
+	// ReadAheadGets counts blocks probed by READ_AHEAD bulk extraction
+	// (including the terminating miss probe); ReadAheadHits counts the
+	// blocks actually extracted. They stay out of Gets/GetHits: a staged
+	// block may never reach the guest (staging-buffer eviction or
+	// invalidation discards it, and the exclusive protocol has already
+	// removed it from the pool), so folding readahead into the get
+	// counters would skew pool hit-rate metrics relative to a
+	// non-readahead configuration.
+	ReadAheadGets int64
+	ReadAheadHits int64
 }
 
 // LookupToStoreRatio is the paper's Table 2 metric: the percentage of

@@ -167,20 +167,24 @@ type vmState struct {
 // poolCounters are the per-pool statistics, atomic so GET_STATS snapshots
 // never block the data path.
 type poolCounters struct {
-	gets       atomic.Int64
-	getHits    atomic.Int64
-	puts       atomic.Int64
-	putRejects atomic.Int64
-	evictions  atomic.Int64
+	gets          atomic.Int64
+	getHits       atomic.Int64
+	puts          atomic.Int64
+	putRejects    atomic.Int64
+	evictions     atomic.Int64
+	readaheadGets atomic.Int64
+	readaheadHits atomic.Int64
 }
 
 func (c *poolCounters) snapshot() cleancache.PoolStats {
 	return cleancache.PoolStats{
-		Gets:       c.gets.Load(),
-		GetHits:    c.getHits.Load(),
-		Puts:       c.puts.Load(),
-		PutRejects: c.putRejects.Load(),
-		Evictions:  c.evictions.Load(),
+		Gets:          c.gets.Load(),
+		GetHits:       c.getHits.Load(),
+		Puts:          c.puts.Load(),
+		PutRejects:    c.putRejects.Load(),
+		Evictions:     c.evictions.Load(),
+		ReadAheadGets: c.readaheadGets.Load(),
+		ReadAheadHits: c.readaheadHits.Load(),
 	}
 }
 
@@ -512,11 +516,14 @@ func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) 
 
 // ReadAhead handles the READ_AHEAD op: a bulk get of up to count
 // contiguous blocks starting at key.Block, stopping at the first block
-// the pool does not hold. Each extracted block follows the exact GET
-// semantics — counted as a get, fetched from its store, removed under
-// the exclusive protocol — so a readahead is observationally a prefix of
-// gets the guest would otherwise have issued one crossing at a time.
-// Returns the number of blocks extracted and the accumulated latency.
+// the pool does not hold. Each extracted block follows the GET data
+// semantics — fetched from its store, removed under the exclusive
+// protocol — but is accounted under the separate readahead counters
+// (every probe, including the terminating miss, counts a ReadAheadGet;
+// every extraction a ReadAheadHit): a staged block may never reach the
+// guest, so folding extractions into Gets/GetHits would skew the pool
+// hit-rate metrics. Returns the number of blocks extracted and the
+// accumulated latency.
 func (m *Manager) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.Key, count int64) (int64, time.Duration) {
 	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
@@ -533,10 +540,10 @@ func (m *Manager) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache
 	var n int64
 	for i := int64(0); i < count; i++ {
 		obj := p.idx.Lookup(key.Inode, key.Block+i)
+		p.counters.readaheadGets.Add(1)
 		if obj == nil {
 			break
 		}
-		p.counters.gets.Add(1)
 		if obj.Store == cgroup.StoreSSD && !m.ssdBreaker.allow(now+lat) {
 			break
 		}
@@ -550,7 +557,7 @@ func (m *Manager) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache
 				break
 			}
 		}
-		p.counters.getHits.Add(1)
+		p.counters.readaheadHits.Add(1)
 		if !m.cfg.Inclusive {
 			m.releaseObject(obj)
 			p.idx.Remove(obj)

@@ -384,3 +384,37 @@ func TestPropertyAccountingInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReadAheadCountsSeparateFromGets(t *testing.T) {
+	// Review regression: readahead extractions must not pollute the
+	// Gets/GetHits counters (a staged block may never reach the guest),
+	// and the terminating miss probe is accounted too.
+	m := newMgr(ModeDD, 16*mib, 0)
+	m.RegisterVM(1, 100)
+	p, _ := m.CreatePool(0, 1, "c1", cgroup.HCacheSpec{Store: cgroup.StoreMem, Weight: 100})
+	for b := int64(0); b < 4; b++ {
+		if ok, _ := m.Put(0, 1, key(p, 1, b), 0); !ok {
+			t.Fatalf("put %d rejected", b)
+		}
+	}
+	// Window of 8 over a 4-block run: 4 extractions + the miss probe.
+	n, _ := m.ReadAhead(0, 1, key(p, 1, 0), 8)
+	if n != 4 {
+		t.Fatalf("extracted %d blocks, want 4", n)
+	}
+	s := m.PoolStats(1, p)
+	if s.ReadAheadGets != 5 || s.ReadAheadHits != 4 {
+		t.Fatalf("ReadAheadGets = %d, ReadAheadHits = %d, want 5 and 4", s.ReadAheadGets, s.ReadAheadHits)
+	}
+	if s.Gets != 0 || s.GetHits != 0 {
+		t.Fatalf("readahead polluted get counters: Gets = %d, GetHits = %d", s.Gets, s.GetHits)
+	}
+	// A real get is counted where it always was.
+	if hit, _ := m.Get(0, 1, key(p, 1, 0)); hit {
+		t.Fatal("exclusive readahead left the block in the pool")
+	}
+	s = m.PoolStats(1, p)
+	if s.Gets != 1 || s.GetHits != 0 {
+		t.Fatalf("after miss: Gets = %d, GetHits = %d, want 1 and 0", s.Gets, s.GetHits)
+	}
+}

@@ -364,7 +364,10 @@ func (o *Oracle) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (
 
 // ReadAhead mirrors READ_AHEAD: a bulk get of up to count contiguous
 // blocks from key.Block, stopping at the first absent block, each block
-// following the exact GET semantics.
+// following the GET data semantics but accounted under the separate
+// readahead counters (every probe, including the terminating miss,
+// counts a ReadAheadGet; every extraction a ReadAheadHit), exactly as
+// the real manager does.
 func (o *Oracle) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.Key, count int64) (int64, time.Duration) {
 	p, ok := o.pools[key.Pool]
 	if !ok {
@@ -374,10 +377,10 @@ func (o *Oracle) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.
 	var n int64
 	for i := int64(0); i < count; i++ {
 		ob := p.objs[objKey{key.Inode, key.Block + i}]
+		p.stats.ReadAheadGets++
 		if ob == nil {
 			break
 		}
-		p.stats.Gets++
 		if be := o.backend(ob.store); be != nil {
 			flat, err := be.Fetch(now+lat, ob.size)
 			lat += flat
@@ -387,7 +390,7 @@ func (o *Oracle) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.
 				break
 			}
 		}
-		p.stats.GetHits++
+		p.stats.ReadAheadHits++
 		if !o.cfg.Inclusive {
 			o.releaseObject(ob)
 			o.unlink(p, ob)

@@ -226,8 +226,10 @@ type PendingGet struct {
 // shared staging region: subsequent gets for staged blocks are answered
 // from the buffer without any crossing at all. Staged entries are
 // invalidated by the ops that could stale them (put, flush, migrate,
-// destroy) — dropping a staged page is always safe under the cleancache
-// contract.
+// destroy), both at Submit and again at each op's FIFO position during a
+// drain — an op buffered behind a readahead must kill the blocks that
+// readahead stages ahead of it. Dropping a staged page is always safe
+// under the cleancache contract.
 //
 // Transport is safe for concurrent use by a VM's vCPU threads.
 type Transport struct {
@@ -422,6 +424,11 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 	// healthy path skips it.
 	at := now
 	at += t.drainLocked(at)
+	// The drain may have dispatched a buffered readahead whose fills this
+	// op invalidates (migrate, destroy): the submit-time invalidation
+	// above ran before those blocks were staged, so repeat it now that
+	// this op is about to apply behind them in FIFO order.
+	t.invalidateStagedLocked(req)
 	if req.Op == cleancache.OpGet {
 		// The drain may have dispatched a buffered readahead that staged
 		// this very block: re-check before paying a crossing.
@@ -450,6 +457,14 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 		return cleancache.Response{Op: req.Op, Ok: false, Latency: at - now}
 	}
 	resp := t.be.Dispatch(at, req)
+	if req.Op == cleancache.OpReadAhead {
+		// Unbatched transports deliver READ_AHEAD synchronously; the
+		// backend has already extracted the blocks under the exclusive
+		// protocol, so the response must fill the staging buffer —
+		// discarding it would silently evict up to Count cached blocks
+		// and turn the following gets into guaranteed misses.
+		t.stageLocked(at, req, resp)
+	}
 	resp.Latency += at - now
 	t.observe(req.Op, resp.Latency)
 	return resp
@@ -832,6 +847,12 @@ func (t *Transport) drainLocked(now time.Duration) time.Duration {
 			t.observe(f.Req.Op, resp.Latency+perOp)
 			return
 		}
+		// An invalidating op (put, flush) kills matching staged blocks at
+		// its FIFO position, not only at Submit: a readahead earlier in
+		// this same drain may have staged the pre-op content after the
+		// submit-time invalidation ran, and serving that block once this
+		// op applies would violate the cleancache contract.
+		t.invalidateStagedLocked(f.Req)
 		resp := t.be.Dispatch(now+acc, f.Req)
 		acc += resp.Latency
 		t.observe(f.Req.Op, resp.Latency+perOp)

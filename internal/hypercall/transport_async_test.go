@@ -492,3 +492,138 @@ func TestSyncDispatchClockInvariant(t *testing.T) {
 		}
 	}
 }
+
+func TestDrainInvalidatesStagedBehindReadAhead(t *testing.T) {
+	// Regression: an invalidating op submitted while a READ_AHEAD
+	// covering the same key is still buffered finds nothing to
+	// invalidate at Submit; the drain then dispatches the readahead
+	// first (FIFO) and stages the pre-op content. The op dispatching
+	// behind it must kill those staged blocks — a later get served from
+	// the staging buffer would violate get-after-flush.
+	be := newRABackend()
+	tr := NewTransport(be, Options{})
+	pool := newPool(t, tr)
+	for b := int64(0); b < 2; b++ {
+		tr.Submit(0, put(pool, 1, b))
+	}
+	tr.Flush(0)
+
+	// FLUSH_PAGE buffered behind the readahead that stages its key.
+	tr.Submit(0, readAhead(pool, 1, 0, 2))
+	tr.Submit(0, cleancache.Request{
+		Op: cleancache.OpFlushPage, VM: 1,
+		Key: cleancache.Key{Pool: pool, Inode: 1, Block: 0},
+	})
+	tr.Flush(0)
+	if resp := tr.Submit(time.Millisecond, get(pool, 1, 0)); resp.Ok {
+		t.Fatal("get after flush served a stale staged block")
+	}
+	if resp := tr.Submit(time.Millisecond, get(pool, 1, 1)); !resp.Ok {
+		t.Fatal("unflushed staged block lost")
+	}
+
+	// FLUSH_INODE behind the readahead drops every staged block of the
+	// inode.
+	for b := int64(0); b < 2; b++ {
+		tr.Submit(0, put(pool, 2, b))
+	}
+	tr.Flush(0)
+	tr.Submit(0, readAhead(pool, 2, 0, 2))
+	tr.Submit(0, cleancache.Request{
+		Op: cleancache.OpFlushInode, VM: 1,
+		Key: cleancache.Key{Pool: pool, Inode: 2},
+	})
+	tr.Flush(0)
+	if s := tr.Stats(); s.StagedPages != 0 {
+		t.Fatalf("StagedPages = %d after flush-inode behind readahead, want 0", s.StagedPages)
+	}
+	if resp := tr.Submit(time.Millisecond, get(pool, 2, 0)); resp.Ok {
+		t.Fatal("get after flush-inode served a stale staged block")
+	}
+
+	// A PUT behind the readahead overwrites the key: the stale staged
+	// copy dies and the get dispatches against the backend's fresh one.
+	tr.Submit(0, put(pool, 3, 0))
+	tr.Flush(0)
+	tr.Submit(0, readAhead(pool, 3, 0, 1))
+	tr.Submit(0, put(pool, 3, 0))
+	tr.Flush(0)
+	opsBefore := len(be.ops)
+	if resp := tr.Submit(time.Millisecond, get(pool, 3, 0)); !resp.Ok {
+		t.Fatal("get after put behind readahead missed")
+	}
+	if len(be.ops) == opsBefore {
+		t.Fatal("get served from staging instead of the put's fresh copy")
+	}
+}
+
+func TestSyncOpInvalidatesBlocksStagedByItsOwnDrain(t *testing.T) {
+	// A synchronous invalidating op (DESTROY_CGROUP) barrier-drains the
+	// ring first; a buffered readahead in that drain stages blocks the
+	// destroy then invalidates. The submit-time invalidation ran before
+	// the fills existed, so the post-drain pass must remove them.
+	be := newRABackend()
+	tr := NewTransport(be, Options{})
+	pool := newPool(t, tr)
+	for b := int64(0); b < 2; b++ {
+		tr.Submit(0, put(pool, 1, b))
+	}
+	tr.Flush(0)
+	tr.Submit(0, readAhead(pool, 1, 0, 2))
+	tr.Submit(0, cleancache.Request{
+		Op: cleancache.OpDestroyCgroup, VM: 1,
+		Key: cleancache.Key{Pool: pool},
+	})
+	if s := tr.Stats(); s.StagedPages != 0 {
+		t.Fatalf("StagedPages = %d after destroy behind readahead, want 0", s.StagedPages)
+	}
+	if resp := tr.Submit(time.Millisecond, get(pool, 1, 0)); resp.Ok {
+		t.Fatal("get after destroy served a stale staged block")
+	}
+}
+
+func TestUnbatchedReadAheadStagesBlocks(t *testing.T) {
+	// Regression: on an unbatched transport READ_AHEAD takes the
+	// synchronous path. The backend extracts the blocks under the
+	// exclusive protocol, so the response must fill the staging buffer —
+	// discarding it would silently evict up to Count cached blocks and
+	// turn the following gets into guaranteed misses.
+	be := newRABackend()
+	tr := NewTransport(be, Options{Unbatched: true})
+	pool := newPool(t, tr)
+	for b := int64(0); b < 4; b++ {
+		tr.Submit(0, put(pool, 1, b))
+	}
+	if resp := tr.Submit(0, readAhead(pool, 1, 0, 4)); !resp.Ok {
+		t.Fatalf("unbatched readahead failed: %+v", resp)
+	}
+	s := tr.Stats()
+	if s.StagedFills != 4 || s.StagedPages != 4 {
+		t.Fatalf("unbatched readahead staged %d blocks (%d live), want 4", s.StagedFills, s.StagedPages)
+	}
+	callsBefore := s.Calls
+	for b := int64(0); b < 4; b++ {
+		if resp := tr.Submit(time.Millisecond, get(pool, 1, b)); !resp.Ok {
+			t.Fatalf("block %d lost by unbatched readahead", b)
+		}
+	}
+	if got := tr.Stats().Calls - callsBefore; got != 0 {
+		t.Fatalf("staged gets paid %d crossings, want 0", got)
+	}
+	// Invalidation still applies on the unbatched path: stage again,
+	// flush one key synchronously, and the staged copy must die.
+	for b := int64(0); b < 2; b++ {
+		tr.Submit(0, put(pool, 2, b))
+	}
+	tr.Submit(0, readAhead(pool, 2, 0, 2))
+	tr.Submit(0, cleancache.Request{
+		Op: cleancache.OpFlushPage, VM: 1,
+		Key: cleancache.Key{Pool: pool, Inode: 2, Block: 0},
+	})
+	if resp := tr.Submit(time.Millisecond, get(pool, 2, 0)); resp.Ok {
+		t.Fatal("unbatched get after flush served a stale staged block")
+	}
+	if resp := tr.Submit(time.Millisecond, get(pool, 2, 1)); !resp.Ok {
+		t.Fatal("unbatched unflushed staged block lost")
+	}
+}
