@@ -65,14 +65,15 @@ func TestDdlintCatchesReintroducedViolations(t *testing.T) {
 		"call to crossLocked requires mu",
 		"access to state (ddlint:guarded-by mu)",
 		"access to staged (ddlint:guarded-by mu)",
+		"access to waiters (ddlint:guarded-by mu)",
 		"bad.go:19:", // file:line:col anchoring
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("diagnostics missing %q; got:\n%s", want, got)
 		}
 	}
-	if n < 9 {
-		t.Errorf("expected at least 9 findings, got %d:\n%s", n, got)
+	if n < 10 {
+		t.Errorf("expected at least 10 findings, got %d:\n%s", n, got)
 	}
 }
 

@@ -121,3 +121,20 @@ type breaker struct {
 func (b *breaker) Tripped() bool {
 	return b.state != 0 // lockcheck: guarded breaker state, mu not held
 }
+
+// pendingTransport mirrors the hypercall.Transport pending-handle table
+// added with the end-to-end async read path: the tag → in-flight handle
+// map is mu-guarded because SubmitAsync inserts and resolveLocked
+// redeems concurrently with the batch drain.
+type pendingTransport struct {
+	mu sync.Mutex
+	// ddlint:guarded-by mu
+	waiters map[uint16]*cleancache.PendingGet
+}
+
+// InFlight counts outstanding handles without the lock — the shape
+// lockcheck must keep rejecting now that awaits race the completion
+// demux for the same table.
+func (t *pendingTransport) InFlight() int {
+	return len(t.waiters) // lockcheck: guarded pending-handle table, mu not held
+}

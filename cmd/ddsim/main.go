@@ -63,6 +63,14 @@ type HostConfig struct {
 	Mode        string `json:"mode"` // "dd" or "global"
 	MemCacheMiB int64  `json:"memCacheMiB"`
 	SSDCacheMiB int64  `json:"ssdCacheMiB"`
+	// ReadAheadWindow overrides the guests' pipelined-read window in
+	// blocks: 0 keeps the stock default, negative disables readahead
+	// while keeping the async transport.
+	ReadAheadWindow int `json:"readAheadWindow,omitempty"`
+	// NoPipeline disables the stock pipelined-read defaults (async
+	// tagged gets, zero-copy responses, readahead) — the synchronous
+	// pre-pipeline baseline for A/B scenarios.
+	NoPipeline bool `json:"noPipeline,omitempty"`
 }
 
 // VMConfig describes one virtual machine.
@@ -225,9 +233,11 @@ func simulate(cfg Config, out *os.File) error {
 		mode = ddcache.ModeGlobal
 	}
 	hcfg := hypervisor.Config{
-		Mode:          mode,
-		MemCacheBytes: cfg.Host.MemCacheMiB * mib,
-		SSDCacheBytes: cfg.Host.SSDCacheMiB * mib,
+		Mode:            mode,
+		MemCacheBytes:   cfg.Host.MemCacheMiB * mib,
+		SSDCacheBytes:   cfg.Host.SSDCacheMiB * mib,
+		ReadAheadWindow: cfg.Host.ReadAheadWindow,
+		NoPipeline:      cfg.Host.NoPipeline,
 	}
 	var inj *fault.Injector
 	if fc := cfg.Faults; fc != nil && len(fc.Rules) > 0 {
@@ -287,8 +297,8 @@ func simulate(cfg Config, out *os.File) error {
 			float64(g.Stats().SwapOutPages)*4096/float64(mib))
 	}
 	fmt.Fprintf(out, "\nhypercall transport per VM:\n")
-	fmt.Fprintf(out, "%-4s %12s %12s %14s %10s %12s\n",
-		"vm", "hypercalls", "ops", "hypercalls/op", "batches", "pages")
+	fmt.Fprintf(out, "%-4s %12s %12s %14s %10s %12s %12s %12s\n",
+		"vm", "hypercalls", "ops", "hypercalls/op", "batches", "pages", "async gets", "staged hits")
 	for _, vc := range cfg.VMs {
 		tr := host.Transport(cleancache.VMID(vc.ID))
 		if tr == nil {
@@ -300,8 +310,8 @@ func simulate(cfg Config, out *os.File) error {
 		if ops > 0 {
 			perOp = float64(st.Calls) / float64(ops)
 		}
-		fmt.Fprintf(out, "%-4d %12d %12d %14.3f %10d %12d\n",
-			vc.ID, st.Calls, ops, perOp, st.Batches, st.PagesCopied)
+		fmt.Fprintf(out, "%-4d %12d %12d %14.3f %10d %12d %12d %12d\n",
+			vc.ID, st.Calls, ops, perOp, st.Batches, st.PagesCopied, st.AsyncGets, st.StagedHits)
 	}
 	if inj != nil {
 		bs := host.Manager().SSDBreakerStats()

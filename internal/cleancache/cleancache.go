@@ -17,6 +17,7 @@
 package cleancache
 
 import (
+	"container/list"
 	"fmt"
 	"time"
 
@@ -194,6 +195,124 @@ type Transport interface {
 	Flush(now time.Duration) time.Duration
 }
 
+// PendingGet is the handle to one in-flight asynchronous get issued over
+// an AsyncTransport: created at submission, completed when the crossing
+// carrying the request drains (or is abandoned), redeemed with Await.
+//
+// The handle's fields are owned by the issuing transport: a
+// concurrency-safe transport must confine every method call to its own
+// internal lock, and guests interact with a handle only by passing it
+// back to the transport that created it. The lifecycle is linear —
+// pending → done (Complete/Fail) → resolved (first Resolve) — and every
+// transition is idempotent-safe: resolving twice returns the recorded
+// response with only the wait remaining.
+type PendingGet struct {
+	tag     uint64
+	done    bool
+	ok      bool
+	failed  bool // crossing abandoned: the frame never reached the backend
+	readyAt time.Duration
+
+	resolved bool
+	resp     Response
+}
+
+// NewPendingGet returns a fresh pending handle awaiting the completion of
+// the tagged frame tag.
+func NewPendingGet(tag uint64) *PendingGet { return &PendingGet{tag: tag} }
+
+// ReadyPendingGet returns a handle that is already done (the answer is
+// known — e.g. served from a staging buffer) but not yet resolved: the
+// first Resolve will record the response and charge any remaining wait
+// until readyAt.
+func ReadyPendingGet(ok bool, readyAt time.Duration) *PendingGet {
+	return &PendingGet{done: true, ok: ok, readyAt: readyAt}
+}
+
+// CompletedPendingGet returns a fully resolved handle wrapping resp — the
+// sync-fallback path: a transport that answered synchronously hands back
+// a handle whose Await costs only the wait remaining past readyAt.
+func CompletedPendingGet(resp Response, readyAt time.Duration) *PendingGet {
+	return &PendingGet{done: true, resolved: true, ok: resp.Ok, readyAt: readyAt, resp: resp}
+}
+
+// Tag reports the completion tag the transport assigned at submission.
+func (pg *PendingGet) Tag() uint64 { return pg.tag }
+
+// Done reports whether the completion has landed (or the crossing
+// failed); a done handle's Await forces no further drain.
+func (pg *PendingGet) Done() bool { return pg.done }
+
+// Failed reports whether the crossing carrying the frame was abandoned.
+func (pg *PendingGet) Failed() bool { return pg.failed }
+
+// Complete records the get's answer and the virtual time its page
+// handover finishes.
+func (pg *PendingGet) Complete(ok bool, readyAt time.Duration) {
+	pg.done = true
+	pg.ok = ok
+	pg.readyAt = readyAt
+}
+
+// Fail completes the handle as a transport failure at virtual time at:
+// the frame never reached the backend, so the get reports a miss (never
+// data loss).
+func (pg *PendingGet) Fail(at time.Duration) {
+	pg.done = true
+	pg.failed = true
+	pg.readyAt = at
+}
+
+// Resolve turns the handle into the guest-visible response. submitLat is
+// the latency the caller already accumulated this submission (drains it
+// triggered); the reported latency is the later of that and the wait
+// until the completion's ready-at. first reports whether this call
+// performed the resolution — the transport charges failure accounting
+// and latency observation exactly once, on the first resolution; later
+// calls return the recorded response with only the wait remaining from
+// now.
+func (pg *PendingGet) Resolve(now, submitLat time.Duration) (resp Response, first bool) {
+	if pg.resolved {
+		resp = pg.resp
+		resp.Latency = 0
+		if pg.readyAt > now {
+			resp.Latency = pg.readyAt - now
+		}
+		return resp, false
+	}
+	if !pg.done {
+		// Cannot happen — a transport completes or fails every frame it
+		// accepted — but a stuck waiter must not hang the guest.
+		pg.Fail(now + submitLat)
+	}
+	total := submitLat
+	if wait := pg.readyAt - now; wait > total {
+		total = wait
+	}
+	pg.resolved = true
+	pg.resp = Response{Op: OpGet, Ok: pg.ok && !pg.failed, Latency: total}
+	return pg.resp, true
+}
+
+// AsyncTransport is the optional capability a Transport may implement to
+// let a guest keep several gets in flight at once. SubmitAsync issues a
+// get without waiting for its answer, returning a pending handle and
+// only the submission cost charged now; Await redeems the handle,
+// charging the wait remaining until its completion. Fronts discover the
+// capability by type assertion and fall back to the synchronous Submit,
+// so plain transports (fakes, the cost-free backendTransport) keep
+// working unchanged.
+type AsyncTransport interface {
+	Transport
+	// SubmitAsync issues req without waiting for completion. For ops other
+	// than get — or transports whose async path is disabled — it must fall
+	// back to Submit and return an already-completed handle.
+	SubmitAsync(now time.Duration, req Request) (*PendingGet, time.Duration)
+	// Await blocks (in virtual time) until pg completes, returning the
+	// response with Latency the wait remaining from now.
+	Await(now time.Duration, pg *PendingGet) Response
+}
+
 // backendTransport is the trivial Transport: every op dispatches
 // immediately with no transport cost. It is the wiring for in-process
 // tests and for backends that are not behind a modeled hypercall.
@@ -226,27 +345,32 @@ type PoolStats struct {
 	// block may never reach the guest (staging-buffer eviction or
 	// invalidation discards it, and the exclusive protocol has already
 	// removed it from the pool), so folding readahead into the get
-	// counters would skew pool hit-rate metrics relative to a
-	// non-readahead configuration.
+	// counters would conflate probe kinds. The derived ratios below DO
+	// combine them — with the pipelined read path on by default, bulk
+	// extraction replaces most synchronous gets, and a ratio over Gets
+	// alone would exclude exactly the traffic that hits.
 	ReadAheadGets int64
 	ReadAheadHits int64
 }
 
 // LookupToStoreRatio is the paper's Table 2 metric: the percentage of
-// stored objects that were later looked up successfully.
+// stored objects that were later looked up successfully. Readahead
+// extractions count as successful lookups.
 func (s PoolStats) LookupToStoreRatio() float64 {
 	if s.Puts == 0 {
 		return 0
 	}
-	return 100 * float64(s.GetHits) / float64(s.Puts)
+	return 100 * float64(s.GetHits+s.ReadAheadHits) / float64(s.Puts)
 }
 
-// HitRatio is the fraction of gets that hit, in percent.
+// HitRatio is the fraction of lookups that hit, in percent. Readahead
+// probes count as lookups alongside synchronous and tagged gets.
 func (s PoolStats) HitRatio() float64 {
-	if s.Gets == 0 {
+	gets := s.Gets + s.ReadAheadGets
+	if gets == 0 {
 		return 0
 	}
-	return 100 * float64(s.GetHits) / float64(s.Gets)
+	return 100 * float64(s.GetHits+s.ReadAheadHits) / float64(gets)
 }
 
 // FrontStats aggregates guest-side cleancache activity.
@@ -272,9 +396,11 @@ type streamKey struct {
 // reader would touch next, the current run length, and how far ahead
 // staging has already been requested.
 type stream struct {
+	key   streamKey
 	next  int64
 	run   int
-	ahead int64 // first block not yet covered by an issued READ_AHEAD
+	ahead int64         // first block not yet covered by an issued READ_AHEAD
+	elem  *list.Element // position in the detector's recency list
 }
 
 // seqRunThreshold is how many consecutive blocks a reader must touch
@@ -282,9 +408,11 @@ type stream struct {
 // (mirrors the guest kernel's readahead ramp-up).
 const seqRunThreshold = 3
 
-// maxTrackedStreams bounds the detector's per-file state; old streams
-// are forgotten wholesale when the table fills (readahead is best-effort,
-// so forgetting a stream only costs a re-ramp).
+// maxTrackedStreams bounds the detector's per-file state; when the table
+// is full, the least-recently-accessed stream is evicted to make room.
+// Readahead is best-effort, so evicting a cold stream only costs that
+// stream a re-ramp if it ever resumes — active streams keep their run
+// state.
 const maxTrackedStreams = 256
 
 // Front is the guest-side cleancache layer for one VM. Its methods are
@@ -301,11 +429,13 @@ type Front struct {
 
 	// readAhead is the prefetch window (blocks) issued once a stream is
 	// detected sequential; 0 disables detection entirely. streams holds
-	// the per-file detector state. Like stats, these are owned by the
-	// VM's single submission context (the transport below does its own
-	// locking).
+	// the per-file detector state and streamLRU orders it by recency
+	// (front = hottest) so a full table evicts the coldest stream. Like
+	// stats, these are owned by the VM's single submission context (the
+	// transport below does its own locking).
 	readAhead int
 	streams   map[streamKey]*stream
+	streamLRU *list.List
 
 	stats FrontStats
 }
@@ -340,6 +470,7 @@ func (f *Front) SetReadAhead(window int) {
 	f.readAhead = window
 	if window > 0 && f.streams == nil {
 		f.streams = make(map[streamKey]*stream)
+		f.streamLRU = list.New()
 	}
 }
 
@@ -403,20 +534,103 @@ func (f *Front) Get(now time.Duration, g *cgroup.Group, inode uint64, block int6
 	return resp.Ok, lat
 }
 
+// PendingRead is the guest-visible handle for one in-flight
+// second-chance lookup issued by GetAsync. It is redeemed exactly once
+// with AwaitRead; redeeming again returns the recorded verdict for free.
+// Handles belong to the Front that issued them and share its
+// single-submission-context ownership (they are not safe for concurrent
+// use from multiple goroutines).
+type PendingRead struct {
+	pg   *PendingGet // nil on the fast-miss and sync-fallback paths
+	done bool
+	hit  bool
+}
+
+// Hit reports the lookup verdict of a redeemed handle.
+func (pr *PendingRead) Hit() bool { return pr.hit }
+
+// GetAsync issues a second-chance lookup without waiting for its answer.
+// On an AsyncTransport the get is submitted as an in-flight frame and
+// the returned latency covers only the submission cost charged now (any
+// ring drain it triggered); on a plain Transport it falls back to the
+// synchronous Get path and returns an already-redeemable handle whose
+// AwaitRead costs nothing more. Either way the sequential-stream
+// detector observes the access at submission, so readahead for the
+// blocks beyond the caller's window is already on the wire while the
+// caller is still issuing or awaiting handles.
+func (f *Front) GetAsync(now time.Duration, g *cgroup.Group, inode uint64, block int64) (*PendingRead, time.Duration) {
+	if !f.enabled || g.PoolID() == 0 {
+		return &PendingRead{done: true}, 0
+	}
+	f.stats.Gets++
+	key := Key{Pool: PoolID(g.PoolID()), Inode: inode, Block: block}
+	req := Request{Op: OpGet, VM: f.vm, Key: key}
+	at, ok := f.tr.(AsyncTransport)
+	if !ok {
+		resp := f.tr.Submit(now, req)
+		if resp.Ok {
+			f.stats.GetHits++
+		}
+		lat := resp.Latency
+		if f.readAhead > 0 {
+			lat += f.noteAccess(now+lat, key)
+		}
+		return &PendingRead{done: true, hit: resp.Ok}, lat
+	}
+	pg, lat := at.SubmitAsync(now, req)
+	if f.readAhead > 0 {
+		lat += f.noteAccess(now+lat, key)
+	}
+	return &PendingRead{pg: pg}, lat
+}
+
+// AwaitRead redeems a GetAsync handle, returning the lookup verdict and
+// the wait remaining from now until the answer's page handover
+// completes. The first redemption counts the hit; later redemptions (and
+// handles from the fallback path) return the recorded verdict at no
+// further cost.
+func (f *Front) AwaitRead(now time.Duration, pr *PendingRead) (bool, time.Duration) {
+	if pr.done {
+		return pr.hit, 0
+	}
+	at, ok := f.tr.(AsyncTransport)
+	if !ok {
+		// Cannot happen — a pending handle is only created over an
+		// AsyncTransport — but a miss verdict is always safe.
+		pr.done = true
+		return false, 0
+	}
+	resp := at.Await(now, pr.pg)
+	pr.done, pr.hit = true, resp.Ok
+	if resp.Ok {
+		f.stats.GetHits++
+	}
+	return resp.Ok, resp.Latency
+}
+
 // noteAccess feeds the sequential-stream detector with one get and, once
 // the stream is established, issues a READ_AHEAD covering the blocks
 // beyond what staging was already asked for. The request is batchable
 // fire-and-forget; the returned latency is whatever ring drain the
 // submission happened to trigger.
 func (f *Front) noteAccess(now time.Duration, key Key) time.Duration {
-	if len(f.streams) >= maxTrackedStreams {
-		f.streams = make(map[streamKey]*stream)
-	}
 	sk := streamKey{pool: key.Pool, inode: key.Inode}
 	s := f.streams[sk]
 	if s == nil {
-		s = &stream{}
+		if len(f.streams) >= maxTrackedStreams {
+			// Evict the least-recently-accessed stream: it pays a re-ramp
+			// if it ever resumes, while every active stream keeps its run.
+			if back := f.streamLRU.Back(); back != nil {
+				cold := back.Value.(*stream)
+				f.streamLRU.Remove(back)
+				delete(f.streams, cold.key)
+			}
+		}
+		s = &stream{key: sk}
+		s.elem = f.streamLRU.PushFront(s)
 		f.streams[sk] = s
+	} else {
+		f.streamLRU.MoveToFront(s.elem)
 	}
 	if key.Block == s.next {
 		s.run++

@@ -372,3 +372,57 @@ func TestReadAheadWindowsDoNotOverlap(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamTableEvictsLRUNotWholesale(t *testing.T) {
+	// Regression: a full detector table used to be wiped wholesale, losing
+	// every active stream's run state. It must instead evict only the
+	// least-recently-accessed stream, so a hot stream survives table
+	// pressure without re-ramping.
+	f, _, g := newTestFront()
+	f.SetReadAhead(4)
+	f.RegisterGroup(0, g)
+	pool := PoolID(g.PoolID())
+
+	// Establish a hot sequential stream on inode 1.
+	hot := streamKey{pool: pool, inode: 1}
+	for b := int64(0); b < 3; b++ {
+		f.Get(0, g, 1, b)
+	}
+	if s := f.streams[hot]; s == nil || s.run < seqRunThreshold {
+		t.Fatalf("hot stream not established: %+v", f.streams[hot])
+	}
+
+	// Fill the table to capacity with one-touch streams. The first of
+	// them (inode 2) is the coldest once the hot stream is re-touched.
+	for ino := uint64(2); len(f.streams) < maxTrackedStreams; ino++ {
+		f.Get(0, g, ino, 0)
+	}
+	if f.streams[hot] == nil {
+		t.Fatal("filling to capacity must not evict anything")
+	}
+
+	// Keep the hot stream MRU, then overflow once more: the victim must be
+	// the coldest one-touch stream (inode 2), never the hot one.
+	ahead := f.streams[hot].ahead
+	f.Get(0, g, 1, 3)
+	f.Get(0, g, 9999, 0)
+	if len(f.streams) != maxTrackedStreams {
+		t.Fatalf("table size = %d, want %d", len(f.streams), maxTrackedStreams)
+	}
+	if f.streams[streamKey{pool: pool, inode: 2}] != nil {
+		t.Fatal("coldest stream (inode 2) survived eviction")
+	}
+	if f.streams[streamKey{pool: pool, inode: 9999}] == nil {
+		t.Fatal("newly inserted stream missing from the table")
+	}
+	s := f.streams[hot]
+	if s == nil {
+		t.Fatal("hot stream evicted under table pressure")
+	}
+	if s.run < seqRunThreshold || s.ahead <= ahead {
+		t.Fatalf("hot stream lost ramp state: run=%d ahead=%d (was %d)", s.run, s.ahead, ahead)
+	}
+	if f.streamLRU.Len() != len(f.streams) {
+		t.Fatalf("LRU list len %d != table len %d", f.streamLRU.Len(), len(f.streams))
+	}
+}

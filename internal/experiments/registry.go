@@ -19,10 +19,12 @@ func defaultRunners() map[string]Runner {
 		"fig13":  Fig13,
 		"fig14":  Fig14,
 
-		// Beyond the paper's artifacts: transport batching (ISSUE 2) and
-		// fault-injection robustness (ISSUE 4).
+		// Beyond the paper's artifacts: transport batching (ISSUE 2),
+		// fault-injection robustness (ISSUE 4) and the end-to-end
+		// pipelined read path (ISSUE 7).
 		"transport": TransportExp,
 		"faults":    FaultsExp,
+		"readpath":  ReadPathExp,
 	}
 }
 

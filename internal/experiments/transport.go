@@ -66,10 +66,15 @@ type TransportBenchResult struct {
 func runTransportMode(o Opts, label string, unbatched bool) TransportModeResult {
 	engine := sim.New(o.Seed)
 	reg := metrics.NewRegistry()
+	// NoPipeline on both modes: this experiment isolates batching, so the
+	// stock pipelined-read defaults (async gets, readahead) must not give
+	// the batched side a different op schedule than the unbatched
+	// baseline.
 	host := hypervisor.New(engine, hypervisor.Config{
 		MemCacheBytes: trMemCacheMiB * MiB,
 		Transport:     hypercall.Options{Unbatched: unbatched},
 		Metrics:       reg,
+		NoPipeline:    true,
 	})
 	vm := host.NewVM(1, 256*MiB, 100)
 	c := vm.NewContainer("seqwriter", trContainerMiB*MiB,

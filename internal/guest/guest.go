@@ -18,7 +18,17 @@ import (
 	"doubledecker/internal/trace"
 )
 
+// DefaultReadAheadWindow is the readahead/async-probe window stock
+// pipeline-enabled configurations use (see hypervisor.Config): deep
+// enough to amortize a batched crossing over a whole window of probes,
+// shallow enough to stay well inside the transport's staging buffer.
+const DefaultReadAheadWindow = 32
+
 // Config parameterizes a VM.
+//
+// Deprecated knob growth: new VM knobs are added as functional options
+// only (see NewVM and the With* options); the struct fields remain as
+// shims for existing call sites.
 type Config struct {
 	ID       cleancache.VMID
 	MemBytes int64
@@ -34,10 +44,11 @@ type Config struct {
 	// that drains buffered hypercall batches so puts and flushes never
 	// linger unsent (default 10ms).
 	HypercallFlushInterval time.Duration
-	// ReadAheadWindow enables sequential-stream detection in the
-	// cleancache front: once a stream is detected, the front issues
-	// READ_AHEAD ops prefetching up to this many blocks ahead into the
-	// hypervisor-side staging buffer. Zero disables readahead.
+	// ReadAheadWindow enables the pipelined read path: sequential-stream
+	// detection in the cleancache front (READ_AHEAD ops prefetching up to
+	// this many blocks ahead into the hypervisor-side staging buffer) and
+	// the page cache's async probe window of the same depth
+	// (pagecache.Cache.SetReadWindow). Zero disables both.
 	ReadAheadWindow int
 	// Disk overrides the VM's virtual disk; nil selects a 7200 RPM HDD.
 	Disk blockdev.Device
@@ -88,6 +99,9 @@ func New(engine *sim.Engine, cfg Config, front *cleancache.Front) *VM {
 		front.SetReadAhead(cfg.ReadAheadWindow)
 	}
 	vm.cache = pagecache.New(vm.root, front, vm.disk)
+	if front != nil && cfg.ReadAheadWindow > 0 {
+		vm.cache.SetReadWindow(cfg.ReadAheadWindow)
+	}
 	vm.flusher = engine.Every(cfg.FlushInterval, func() {
 		vm.cache.FlushDirty(engine.Now(), cfg.FlushBatchPages)
 	})

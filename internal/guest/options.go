@@ -1,0 +1,56 @@
+package guest
+
+import (
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/sim"
+)
+
+// Option configures a VM, mirroring the ddcache.New functional-options
+// style: NewVM applies options over the zero Config, so defaults live in
+// one place and new knobs do not keep growing a positional struct.
+type Option func(*Config)
+
+// NewVM builds a VM from functional options — the preferred constructor.
+// New(engine, cfg, front) remains as the struct-config shim; every
+// option has a matching (deprecated) Config field.
+func NewVM(engine *sim.Engine, front *cleancache.Front, opts ...Option) *VM {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(engine, cfg, front)
+}
+
+// WithID sets the VM's hypervisor-visible id.
+func WithID(id cleancache.VMID) Option { return func(c *Config) { c.ID = id } }
+
+// WithMemBytes sets the VM's memory size.
+func WithMemBytes(n int64) Option { return func(c *Config) { c.MemBytes = n } }
+
+// WithKernelReserve sets the guest kernel footprint approximation
+// (default 64 MiB).
+func WithKernelReserve(n int64) Option { return func(c *Config) { c.KernelReserveBytes = n } }
+
+// WithFlushInterval sets the background writeback period (default 1s).
+func WithFlushInterval(d time.Duration) Option { return func(c *Config) { c.FlushInterval = d } }
+
+// WithFlushBatchPages bounds each background writeback round
+// (default 2048 pages).
+func WithFlushBatchPages(n int) Option { return func(c *Config) { c.FlushBatchPages = n } }
+
+// WithHypercallFlushInterval sets the transport flush tick period
+// (default 10ms).
+func WithHypercallFlushInterval(d time.Duration) Option {
+	return func(c *Config) { c.HypercallFlushInterval = d }
+}
+
+// WithReadAheadWindow enables the pipelined read path with a window of n
+// blocks: sequential-stream readahead in the cleancache front and the
+// page cache's async probe window (see Config.ReadAheadWindow).
+func WithReadAheadWindow(n int) Option { return func(c *Config) { c.ReadAheadWindow = n } }
+
+// WithDisk overrides the VM's virtual disk (default: a 7200 RPM HDD).
+func WithDisk(dev blockdev.Device) Option { return func(c *Config) { c.Disk = dev } }

@@ -191,18 +191,11 @@ func newTransportMetrics(reg *metrics.Registry, prefix string) *transportMetrics
 
 // PendingGet is the handle to one in-flight asynchronous get: created by
 // SubmitAsync, completed when the crossing carrying its tagged frame
-// drains (or is abandoned), redeemed with Await. All fields are guarded
-// by the owning transport's mu.
-type PendingGet struct {
-	tag     uint64
-	done    bool
-	ok      bool
-	failed  bool // crossing abandoned: the frame never reached the hypervisor
-	readyAt time.Duration
-
-	resolved bool
-	resp     cleancache.Response
-}
+// drains (or is abandoned), redeemed with Await. The type lives in
+// cleancache (it is part of the AsyncTransport capability contract);
+// this alias keeps the historical hypercall name working. All handle
+// state is guarded by the owning transport's mu.
+type PendingGet = cleancache.PendingGet
 
 // Transport is the batched, pipelined hypercall path from one VM to the
 // hypervisor cache manager. It implements cleancache.Transport.
@@ -286,7 +279,10 @@ type Transport struct {
 	syncFailures    int64         // ddlint:guarded-by mu
 }
 
-var _ cleancache.Transport = (*Transport)(nil)
+var (
+	_ cleancache.Transport      = (*Transport)(nil)
+	_ cleancache.AsyncTransport = (*Transport)(nil)
+)
 
 // NewTransport wires a batched transport to be.
 func NewTransport(be cleancache.Backend, opts Options) *Transport {
@@ -398,7 +394,7 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 
 	if req.Op == cleancache.OpGet && t.asyncGets {
 		pg, lat := t.enqueueGetLocked(now, req)
-		if !pg.done {
+		if !pg.Done() {
 			lat += t.drainLocked(now + lat)
 		}
 		return t.resolveLocked(now, lat, pg)
@@ -470,37 +466,33 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 	return resp
 }
 
-// SubmitAsync issues a get without waiting for its completion: the
-// request is pushed as a tagged frame (draining the ring only if the
-// frame does not fit) and a handle is returned for Await. The returned
-// latency is the submission cost charged to the caller now — any drain
-// this push triggered — not the get's completion time. Ops other than
-// get, and transports without AsyncGets, fall back to the synchronous
-// Submit and return an already-completed handle.
+// SubmitAsync implements cleancache.AsyncTransport: it issues a get
+// without waiting for its completion. The request is pushed as a tagged
+// frame (draining the ring only if the frame does not fit) and a handle
+// is returned for Await. The returned latency is the submission cost
+// charged to the caller now — any drain this push triggered — not the
+// get's completion time. Ops other than get, and transports without
+// AsyncGets, fall back to the synchronous Submit and return an
+// already-completed handle.
 func (t *Transport) SubmitAsync(now time.Duration, req cleancache.Request) (*PendingGet, time.Duration) {
 	if req.Op != cleancache.OpGet || !t.asyncGets {
 		resp := t.Submit(now, req)
-		return &PendingGet{
-			done: true, resolved: true,
-			ok:      resp.Ok,
-			readyAt: now + resp.Latency,
-			resp:    resp,
-		}, resp.Latency
+		return cleancache.CompletedPendingGet(resp, now+resp.Latency), resp.Latency
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.enqueueGetLocked(now, req)
 }
 
-// Await blocks (in virtual time) until pg completes, forcing a ring
-// drain if the completion is still in flight. The returned Latency is
-// the wait remaining from now; a get whose completion already landed in
-// the past costs nothing more.
+// Await implements cleancache.AsyncTransport: it blocks (in virtual
+// time) until pg completes, forcing a ring drain if the completion is
+// still in flight. The returned Latency is the wait remaining from now;
+// a get whose completion already landed in the past costs nothing more.
 func (t *Transport) Await(now time.Duration, pg *PendingGet) cleancache.Response {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var lat time.Duration
-	if !pg.done {
+	if !pg.Done() {
 		lat = t.drainLocked(now)
 	}
 	return t.resolveLocked(now, lat, pg)
@@ -513,7 +505,7 @@ func (t *Transport) Await(now time.Duration, pg *PendingGet) cleancache.Response
 // ddlint:requires-lock mu
 func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) (*PendingGet, time.Duration) {
 	if wait, hit := t.consumeStagedLocked(now, req.Key); hit {
-		return &PendingGet{done: true, ok: true, readyAt: now + wait}, 0
+		return cleancache.ReadyPendingGet(true, now+wait), 0
 	}
 	pages := req.Op.Pages()
 	if t.zeroCopy {
@@ -524,12 +516,12 @@ func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) 
 		lat = t.drainLocked(now)
 		// That drain may have dispatched a readahead staging this block.
 		if wait, hit := t.consumeStagedLocked(now+lat, req.Key); hit {
-			return &PendingGet{done: true, ok: true, readyAt: now + lat + wait}, lat
+			return cleancache.ReadyPendingGet(true, now+lat+wait), lat
 		}
 	}
 	tag := t.nextTag
 	t.nextTag++
-	pg := &PendingGet{tag: tag}
+	pg := cleancache.NewPendingGet(tag)
 	t.waiters[tag] = pg
 	t.ring.PushTagged(tag, req, pages)
 	t.asyncGetOps++
@@ -543,43 +535,28 @@ func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) 
 }
 
 // resolveLocked turns a completed handle into the guest-visible
-// response. submitLat is the latency already accumulated by the caller
-// this submission (drains it triggered); the reported latency is the
-// later of that and the completion's ready-at. Failure of the crossing
-// (abandoned batch) is reported as Ok=false — a miss, never data loss —
-// and counted as a sync failure. Idempotent: a second resolution returns
-// the recorded response with only the wait remaining from now.
+// response via PendingGet.Resolve. submitLat is the latency already
+// accumulated by the caller this submission (drains it triggered); the
+// reported latency is the later of that and the completion's ready-at.
+// Failure of the crossing (abandoned batch) is reported as Ok=false — a
+// miss, never data loss — and counted as a sync failure. Idempotent: a
+// second resolution returns the recorded response with only the wait
+// remaining from now, and accounting happens only on the first.
 //
 // ddlint:requires-lock mu
 func (t *Transport) resolveLocked(now, submitLat time.Duration, pg *PendingGet) cleancache.Response {
-	if pg.resolved {
-		resp := pg.resp
-		resp.Latency = 0
-		if pg.readyAt > now {
-			resp.Latency = pg.readyAt - now
-		}
+	resp, first := pg.Resolve(now, submitLat)
+	if !first {
 		return resp
 	}
-	if !pg.done {
-		// Cannot happen — a drain completes or fails every tagged frame —
-		// but a stuck waiter must not hang the guest.
-		pg.done, pg.failed = true, true
-		pg.readyAt = now + submitLat
-	}
-	if pg.failed {
+	if pg.Failed() {
 		t.syncFailures++
 		if t.m != nil {
 			t.m.syncFailures.Inc()
 		}
 	}
-	total := submitLat
-	if wait := pg.readyAt - now; wait > total {
-		total = wait
-	}
-	pg.resolved = true
-	pg.resp = cleancache.Response{Op: cleancache.OpGet, Ok: pg.ok && !pg.failed, Latency: total}
-	t.observe(cleancache.OpGet, total)
-	return pg.resp
+	t.observe(cleancache.OpGet, resp.Latency)
+	return resp
 }
 
 // consumeStagedLocked serves key from the staging buffer if present:
@@ -783,9 +760,7 @@ func (t *Transport) failWaiterLocked(tag uint64, at time.Duration) {
 		return
 	}
 	delete(t.waiters, tag)
-	pg.done = true
-	pg.failed = true
-	pg.readyAt = at
+	pg.Fail(at)
 }
 
 // Flush implements cleancache.Transport: the guest's periodic transport
@@ -920,9 +895,7 @@ func (t *Transport) deliverCompletionsLocked() {
 			continue
 		}
 		delete(t.waiters, c.Tag)
-		pg.done = true
-		pg.ok = c.Ok
-		pg.readyAt = c.At
+		pg.Complete(c.Ok, c.At)
 	}
 	t.completions = t.completions[:0]
 }

@@ -47,10 +47,18 @@ type Config struct {
 	Metrics *metrics.Registry
 	// GuestFlushInterval overrides the guests' transport flush tick.
 	GuestFlushInterval time.Duration
-	// ReadAheadWindow enables sequential readahead in every guest's
-	// cleancache front (see guest.Config.ReadAheadWindow). Zero disables
-	// it.
+	// ReadAheadWindow sets every guest's pipelined-read window (see
+	// guest.Config.ReadAheadWindow). Zero selects the stock default
+	// (guest.DefaultReadAheadWindow) unless NoPipeline is set; a negative
+	// value disables readahead explicitly.
 	ReadAheadWindow int
+	// NoPipeline disables the stock pipelined-read defaults — async
+	// tagged gets, zero-copy bulk responses and the default readahead
+	// window — reverting to the synchronous probe-per-block read path.
+	// Explicitly-set Transport options and ReadAheadWindow still apply,
+	// so the knob isolates exactly what the stock defaults add. The A/B
+	// baseline for the end-to-end readpath experiment.
+	NoPipeline bool
 	// Faults attaches a fault-injection plan to the host: the SSD cache
 	// device consults it at sites "host-ssd.read"/"host-ssd.write" and
 	// every VM's transport at "transport.batch"/"transport.call". Nil
@@ -84,6 +92,21 @@ func New(engine *sim.Engine, cfg Config) *Host {
 	}
 	if topts.Faults == nil {
 		topts.Faults = cfg.Faults
+	}
+	// Stock hosts run the pipelined read path end to end: async tagged
+	// gets and zero-copy bulk responses on every VM's transport, plus the
+	// default readahead/async-probe window in every guest. NoPipeline (or
+	// the explicitly-unbatched baseline) opts out wholesale; a negative
+	// ReadAheadWindow opts out of readahead alone.
+	if !cfg.NoPipeline && !topts.Unbatched && !cfg.DisableCaching {
+		topts.AsyncGets = true
+		topts.ZeroCopy = true
+		if cfg.ReadAheadWindow == 0 {
+			cfg.ReadAheadWindow = guest.DefaultReadAheadWindow
+		}
+	}
+	if cfg.ReadAheadWindow < 0 {
+		cfg.ReadAheadWindow = 0
 	}
 	h := &Host{
 		engine:     engine,

@@ -1,0 +1,90 @@
+package hypervisor
+
+import (
+	"time"
+
+	"doubledecker/internal/blockdev"
+	"doubledecker/internal/cleancache"
+	"doubledecker/internal/ddcache"
+	"doubledecker/internal/fault"
+	"doubledecker/internal/hypercall"
+	"doubledecker/internal/metrics"
+	"doubledecker/internal/policy"
+	"doubledecker/internal/sim"
+)
+
+// Option configures a Host, mirroring the ddcache.New functional-options
+// style: NewHost applies options over the zero Config, so stock defaults
+// (including the pipelined read path) live in New and new knobs do not
+// keep growing a positional struct.
+type Option func(*Config)
+
+// NewHost builds a host from functional options — the preferred
+// constructor. New(engine, cfg) remains as the struct-config shim; every
+// option has a matching (deprecated) Config field.
+func NewHost(engine *sim.Engine, opts ...Option) *Host {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(engine, cfg)
+}
+
+// WithMode selects DoubleDecker vs the nesting-agnostic Global baseline.
+func WithMode(m ddcache.Mode) Option { return func(c *Config) { c.Mode = m } }
+
+// WithMemCache sets the memory store capacity (0 disables it).
+func WithMemCache(n int64) Option { return func(c *Config) { c.MemCacheBytes = n } }
+
+// WithSSDCache sets the SSD store capacity (0 disables it).
+func WithSSDCache(n int64) Option { return func(c *Config) { c.SSDCacheBytes = n } }
+
+// WithEvictBatch overrides the paper's 2 MiB eviction batch.
+func WithEvictBatch(n int64) Option { return func(c *Config) { c.EvictBatchBytes = n } }
+
+// WithoutCaching disables the second-chance path entirely (pure
+// guest-only caching).
+func WithoutCaching() Option { return func(c *Config) { c.DisableCaching = true } }
+
+// WithVMDiskFactory overrides each VM's virtual disk construction.
+func WithVMDiskFactory(fn func(id cleancache.VMID) blockdev.Device) Option {
+	return func(c *Config) { c.VMDiskFactory = fn }
+}
+
+// WithVictimSelector overrides the eviction victim-selection algorithm.
+func WithVictimSelector(fn func(ents []policy.Entity, evictionSize int64) int) Option {
+	return func(c *Config) { c.VictimSelector = fn }
+}
+
+// WithTransport parameterizes each VM's hypercall transport. Fields left
+// zero still receive the stock pipelined defaults; combine with
+// WithoutPipeline for the synchronous baseline.
+func WithTransport(o hypercall.Options) Option { return func(c *Config) { c.Transport = o } }
+
+// WithMetrics attaches a metrics registry to the transports and the SSD
+// breaker.
+func WithMetrics(reg *metrics.Registry) Option { return func(c *Config) { c.Metrics = reg } }
+
+// WithGuestFlushInterval overrides the guests' transport flush tick.
+func WithGuestFlushInterval(d time.Duration) Option {
+	return func(c *Config) { c.GuestFlushInterval = d }
+}
+
+// WithReadAheadWindow sets every guest's pipelined-read window (see
+// Config.ReadAheadWindow; 0 selects the stock default).
+func WithReadAheadWindow(n int) Option { return func(c *Config) { c.ReadAheadWindow = n } }
+
+// WithoutReadAhead disables guest readahead while keeping the async
+// transport defaults.
+func WithoutReadAhead() Option { return func(c *Config) { c.ReadAheadWindow = -1 } }
+
+// WithoutPipeline disables the stock pipelined-read defaults (async
+// gets, zero-copy, default readahead window) — the A/B baseline for the
+// end-to-end readpath experiment.
+func WithoutPipeline() Option { return func(c *Config) { c.NoPipeline = true } }
+
+// WithFaults attaches a fault-injection plan to the host.
+func WithFaults(inj *fault.Injector) Option { return func(c *Config) { c.Faults = inj } }
+
+// WithBreaker tunes the cache manager's SSD circuit breaker.
+func WithBreaker(b ddcache.BreakerConfig) Option { return func(c *Config) { c.Breaker = b } }

@@ -67,6 +67,11 @@ type Cache struct {
 	// the feed for MRC/WSS estimators driving adaptive policies.
 	accessHook func(g *cgroup.Group, inode uint64, block int64)
 
+	// readWindow is the number of in-flight second-chance probes Read
+	// keeps outstanding across a miss-run (Front.GetAsync handles); 0
+	// selects the synchronous probe-per-block path.
+	readWindow int
+
 	// writeSeq makes written blocks' content unique: a dirtied page no
 	// longer matches any template content.
 	writeSeq uint64
@@ -96,6 +101,22 @@ func New(root *cgroup.Root, front *cleancache.Front, disk blockdev.Device) *Cach
 func (c *Cache) SetAccessHook(fn func(g *cgroup.Group, inode uint64, block int64)) {
 	c.accessHook = fn
 }
+
+// SetReadWindow sets how many async second-chance probes Read keeps in
+// flight across a detected miss-run (0 = synchronous probe per block).
+// With a window, a miss-run issues up to window GetAsync handles up
+// front — overlapping the hypercall crossings with the run scan and
+// consuming the transport's readahead staging buffer — and resolves them
+// in access order. No-op without a cleancache front.
+func (c *Cache) SetReadWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.readWindow = n
+}
+
+// ReadWindow reports the configured async probe window.
+func (c *Cache) ReadWindow() int { return c.readWindow }
 
 // Stats returns the accumulated counters for g.
 func (c *Cache) Stats(g *cgroup.Group) IOStats {
@@ -209,6 +230,14 @@ func (c *Cache) Read(now time.Duration, g *cgroup.Group, f *fsmodel.File, start,
 			st.Hits++
 			continue
 		}
+		if c.front != nil && c.readWindow > 0 {
+			// Pipelined path: the whole miss-run is probed through
+			// in-flight async handles (readPipelined counts the misses).
+			next, ml := c.readPipelined(at, g, f, b, end)
+			lat += ml
+			b = next - 1
+			continue
+		}
 		st.Misses++
 		if c.front != nil {
 			hit, l := c.front.Get(at, g, uint64(f.Inode), b)
@@ -268,6 +297,78 @@ func (c *Cache) Read(now time.Duration, g *cgroup.Group, f *fsmodel.File, start,
 		}
 	}
 	return lat
+}
+
+// readPipelined serves the miss-run starting at block b through the
+// async read contract: it issues up to readWindow Front.GetAsync probes
+// at a time — the submissions overlap their hypercall crossings and feed
+// the sequential-stream detector before any handle is awaited, so the
+// transport's readahead staging runs ahead of consumption — then
+// resolves the handles in access order. Second-chance hits are inserted
+// as they resolve; contiguous miss verdicts coalesce into single disk
+// run reads, spanning window boundaries (the run is flushed only at a
+// second-chance hit, a resident page, or the end of the request), which
+// preserves the synchronous path's readahead-style seek amortization.
+// The probed set is identical to the synchronous path: every
+// non-resident block until the first resident page or the request end.
+// Returns the first block not consumed and the latency charged.
+func (c *Cache) readPipelined(base time.Duration, g *cgroup.Group, f *fsmodel.File, b, end int64) (int64, time.Duration) {
+	st := c.statsFor(g)
+	inode := uint64(f.Inode)
+	var (
+		lat              time.Duration
+		runStart, runLen int64
+		handles          []*cleancache.PendingRead
+	)
+	flushRun := func() {
+		if runLen == 0 {
+			return
+		}
+		dl, _ := c.disk.Read(base+lat, f.BlockOffset(runStart), runLen*fsmodel.BlockSize)
+		lat += dl
+		st.DiskReads += runLen
+		for rb := runStart; rb < runStart+runLen; rb++ {
+			_, il := c.insert(base+lat, g, inode, rb, f.BlockOffset(rb), f.ContentKey(rb), false)
+			lat += il + PageHitCost
+		}
+		runLen = 0
+	}
+	wb := b
+	for wb < end && c.lookup(inode, wb) == nil {
+		we := wb
+		for we < end && we-wb < int64(c.readWindow) && c.lookup(inode, we) == nil {
+			we++
+		}
+		handles = handles[:0]
+		for pb := wb; pb < we; pb++ {
+			if c.accessHook != nil && pb > b {
+				c.accessHook(g, inode, pb)
+			}
+			pr, sl := c.front.GetAsync(base+lat, g, inode, pb)
+			lat += sl
+			handles = append(handles, pr)
+		}
+		st.Misses += we - wb
+		for i, pr := range handles {
+			hit, wl := c.front.AwaitRead(base+lat, pr)
+			lat += wl
+			pb := wb + int64(i)
+			if !hit {
+				if runLen == 0 {
+					runStart = pb
+				}
+				runLen++
+				continue
+			}
+			flushRun()
+			st.CCHits++
+			_, il := c.insert(base+lat, g, inode, pb, f.BlockOffset(pb), f.ContentKey(pb), false)
+			lat += il + PageHitCost
+		}
+		wb = we
+	}
+	flushRun()
+	return wb, lat
 }
 
 // Write dirties n blocks of f starting at start (whole-block writes, no
