@@ -1,10 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"doubledecker/internal/lint"
 )
@@ -45,7 +47,9 @@ func TestDdlintTreeIsClean(t *testing.T) {
 // TestDdlintCatchesReintroducedViolations pins the failure mode: one
 // reintroduced violation per analyzer — the pre-fix stress.go wall-clock
 // read, an OpCode dispatch switch with a removed case, an unlocked
-// guarded-field access and a plain read of an atomic counter — must each
+// guarded-field access, a plain read of an atomic counter, a declared
+// lock-order inversion, a dropped blockdev error, a post-publish
+// snapshot write and a handle abandoned on an early return — must each
 // produce a finding with a file:line position.
 func TestDdlintCatchesReintroducedViolations(t *testing.T) {
 	var out strings.Builder
@@ -66,14 +70,135 @@ func TestDdlintCatchesReintroducedViolations(t *testing.T) {
 		"access to state (ddlint:guarded-by mu)",
 		"access to staged (ddlint:guarded-by mu)",
 		"access to waiters (ddlint:guarded-by mu)",
-		"bad.go:19:", // file:line:col anchoring
+		"inverts the declared lock order (manager.mu < breaker.mu)",
+		"error result of blockdev.Write assigned to _",
+		"error result of blockdev.WriteAsync discarded",
+		"write to seq of frozenView (ddlint:immutable-after-publish)",
+		"abandoned on this return path",
+		"bad.go:26:", // file:line:col anchoring
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("diagnostics missing %q; got:\n%s", want, got)
 		}
 	}
-	if n < 10 {
-		t.Errorf("expected at least 10 findings, got %d:\n%s", n, got)
+	if n < 14 {
+		t.Errorf("expected at least 14 findings, got %d:\n%s", n, got)
+	}
+}
+
+// TestDdlintRuntimeBudget keeps the full eight-analyzer sweep fast
+// enough to run on every CI push: the whole tree must lint in under
+// 30 seconds (the current cost is ~2s; the budget leaves 15x headroom
+// for slow runners before the gate becomes friction).
+func TestDdlintRuntimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	start := time.Now()
+	if _, err := lint.Collect(moduleRoot(t), analyzers, []string{"./..."}); err != nil {
+		t.Fatalf("ddlint failed to run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("full-tree ddlint took %v, over the 30s budget", elapsed)
+	}
+}
+
+// TestDdlintMachineOutput pins the machine-readable renderings on the
+// bad fixture: JSON findings carry analyzer/file/line, and the SARIF
+// log is a valid 2.1.0 document whose results mirror the findings.
+func TestDdlintMachineOutput(t *testing.T) {
+	res, err := lint.Collect(moduleRoot(t), analyzers,
+		[]string{filepath.Join("cmd", "ddlint", "testdata", "bad")})
+	if err != nil {
+		t.Fatalf("ddlint failed to run: %v", err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("bad fixture produced no findings")
+	}
+
+	var jsonBuf strings.Builder
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Findings []lint.Finding `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &doc); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(doc.Findings) != len(res.Findings) {
+		t.Errorf("JSON has %d findings, result has %d", len(doc.Findings), len(res.Findings))
+	}
+	for _, f := range doc.Findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+
+	var sarifBuf strings.Builder
+	if err := res.WriteSARIF(&sarifBuf); err != nil {
+		t.Fatal(err)
+	}
+	var sarif struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sarifBuf.String()), &sarif); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if sarif.Version != "2.1.0" || len(sarif.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version %q, %d runs", sarif.Version, len(sarif.Runs))
+	}
+	run := sarif.Runs[0]
+	if run.Tool.Driver.Name != "ddlint" {
+		t.Errorf("SARIF driver name %q, want ddlint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(analyzers) {
+		t.Errorf("SARIF declares %d rules, want %d", len(run.Tool.Driver.Rules), len(analyzers))
+	}
+	if len(run.Results) != len(res.Findings) {
+		t.Errorf("SARIF has %d results, result has %d findings", len(run.Results), len(res.Findings))
+	}
+	for _, r := range run.Results {
+		if r.RuleID == "" || r.Message.Text == "" {
+			t.Errorf("incomplete SARIF result: %+v", r)
+		}
+	}
+}
+
+// TestDdlintDeterministicOutput pins the byte-identical-reruns
+// guarantee CI diffing relies on: the same tree linted twice, with the
+// package patterns given in different orders, renders identical text.
+func TestDdlintDeterministicOutput(t *testing.T) {
+	root := moduleRoot(t)
+	bad := filepath.Join("cmd", "ddlint", "testdata", "bad")
+	lintDir := filepath.Join("internal", "lint")
+	render := func(patterns []string) string {
+		var out strings.Builder
+		if _, err := lint.Run(&out, root, analyzers, patterns); err != nil {
+			t.Fatalf("ddlint failed to run: %v", err)
+		}
+		return out.String()
+	}
+	a := render([]string{bad, lintDir})
+	b := render([]string{lintDir, bad})
+	if a != b {
+		t.Errorf("pattern order changed the rendered output:\n--- a\n%s--- b\n%s", a, b)
 	}
 }
 

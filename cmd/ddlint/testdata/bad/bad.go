@@ -3,7 +3,10 @@
 // TestDdlintCatchesReintroducedViolations: the pre-fix stress.go
 // wall-clock read, a dispatch switch over the real cleancache.OpCode
 // with a case deliberately removed, an unlocked access to a guarded
-// field, and a plain read of an atomically-updated counter.
+// field, a plain read of an atomically-updated counter, a declared
+// lock-order inversion, a dropped blockdev error, a post-publish write
+// to an immutable snapshot, and a pending handle abandoned on an early
+// return.
 package bad
 
 import (
@@ -11,8 +14,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"doubledecker/internal/blockdev"
 	"doubledecker/internal/cleancache"
 )
+
+// The fixture's miniature lock hierarchy, inverted by Demote below.
+// ddlint:lock-order manager.mu < breaker.mu
 
 // WallStress is the pre-fix internal/ddcache/stress.go shape.
 func WallStress() time.Duration {
@@ -137,4 +144,60 @@ type pendingTransport struct {
 // demux for the same table.
 func (t *pendingTransport) InFlight() int {
 	return len(t.waiters) // lockcheck: guarded pending-handle table, mu not held
+}
+
+// Demote takes the manager lock while holding the breaker's — the
+// inversion of the declared manager.mu < breaker.mu chain that
+// lockorder must keep rejecting (the real tree orders VM locks above
+// the breaker leaf for exactly this reason).
+func Demote(m *manager, b *breaker) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m.mu.Lock() // lockorder: inverts the declared manager.mu < breaker.mu order
+	m.pools++
+	m.mu.Unlock()
+}
+
+// Writeback drops the device error — the pre-waiver pagecache shape
+// errflow must keep rejecting: a faulted write silently counts as
+// clean.
+func Writeback(dev blockdev.Device, now time.Duration) time.Duration {
+	lat, _ := dev.Write(now, 0, 4096) // errflow: blockdev error assigned to _
+	dev.WriteAsync(now+lat, 0, 4096)  // errflow: blockdev error discarded
+	return lat
+}
+
+// frozenView mirrors the ddcache epoch family: published by pointer
+// swap, never written afterwards.
+//
+// ddlint:immutable-after-publish
+type frozenView struct {
+	seq uint64
+	ent [2]int64
+}
+
+// NewFrozenView is the constructor; writes inside it are legal.
+func NewFrozenView(seq uint64) *frozenView {
+	v := &frozenView{seq: seq}
+	v.ent[0] = 1
+	return v
+}
+
+// Bump mutates a published snapshot in place — the shape immutcheck
+// must keep rejecting: readers holding the old pointer observe a torn
+// view.
+func Bump(v *frozenView) {
+	v.seq++ // immutcheck: post-publish write to an immutable snapshot
+}
+
+// AbandonedGet submits a pending handle and returns without resolving,
+// failing, or handing it off on the early path — the leak handlecheck
+// must keep rejecting: the guest would hang awaiting a completion
+// nobody redeems.
+func AbandonedGet(congested bool) {
+	pg := cleancache.NewPendingGet(7)
+	if congested {
+		return // handlecheck: handle abandoned on this return path
+	}
+	pg.Fail(0)
 }

@@ -313,7 +313,7 @@ func (g *Group) swapOut(now time.Duration, n int64) int64 {
 	g.stats.SwapOutPages += n
 	// Swap-device errors are outside the cleancache failure model; the
 	// simulation charges the device time and carries on.
-	_ = g.swap.WriteAsync(now, 0, n*PageSize)
+	_ = g.swap.WriteAsync(now, 0, n*PageSize) // ddlint:err-ok swap-device errors are outside the cleancache failure model
 	return n
 }
 
@@ -360,7 +360,7 @@ func (g *Group) TouchAnon(now time.Duration, n int64, rng *rand.Rand) time.Durat
 		missP := 1 - float64(g.anonResident)/float64(g.anonWS)
 		if missP > 0 && rng.Float64() < missP {
 			// Major fault: synchronous swap-in.
-			sl, _ := g.swap.Read(now+lat, 0, PageSize)
+			sl, _ := g.swap.Read(now+lat, 0, PageSize) // ddlint:err-ok swap-device errors are outside the cleancache failure model
 			lat += sl
 			lat += g.EnsureRoom(now+lat, 1)
 			g.anonResident++

@@ -206,6 +206,8 @@ type Transport interface {
 // pending → done (Complete/Fail) → resolved (first Resolve) — and every
 // transition is idempotent-safe: resolving twice returns the recorded
 // response with only the wait remaining.
+//
+// ddlint:linear
 type PendingGet struct {
 	tag     uint64
 	done    bool
@@ -257,6 +259,8 @@ func (pg *PendingGet) Complete(ok bool, readyAt time.Duration) {
 // Fail completes the handle as a transport failure at virtual time at:
 // the frame never reached the backend, so the get reports a miss (never
 // data loss).
+//
+// ddlint:consumes
 func (pg *PendingGet) Fail(at time.Duration) {
 	pg.done = true
 	pg.failed = true
@@ -271,6 +275,8 @@ func (pg *PendingGet) Fail(at time.Duration) {
 // and latency observation exactly once, on the first resolution; later
 // calls return the recorded response with only the wait remaining from
 // now.
+//
+// ddlint:consumes
 func (pg *PendingGet) Resolve(now, submitLat time.Duration) (resp Response, first bool) {
 	if pg.resolved {
 		resp = pg.resp
@@ -540,6 +546,8 @@ func (f *Front) Get(now time.Duration, g *cgroup.Group, inode uint64, block int6
 // Handles belong to the Front that issued them and share its
 // single-submission-context ownership (they are not safe for concurrent
 // use from multiple goroutines).
+//
+// ddlint:linear
 type PendingRead struct {
 	pg   *PendingGet // nil on the fast-miss and sync-fallback paths
 	done bool

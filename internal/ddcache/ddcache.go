@@ -58,6 +58,14 @@
 //     operation holds at most one.
 //  4. Leaf locks: dedup shard mutexes, the SSD breaker's internal lock.
 //
+// The order is machine-checked: ddlint's lockorder analyzer verifies
+// every acquisition (including through callees) against the chains
+// below, with both eviction tokens folded onto one level under the
+// Manager.evictToken alias.
+//
+// ddlint:lock-order Manager.configMu < Manager.evictToken < vmState.mu < dedupShard.mu
+// ddlint:lock-order Manager.configMu < Manager.evictToken < vmState.mu < breaker.mu
+//
 // A goroutine may hold an epoch that a concurrent configuration change
 // has already superseded. That is safe by construction: epochs are
 // immutable, byte accounting lives in index.Accounting atomics shared by
@@ -818,7 +826,7 @@ func (m *Manager) MigrateInode(_ time.Duration, _ cleancache.VMID, from, to clea
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	b.mu.Lock()
+	b.mu.Lock() // ddlint:lock-ok two VM locks taken in VM-id order, the documented same-level exception
 	defer b.mu.Unlock()
 	if src.state.dead || dst.state.dead {
 		return 0
@@ -883,7 +891,7 @@ func (m *Manager) evictToken(st cgroup.StoreType) *sync.Mutex {
 // Runs under the store's eviction token; callers hold no VM lock.
 func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incoming int64) time.Duration {
 	be := m.backend(st)
-	tok := m.evictToken(st)
+	tok := m.evictToken(st) // ddlint:lock-alias Manager.evictToken
 	if be == nil || tok == nil {
 		return 0
 	}

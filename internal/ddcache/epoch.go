@@ -32,6 +32,8 @@ func entSlot(st cgroup.StoreType) int {
 // their own locks: a goroutine holding a stale epoch can still operate
 // safely because liveness is re-checked on poolState.dead under the VM
 // lock, and byte accounting lives in index.Accounting atomics.
+//
+// ddlint:immutable-after-publish
 type epoch struct {
 	// seq increments on every publish; exported through the epoch.seq
 	// gauge so experiments can watch reconfiguration churn.
@@ -43,6 +45,8 @@ type epoch struct {
 
 // epochVM is one VM's frozen view: weight, pool list and per-store
 // entitlement at this epoch.
+//
+// ddlint:immutable-after-publish
 type epochVM struct {
 	state  *vmState
 	weight int64
@@ -65,6 +69,8 @@ func (ev *epochVM) usedBytes(st cgroup.StoreType) int64 {
 // epochPool is one pool's frozen view: spec and per-store entitlement at
 // this epoch, plus the pool's mutable state record and its lock-free
 // accounting view.
+//
+// ddlint:immutable-after-publish
 type epochPool struct {
 	state *poolState
 	vm    *epochVM
@@ -171,7 +177,10 @@ func (b *epochBuilder) setSpec(id cleancache.PoolID, spec cgroup.HCacheSpec) {
 }
 
 // build freezes the builder into an epoch, recomputing both levels of
-// entitlements per store with the pure policy.TwoLevel pass.
+// entitlements per store with the pure policy.TwoLevel pass. It is the
+// one place the snapshot family is written after assembly begins.
+//
+// ddlint:constructs epoch epochVM epochPool
 func (b *epochBuilder) build(m *Manager, seq uint64) *epoch {
 	ep := &epoch{
 		seq:    seq,

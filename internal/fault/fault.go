@@ -337,14 +337,16 @@ func (in *Injector) Summary() string {
 	for _, s := range sites {
 		st := stats[s]
 		fmt.Fprintf(&b, "%s: %d ops", s, st.Ops)
-		kinds := make([]string, 0, len(st.Injected))
+		// Sort the Kind values by display name and print them directly:
+		// round-tripping through KindFromString would silently attribute
+		// a kind missing from the parse table to KindNone's count.
+		kinds := make([]Kind, 0, len(st.Injected))
 		for k := range st.Injected {
-			kinds = append(kinds, k.String())
+			kinds = append(kinds, k)
 		}
-		sort.Strings(kinds)
-		for _, ks := range kinds {
-			k, _ := KindFromString(ks)
-			fmt.Fprintf(&b, ", %s=%d", ks, st.Injected[k])
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i].String() < kinds[j].String() })
+		for _, k := range kinds {
+			fmt.Fprintf(&b, ", %s=%d", k, st.Injected[k])
 		}
 		b.WriteByte('\n')
 	}

@@ -228,3 +228,34 @@ func TestErrorType(t *testing.T) {
 		t.Fatalf("error string: %q", err.Error())
 	}
 }
+
+// TestSummaryAttributesCountsPerKind is the regression test for the
+// Summary misattribution ddlint's errflow sweep surfaced: the rendering
+// used to round-trip each Kind through String/KindFromString, so a kind
+// missing from the parse table silently printed KindNone's count. The
+// counts must come straight from the stats map, per kind, and every
+// declared kind must survive the String/KindFromString round trip.
+func TestSummaryAttributesCountsPerKind(t *testing.T) {
+	plan := Plan{Seed: 7, Rules: []Rule{
+		{Site: "dev.read", Kind: KindIOError, Prob: 1},
+		{Site: "dev.write", Kind: KindLatency, Prob: 1, Delay: time.Millisecond},
+	}}
+	in := New(plan)
+	for i := 0; i < 3; i++ {
+		in.Decide(time.Duration(i), "dev.read")
+	}
+	for i := 0; i < 2; i++ {
+		in.Decide(time.Duration(i), "dev.write")
+	}
+	got := in.Summary()
+	want := "dev.read: 3 ops, io-error=3\ndev.write: 2 ops, latency=2\n"
+	if got != want {
+		t.Fatalf("summary misattributed counts:\ngot  %q\nwant %q", got, want)
+	}
+	for k := KindNone; k <= KindCorrupt; k++ {
+		rt, err := KindFromString(k.String())
+		if err != nil || rt != k {
+			t.Fatalf("kind %d (%s) does not round-trip: got %d, err %v", k, k, rt, err)
+		}
+	}
+}

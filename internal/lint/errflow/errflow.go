@@ -1,0 +1,216 @@
+// Package errflow enforces the graceful-degradation contract on error
+// results from the failure-injected layers: every error returned by a
+// function or method of the blockdev, store, hypercall or fault
+// packages (the layers fault injection can make fail) must be consumed
+// — bound to a variable, checked, or returned — never discarded. Two
+// discard shapes are reported:
+//
+//   - a bare call statement (or go/defer statement) whose result set
+//     includes an error, and
+//   - an assignment that binds the error position to the blank
+//     identifier (`_ = dev.WriteAsync(...)`, `dl, _ := disk.Read(...)`).
+//
+// A reviewed discard — e.g. the guest virtual-disk reads whose errors
+// are outside the cleancache failure model by design — is waived with
+// // ddlint:err-ok <reason> on the call's line. Dead stores into named
+// error variables are left to the compiler and vet, which already
+// reject the common cases; the blank-discard shapes above are exactly
+// the ones they accept silently.
+//
+// Target packages are matched by their import-path base name, so the
+// analyzer works identically against the module's internal packages and
+// against fixture stand-ins.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"doubledecker/internal/lint"
+)
+
+// Analyzer is the errflow pass.
+var Analyzer = &lint.Analyzer{
+	Name: "errflow",
+	Doc:  "error results from blockdev/store/hypercall/fault calls must be consumed or waived with ddlint:err-ok",
+	Run:  run,
+}
+
+// targetPkgs are the failure-injected layers whose errors carry the
+// degradation contract (matched by import-path base).
+var targetPkgs = map[string]bool{
+	"blockdev":  true,
+	"store":     true,
+	"hypercall": true,
+	"fault":     true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		waived := lint.MarkerLines(pass.Fset, f, "err-ok")
+		ok := func(n ast.Node) bool {
+			return waived[pass.Fset.Position(n.Pos()).Line]
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, name := targetCall(pass, n.X); call != nil && !ok(call) {
+					pass.Reportf(call.Pos(), "error result of %s discarded: check it, return it, "+
+						"or waive the reviewed site with ddlint:err-ok <reason>", name)
+				}
+			case *ast.GoStmt:
+				if call, name := targetCall(pass, n.Call); call != nil && !ok(call) {
+					pass.Reportf(call.Pos(), "error result of %s discarded by go statement: "+
+						"consume it in the spawned function or waive with ddlint:err-ok <reason>", name)
+				}
+			case *ast.DeferStmt:
+				if call, name := targetCall(pass, n.Call); call != nil && !ok(call) {
+					pass.Reportf(call.Pos(), "error result of %s discarded by defer: "+
+						"wrap it to consume the error or waive with ddlint:err-ok <reason>", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n, ok)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign reports blank-identifier binds of a target call's error
+// position: `_ = c()` and `v, _ := c()` alike.
+func checkAssign(pass *lint.Pass, as *ast.AssignStmt, waived func(ast.Node) bool) {
+	// Only the single-call forms bind result tuples: `a, b := call()`
+	// or `_ = call()`.
+	if len(as.Rhs) != 1 {
+		// Parallel assignment pairs each RHS with one LHS.
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !isBlank(as.Lhs[i]) {
+				continue
+			}
+			if call, name := targetCall(pass, rhs); call != nil && !waived(call) {
+				pass.Reportf(call.Pos(), "error result of %s assigned to _: check it, return it, "+
+					"or waive the reviewed site with ddlint:err-ok <reason>", name)
+			}
+		}
+		return
+	}
+	call, name := callTo(pass, as.Rhs[0])
+	if call == nil {
+		return
+	}
+	fn := calleeOf(pass, call)
+	if fn == nil || !targetPkg(fn) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len() && i < len(as.Lhs); i++ {
+		if !isErrorType(res.At(i).Type()) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if !waived(call) {
+			pass.Reportf(call.Pos(), "error result of %s assigned to _: check it, return it, "+
+				"or waive the reviewed site with ddlint:err-ok <reason>", name)
+		}
+		return
+	}
+}
+
+// targetCall unwraps expr to a call into a target package whose result
+// set includes an error.
+func targetCall(pass *lint.Pass, expr ast.Expr) (*ast.CallExpr, string) {
+	call, name := callTo(pass, expr)
+	if call == nil {
+		return nil, ""
+	}
+	fn := calleeOf(pass, call)
+	if fn == nil || !targetPkg(fn) {
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, ""
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return call, name
+		}
+	}
+	return nil, ""
+}
+
+// callTo unwraps parens and names the called function for diagnostics.
+func callTo(pass *lint.Pass, expr ast.Expr) (*ast.CallExpr, string) {
+	for {
+		if p, ok := expr.(*ast.ParenExpr); ok {
+			expr = p.X
+			continue
+		}
+		break
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := calleeOf(pass, call)
+	if fn == nil {
+		return nil, ""
+	}
+	return call, fn.Pkg().Name() + "." + fn.Name()
+}
+
+// calleeOf resolves the static callee, including interface methods
+// (whose defining package is the interface's package — exactly the
+// contract-carrying declaration errflow cares about).
+func calleeOf(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	return fn
+}
+
+func targetPkg(fn *types.Func) bool {
+	path := fn.Pkg().Path()
+	base := path
+	if i := lastSlash(path); i >= 0 {
+		base = path[i+1:]
+	}
+	return targetPkgs[base]
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}

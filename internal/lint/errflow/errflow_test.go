@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), errflow.Analyzer, "a")
+}

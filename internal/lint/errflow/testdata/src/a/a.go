@@ -1,0 +1,41 @@
+// Package a exercises errflow: discarded device errors in statement,
+// blank-assign, go/defer and parallel-assign positions, plus the
+// consumed and waived shapes that must stay silent.
+package a
+
+import "a/blockdev"
+
+func discards(d blockdev.Device) int64 {
+	d.WriteAsync(0, 1)       // want `error result of blockdev.WriteAsync discarded`
+	_ = d.WriteAsync(0, 1)   // want `error result of blockdev.WriteAsync assigned to _`
+	_, _ = d.Write(0, 1)     // want `error result of blockdev.Write assigned to _`
+	n, _ := d.Read(0, 1)     // want `error result of blockdev.Read assigned to _`
+	go d.WriteAsync(0, 1)    // want `error result of blockdev.WriteAsync discarded by go statement`
+	defer d.WriteAsync(0, 1) // want `error result of blockdev.WriteAsync discarded by defer`
+	return n
+}
+
+func parallel(d *blockdev.Disk) {
+	var n int
+	n, _ = d.Depth(), d.WriteAsync(0, 1) // want `error result of blockdev.WriteAsync assigned to _`
+	_ = n
+	_ = d.Depth() // error-free results may be discarded freely
+	d.Depth()
+}
+
+func consumed(d blockdev.Device) (int64, error) {
+	if err := d.WriteAsync(0, 1); err != nil {
+		return 0, err
+	}
+	n, err := d.Read(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	return n, d.WriteAsync(0, 1)
+}
+
+func waived(d blockdev.Device) int64 {
+	_ = d.WriteAsync(0, 1) // ddlint:err-ok modeled latency only, drop is the contract
+	n, _ := d.Read(0, 1)   // ddlint:err-ok guest disk errors are outside the failure model
+	return n
+}

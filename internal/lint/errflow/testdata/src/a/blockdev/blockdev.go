@@ -1,0 +1,19 @@
+// Package blockdev is a fixture stand-in for the module's device layer:
+// errflow targets it by import-path base name.
+package blockdev
+
+// Device mirrors the module's blockdev.Device error contract.
+type Device interface {
+	Read(off, size int64) (int64, error)
+	Write(off, size int64) (int64, error)
+	WriteAsync(off, size int64) error
+	Depth() int
+}
+
+// Disk is a concrete device.
+type Disk struct{}
+
+func (d *Disk) Read(off, size int64) (int64, error)  { return 0, nil }
+func (d *Disk) Write(off, size int64) (int64, error) { return 0, nil }
+func (d *Disk) WriteAsync(off, size int64) error     { return nil }
+func (d *Disk) Depth() int                           { return 0 }

@@ -1,0 +1,358 @@
+// Package handlecheck enforces the linear lifecycle of async handles: a
+// value of a type annotated // ddlint:linear (the PendingGet/PendingRead
+// family, whose pending→done→resolved protocol PR 6–7 built the read
+// path on) must be consumed on every path of the function that obtained
+// it. Consumption is any of:
+//
+//   - calling a method annotated // ddlint:consumes on it
+//     (Resolve/Fail — the terminal transitions);
+//   - handing it off: passing it as a call argument (AwaitRead, append,
+//     a resolver), returning it, or storing it into a field, map,
+//     slice element or composite literal (the waiters-table insert) —
+//     the new holder owns the obligation.
+//
+// Two leak shapes are reported: a handle that is never consumed
+// anywhere in the function, and a return statement crossed while a
+// created handle is still unconsumed (the early-return drop that
+// leaves a waiter entry dangling forever). Returns inside a branch
+// whose condition mentions the handle are exempt — a `if pr == nil`
+// guard is handle-aware, not a leak. A reviewed drop is waived with
+// // ddlint:abandon <reason> on the return's line (or the creation's
+// line, for the never-consumed report).
+//
+// Only locally-obtained handles are tracked — variables bound from a
+// call result or composite literal of a linear type. Parameters are
+// borrowed (the caller owns them), and expressions consumed without
+// ever being named need no tracking.
+package handlecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"doubledecker/internal/lint"
+)
+
+// Analyzer is the handlecheck pass.
+var Analyzer = &lint.Analyzer{
+	Name: "handlecheck",
+	Doc:  "ddlint:linear handles must reach a ddlint:consumes call or a handoff on every path",
+	Run:  run,
+}
+
+type checker struct {
+	pass *lint.Pass
+	// linear memoizes per-named-type ddlint:linear lookups.
+	linear map[*types.Named]bool
+	// consumes memoizes per-method ddlint:consumes lookups.
+	consumes map[*types.Func]bool
+}
+
+// handle is one tracked linear value inside a function body.
+type handle struct {
+	obj     types.Object
+	name    string
+	created token.Pos
+	// consumed records every consumption position, in walk order.
+	consumed []token.Pos
+}
+
+func run(pass *lint.Pass) error {
+	c := &checker{
+		pass:     pass,
+		linear:   make(map[*types.Named]bool),
+		consumes: make(map[*types.Func]bool),
+	}
+	for _, f := range pass.Files {
+		waived := lint.MarkerLines(pass.Fset, f, "abandon")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd, waived)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl, waived map[int]bool) {
+	handles := c.collectHandles(fd)
+	if len(handles) == 0 {
+		return
+	}
+	c.collectConsumptions(fd, handles)
+
+	line := func(pos token.Pos) int { return c.pass.Fset.Position(pos).Line }
+
+	for _, h := range handles {
+		if len(h.consumed) == 0 {
+			if !waived[line(h.created)] {
+				c.pass.Reportf(h.created, "linear handle %s is never resolved, failed, or handed off in this function: "+
+					"consume it on every path or waive the reviewed drop with ddlint:abandon <reason>", h.name)
+			}
+			continue
+		}
+		// Early-return leaks: a return crossed after creation but
+		// before the first consumption, outside a handle-aware branch.
+		first := h.consumed[0]
+		for _, ret := range c.returnsBetween(fd, h, first) {
+			if waived[line(ret)] {
+				continue
+			}
+			c.pass.Reportf(ret, "linear handle %s is abandoned on this return path (consumed only later at line %d): "+
+				"resolve, fail, or hand it off before returning, or waive with ddlint:abandon <reason>",
+				h.name, line(first))
+		}
+	}
+}
+
+// collectHandles finds locally-created linear values: short-variable or
+// assignment bindings whose RHS is a call or composite literal
+// producing a linear-typed value.
+func (c *checker) collectHandles(fd *ast.FuncDecl) []*handle {
+	var handles []*handle
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		creating := false
+		for _, rhs := range as.Rhs {
+			switch r := rhs.(type) {
+			case *ast.CallExpr:
+				creating = true
+			case *ast.CompositeLit:
+				creating = true
+			case *ast.UnaryExpr:
+				if _, ok := r.X.(*ast.CompositeLit); ok {
+					creating = true
+				}
+			}
+		}
+		if !creating {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := c.pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if named := namedOf(obj.Type()); named == nil || !c.isLinear(named) {
+				continue
+			}
+			// Only the binding occurrence counts as creation; a plain
+			// reassignment of a tracked variable keeps the original
+			// handle record.
+			if def, isDef := c.pass.TypesInfo.Defs[id]; !isDef || def == nil {
+				if !containsObj(handles, obj) {
+					handles = append(handles, &handle{obj: obj, name: id.Name, created: id.Pos()})
+				}
+				continue
+			}
+			handles = append(handles, &handle{obj: obj, name: id.Name, created: id.Pos()})
+		}
+		return true
+	})
+	return handles
+}
+
+func containsObj(handles []*handle, obj types.Object) bool {
+	for _, h := range handles {
+		if h.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// collectConsumptions records every position where a tracked handle is
+// consumed: consuming method receiver, call argument, return value, or
+// the right-hand side of a store.
+func (c *checker) collectConsumptions(fd *ast.FuncDecl, handles []*handle) {
+	byObj := make(map[types.Object]*handle, len(handles))
+	for _, h := range handles {
+		byObj[h.obj] = h
+	}
+	mark := func(e ast.Expr, pos token.Pos) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if h, ok := byObj[c.pass.TypesInfo.ObjectOf(id)]; ok && pos > h.created {
+			h.consumed = append(h.consumed, pos)
+		}
+	}
+	markTree := func(e ast.Expr, pos token.Pos) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				mark(id, pos)
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				markTree(arg, n.Pos())
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if m, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && c.isConsuming(m) {
+					mark(sel.X, n.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markTree(res, n.Pos())
+			}
+		case *ast.AssignStmt:
+			// A store hands the handle to the LHS's owner (map insert,
+			// field set, slice element, plain alias).
+			for _, rhs := range n.Rhs {
+				switch rhs.(type) {
+				case *ast.Ident:
+					mark(rhs.(*ast.Ident), n.Pos())
+				default:
+					markTree(rhs, n.Pos())
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				markTree(elt, n.Pos())
+			}
+		case *ast.SendStmt:
+			markTree(n.Value, n.Pos())
+		}
+		return true
+	})
+}
+
+// returnsBetween finds return statements lexically after h's creation
+// and before its first consumption, excluding returns under a branch
+// whose condition mentions the handle (nil guards are handle-aware).
+func (c *checker) returnsBetween(fd *ast.FuncDecl, h *handle, firstUse token.Pos) []token.Pos {
+	var out []token.Pos
+	var guards []*ast.IfStmt
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			guards = append(guards, n)
+			if n.Init != nil {
+				ast.Inspect(n.Init, visit)
+			}
+			ast.Inspect(n.Body, visit)
+			if n.Else != nil {
+				ast.Inspect(n.Else, visit)
+			}
+			guards = guards[:len(guards)-1]
+			return false
+		case *ast.ReturnStmt:
+			if n.Pos() <= h.created || n.Pos() >= firstUse {
+				return true
+			}
+			for _, g := range guards {
+				if g.Cond != nil && mentionsObj(g.Cond, h.obj, c.pass.TypesInfo) {
+					return true
+				}
+			}
+			out = append(out, n.Pos())
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+	return out
+}
+
+func mentionsObj(e ast.Expr, obj types.Object, info *types.Info) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isLinear reports whether the named type carries ddlint:linear on its
+// declaration.
+func (c *checker) isLinear(n *types.Named) bool {
+	if v, ok := c.linear[n]; ok {
+		return v
+	}
+	v := false
+	obj := n.Obj()
+	for _, f := range c.pass.FilesFor(obj.Pkg()) {
+		if obj.Pos() < f.Pos() || obj.Pos() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			if v {
+				return false
+			}
+			switch node := node.(type) {
+			case *ast.GenDecl:
+				if node.Pos() <= obj.Pos() && obj.Pos() <= node.End() && lint.HasAnnotation(node.Doc, "linear") {
+					v = true
+					return false
+				}
+			case *ast.TypeSpec:
+				if node.Name.Pos() == obj.Pos() &&
+					(lint.HasAnnotation(node.Doc, "linear") || lint.HasAnnotation(node.Comment, "linear")) {
+					v = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	c.linear[n] = v
+	return v
+}
+
+// isConsuming reports whether the method carries ddlint:consumes.
+func (c *checker) isConsuming(fn *types.Func) bool {
+	if v, ok := c.consumes[fn]; ok {
+		return v
+	}
+	v := false
+	for _, f := range c.pass.FilesFor(fn.Pkg()) {
+		if fn.Pos() < f.Pos() || fn.Pos() > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+				v = lint.HasAnnotation(fd.Doc, "consumes")
+				break
+			}
+		}
+	}
+	c.consumes[fn] = v
+	return v
+}
+
+// namedOf strips pointers down to the named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,12 @@
+package handlecheck_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/handlecheck"
+)
+
+func TestHandleCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), handlecheck.Analyzer, "a")
+}

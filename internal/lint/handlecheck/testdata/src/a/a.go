@@ -1,0 +1,109 @@
+// Package a exercises handlecheck: linear handles leaked, abandoned on
+// early returns, consumed through each handoff shape, and waived.
+package a
+
+// ticket mirrors the PendingGet lifecycle: linear, consumed by
+// Resolve/Fail or handed off.
+// ddlint:linear
+type ticket struct{ done bool }
+
+func newTicket() *ticket { return &ticket{} }
+
+// Resolve terminally consumes the ticket.
+// ddlint:consumes
+func (t *ticket) Resolve() {}
+
+// Fail terminally consumes the ticket.
+// ddlint:consumes
+func (t *ticket) Fail() {}
+
+// Peek observes without consuming.
+func (t *ticket) Peek() bool { return t.done }
+
+func maybeTicket(ok bool) *ticket {
+	if !ok {
+		return nil
+	}
+	return newTicket()
+}
+
+type table struct{ waiters map[uint64]*ticket }
+
+func register(t *ticket) {}
+
+func resolved() {
+	t := newTicket()
+	t.Peek()
+	t.Resolve()
+}
+
+func leak() {
+	t := newTicket() // want `linear handle t is never resolved, failed, or handed off`
+	t.Peek()
+}
+
+func earlyReturn(cond bool) {
+	t := newTicket()
+	if cond {
+		return // want `linear handle t is abandoned on this return path`
+	}
+	t.Fail()
+}
+
+func waivedLeak(cond bool) {
+	t := newTicket() // ddlint:abandon teardown-only benchmark shape
+	t.Peek()
+	if cond {
+		return
+	}
+}
+
+func waivedReturn(cond bool) {
+	t := newTicket()
+	if cond {
+		return // ddlint:abandon caller re-submits on contention
+	}
+	t.Resolve()
+}
+
+// handoffs: argument, map insert, composite literal, channel send,
+// return value — each transfers the obligation.
+func handoffArg() {
+	t := newTicket()
+	register(t)
+}
+
+func handoffMap(tb *table, tag uint64) {
+	t := newTicket()
+	tb.waiters[tag] = t
+}
+
+func handoffLit() *table {
+	t := newTicket()
+	return &table{waiters: map[uint64]*ticket{0: t}}
+}
+
+func handoffChan(ch chan *ticket) {
+	t := newTicket()
+	ch <- t
+}
+
+func handoffReturn() *ticket {
+	t := newTicket()
+	t.Peek()
+	return t
+}
+
+// nilGuard returns inside a handle-aware branch: not a leak.
+func nilGuard(ok bool) {
+	t := maybeTicket(ok)
+	if t == nil {
+		return
+	}
+	t.Resolve()
+}
+
+// borrowed parameters are the caller's obligation.
+func borrowed(t *ticket) {
+	t.Peek()
+}

@@ -1,0 +1,257 @@
+// Package immutcheck enforces the publish-then-freeze contract on
+// snapshot types: a struct annotated // ddlint:immutable-after-publish
+// (the epoch snapshot family that data paths read through an
+// atomic.Pointer without locks) may only have its fields written inside
+// a constructor. Three contexts count as construction:
+//
+//   - a function whose results include the snapshot type (or a pointer
+//     to it) — the build/rebuild shape that assembles a fresh value and
+//     hands it to the publisher;
+//   - a function annotated // ddlint:constructs <Type...> naming the
+//     snapshot — for helpers that assemble parts without returning them;
+//   - a write through a local variable initialized from a composite
+//     literal of the snapshot type in the same function — a value that
+//     demonstrably has not been published yet.
+//
+// Everything else — including writes through elements of a published
+// snapshot's maps and slices (`ep.pools[id] = ...`, `ev.ent[slot] = 3`)
+// — is a post-publish mutation the race detector can only catch if
+// timing exposes it, and is reported unconditionally: there is no line
+// waiver, because a reviewed mutable field belongs outside the snapshot
+// (the epoch's vmState/poolState records show the pattern).
+package immutcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"doubledecker/internal/lint"
+)
+
+// Analyzer is the immutcheck pass.
+var Analyzer = &lint.Analyzer{
+	Name: "immutcheck",
+	Doc:  "fields of ddlint:immutable-after-publish types are only written inside their constructors",
+	Run:  run,
+}
+
+type checker struct {
+	pass *lint.Pass
+	// annotated memoizes per-named-type annotation lookups.
+	annotated map[*types.Named]bool
+}
+
+func run(pass *lint.Pass) error {
+	c := &checker{pass: pass, annotated: make(map[*types.Named]bool)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(fd, lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(fd, n.X)
+		}
+		return true
+	})
+}
+
+// checkWrite reports lhs when it stores into a field (or an element of
+// a field) of an annotated type outside a construction context.
+func (c *checker) checkWrite(fd *ast.FuncDecl, lhs ast.Expr) {
+	// Unwrap element writes: ev.ent[slot] = x mutates the snapshot as
+	// surely as ev.weight = x.
+	for {
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = l.X
+			continue
+		case *ast.StarExpr:
+			lhs = l.X
+			continue
+		case *ast.ParenExpr:
+			lhs = l.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	owner := namedOf(selection.Recv())
+	if owner == nil || !c.isAnnotated(owner) {
+		return
+	}
+	if c.returnsType(fd, owner) || c.constructsType(fd, owner) || c.localLiteral(fd, sel.X, owner) {
+		return
+	}
+	c.pass.Reportf(sel.Sel.Pos(), "write to %s of %s (ddlint:immutable-after-publish) outside its constructor: "+
+		"build a replacement snapshot and republish instead", sel.Sel.Name, owner.Obj().Name())
+}
+
+// isAnnotated reports whether the named type's declaration carries
+// ddlint:immutable-after-publish (read from the defining package's
+// syntax, which is loaded for every module package in the run).
+func (c *checker) isAnnotated(n *types.Named) bool {
+	if v, ok := c.annotated[n]; ok {
+		return v
+	}
+	v := false
+	obj := n.Obj()
+	for _, f := range c.pass.FilesFor(obj.Pkg()) {
+		if obj.Pos() < f.Pos() || obj.Pos() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			if v {
+				return false
+			}
+			switch node := node.(type) {
+			case *ast.GenDecl:
+				if node.Pos() <= obj.Pos() && obj.Pos() <= node.End() && lint.HasAnnotation(node.Doc, "immutable-after-publish") {
+					v = true
+					return false
+				}
+			case *ast.TypeSpec:
+				if node.Name.Pos() == obj.Pos() &&
+					(lint.HasAnnotation(node.Doc, "immutable-after-publish") ||
+						lint.HasAnnotation(node.Comment, "immutable-after-publish")) {
+					v = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	c.annotated[n] = v
+	return v
+}
+
+// returnsType reports whether fd's results include owner or *owner.
+func (c *checker) returnsType(fd *ast.FuncDecl, owner *types.Named) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		tv, ok := c.pass.TypesInfo.Types[res.Type]
+		if !ok {
+			continue
+		}
+		if namedOf(tv.Type) == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// constructsType reports whether fd carries ddlint:constructs naming
+// owner.
+func (c *checker) constructsType(fd *ast.FuncDecl, owner *types.Named) bool {
+	for _, arg := range lint.Annotation(fd.Doc, "constructs") {
+		for _, name := range splitFields(arg) {
+			if name == owner.Obj().Name() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// localLiteral reports whether base is a local variable that fd
+// initializes from a composite literal of owner's type — a snapshot
+// still under construction, never published.
+func (c *checker) localLiteral(fd *ast.FuncDecl, base ast.Expr, owner *types.Named) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || c.pass.TypesInfo.ObjectOf(lid) != obj {
+				continue
+			}
+			if i >= len(as.Rhs) {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = u.X
+			}
+			cl, ok := rhs.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			if tv, ok := c.pass.TypesInfo.Types[cl]; ok && namedOf(tv.Type) == owner {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedOf strips pointers down to the named struct type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' || s[i] == ',' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package immutcheck_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/immutcheck"
+)
+
+func TestImmutCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), immutcheck.Analyzer, "a")
+}

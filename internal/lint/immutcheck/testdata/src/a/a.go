@@ -1,0 +1,57 @@
+// Package a exercises immutcheck: post-publish snapshot writes against
+// the three legitimate construction contexts.
+package a
+
+// snapshot mirrors the epoch contract: frozen once published.
+// ddlint:immutable-after-publish
+type snapshot struct {
+	seq  uint64
+	ent  [4]int64
+	tags map[string]int
+	next *snapshot
+}
+
+// mutable is not annotated; writes to it are unrestricted.
+type mutable struct{ n int }
+
+// build returns the snapshot type: construction context.
+func build(seq uint64) *snapshot {
+	s := &snapshot{seq: seq, tags: make(map[string]int)}
+	s.ent[0] = 1
+	s.tags["root"] = 1
+	return s
+}
+
+// assemble carries the constructs annotation instead of a result.
+// ddlint:constructs snapshot
+func assemble(dst *snapshot, seq uint64) {
+	dst.seq = seq
+}
+
+// scratch writes through a local composite literal: never published.
+func scratch() uint64 {
+	local := &snapshot{}
+	local.seq = 9
+	other := snapshot{}
+	other.ent[2] = 4
+	m := &mutable{}
+	m.n = 3
+	return local.seq + uint64(other.ent[2]) + uint64(m.n)
+}
+
+// poke mutates a published snapshot.
+func poke(s *snapshot) {
+	s.seq = 7       // want `write to seq of snapshot \(ddlint:immutable-after-publish\) outside its constructor`
+	s.ent[1] = 3    // want `write to ent of snapshot`
+	s.tags["x"] = 1 // want `write to tags of snapshot`
+	s.seq++         // want `write to seq of snapshot`
+	s.next.seq = 2  // want `write to seq of snapshot`
+}
+
+// reads of any shape stay silent.
+func read(s *snapshot) int64 {
+	if s.next != nil {
+		return s.next.ent[0]
+	}
+	return int64(s.seq) + s.ent[1]
+}

@@ -1,9 +1,10 @@
 // Package lint is a small, dependency-free analogue of
 // golang.org/x/tools/go/analysis: enough driver, loader and annotation
 // machinery to run the project-specific ddlint analyzers (lockcheck,
-// opswitch, atomiccheck, clockcheck) over the module. The x/tools
-// framework itself is deliberately not imported — the repo builds with
-// the standard library only — but the shapes (Analyzer, Pass, Reportf,
+// opswitch, atomiccheck, clockcheck, lockorder, errflow, immutcheck,
+// handlecheck) over the module. The x/tools framework itself is
+// deliberately not imported — the repo builds with the standard library
+// only — but the shapes (Analyzer, Pass, Reportf, facts,
 // analysistest-style fixtures) mirror it so the analyzers could be
 // ported to a real multichecker mechanically.
 //
@@ -17,6 +18,15 @@
 //	// ddlint:nonexhaustive        (switch/default) waive exhaustiveness
 //	// ddlint:allow-wallclock      (anywhere in file) waive the clock ban
 //	// ddlint:atomic-ok            (statement line) waive the atomic ban
+//	// ddlint:lock-order A < B     (anywhere in pkg) declared acquisition order
+//	// ddlint:lock-ok              (acquisition line) waive a lock-order edge
+//	// ddlint:lock-alias <name>    (declaration line) name a local mutex alias
+//	// ddlint:err-ok <reason>      (call line) waive a discarded error result
+//	// ddlint:immutable-after-publish (type decl) writes only in constructors
+//	// ddlint:constructs <Type...> (func doc) function builds the named types
+//	// ddlint:linear               (type decl) values must be consumed once
+//	// ddlint:consumes             (method doc) method consumes its receiver
+//	// ddlint:abandon <reason>     (return line) waive an abandoned handle
 //
 // See DESIGN.md §8 for the invariants behind each analyzer.
 package lint
@@ -82,7 +92,48 @@ func (p *Pass) FilesFor(pkg *types.Package) []*ast.File {
 	if p.loader == nil {
 		return nil
 	}
-	return p.loader.filesFor(pkg)
+	if lp := p.loader.packageFor(pkg); lp != nil {
+		return lp.Files
+	}
+	return nil
+}
+
+// InfoFor returns the type-checker facts of a source-loaded package, so
+// interprocedural analyzers can resolve selections and callees inside
+// dependency packages, or nil for export-only packages.
+func (p *Pass) InfoFor(pkg *types.Package) *types.Info {
+	if pkg == p.Pkg {
+		return p.TypesInfo
+	}
+	if p.loader == nil {
+		return nil
+	}
+	if lp := p.loader.packageFor(pkg); lp != nil {
+		return lp.TypesInfo
+	}
+	return nil
+}
+
+// Fact returns the interprocedural summary this pass's analyzer
+// previously recorded for obj with SetFact — in this package or any
+// other package of the same run (the loader memoizes packages, so
+// types.Object identities line up across passes). Facts are namespaced
+// per analyzer.
+func (p *Pass) Fact(obj types.Object) (any, bool) {
+	if p.loader == nil {
+		return nil, false
+	}
+	v, ok := p.loader.facts[factKey{p.Analyzer.Name, obj}]
+	return v, ok
+}
+
+// SetFact records an interprocedural summary for obj, visible to this
+// analyzer's passes over every package of the run.
+func (p *Pass) SetFact(obj types.Object, v any) {
+	if p.loader == nil {
+		return
+	}
+	p.loader.facts[factKey{p.Analyzer.Name, obj}] = v
 }
 
 // Inspect walks every file of the pass in depth-first order.

@@ -34,7 +34,18 @@ type Loader struct {
 	resolve func(path string) (dir string, ok bool)
 	std     types.Importer
 	pkgs    map[string]*loadEntry
-	byTypes map[*types.Package][]*ast.File
+	byTypes map[*types.Package]*Package
+	// facts holds analyzer-namespaced interprocedural summaries
+	// (Pass.Fact/Pass.SetFact); sharing them on the loader lets one
+	// analyzer reuse summaries of dependency packages across the
+	// per-package passes of a run.
+	facts map[factKey]any
+}
+
+// factKey namespaces one interprocedural fact by analyzer and subject.
+type factKey struct {
+	analyzer string
+	obj      types.Object
 }
 
 type loadEntry struct {
@@ -79,7 +90,8 @@ func newLoader() *Loader {
 		Fset:    fset,
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    make(map[string]*loadEntry),
-		byTypes: make(map[*types.Package][]*ast.File),
+		byTypes: make(map[*types.Package]*Package),
+		facts:   make(map[factKey]any),
 	}
 }
 
@@ -157,8 +169,9 @@ func (l *Loader) typeCheck(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
 	}
-	l.byTypes[tpkg] = files
-	return &Package{PkgPath: importPath, Dir: dir, Files: files, Types: tpkg, TypesInfo: info}, nil
+	pkg := &Package{PkgPath: importPath, Dir: dir, Files: files, Types: tpkg, TypesInfo: info}
+	l.byTypes[tpkg] = pkg
+	return pkg, nil
 }
 
 // importFor satisfies the type-checker's importer interface: module and
@@ -178,7 +191,7 @@ func (l *Loader) importFor(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-func (l *Loader) filesFor(pkg *types.Package) []*ast.File {
+func (l *Loader) packageFor(pkg *types.Package) *Package {
 	return l.byTypes[pkg]
 }
 

@@ -1,0 +1,611 @@
+// Package lockorder enforces deadlock-freedom of the mutex hierarchy
+// mechanically: it builds a may-acquire-while-holding graph over the
+// whole run — lexical Lock/RLock sites, explicit (non-deferred)
+// Unlock/RUnlock releases, ddlint:requires-lock obligations and the
+// transitive acquisitions of every statically-resolvable callee — and
+// reports
+//
+//   - any acquisition edge that inverts an order declared with
+//     // ddlint:lock-order A < B < C (names are <Type>.<field> for
+//     struct-owned mutexes, the bare identifier otherwise; a package may
+//     declare several chains, each read from the package being analyzed);
+//   - any acquisition of a mutex while a same-named mutex is already
+//     held (self-deadlock for plain sync.Mutex, and the shape the
+//     two-VM migration waives explicitly);
+//   - any cycle in the graph, even between locks no chain mentions —
+//     a cycle spanning two functions is exactly the deadlock a
+//     per-function review misses.
+//
+// Interprocedural summaries (the set of locks a function may acquire,
+// directly or through its callees) are computed on demand, memoized as
+// pass facts shared across the per-package passes of a run, and read
+// from dependency-package syntax, so an edge like Transport.mu →
+// Injector.mu introduced three calls deep is still witnessed at the
+// caller's call site.
+//
+// Held-set tracking is lexical, matching lockcheck: a deferred unlock
+// releases at function return, not at its lexical position, so
+// Lock/defer-Unlock keeps the mutex held for the rest of the body,
+// while an explicit inline Unlock ends the critical section for
+// subsequent acquisitions (the evictGlobalFIFO scan shape). One
+// control-flow refinement keeps mutually-exclusive branches honest:
+// lock events inside a block that ends in a return expire at that
+// block's end, so the same-VM branch of MigrateInode does not appear to
+// hold its lock into the cross-VM branch. Function literals are
+// skipped — a goroutine body orders its own acquisitions, not its
+// spawner's.
+//
+// Waivers: // ddlint:lock-ok on the witnessing line drops that edge
+// (the documented same-level acquisition in VM-id order);
+// // ddlint:lock-alias <name> on a local declaration names a mutex
+// reached through a pointer alias (the eviction-token idiom).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"doubledecker/internal/lint"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisitions must be acyclic and respect the declared ddlint:lock-order hierarchy",
+	Run:  run,
+}
+
+// edge is one witnessed "may acquire `to` while holding `from`" pair.
+type edge struct {
+	from, to string
+	pos      token.Pos // first witness: acquisition or call site
+}
+
+// event is one lexical lock operation inside a function body. expires
+// is the end of the innermost enclosing block that terminates in a
+// return: an acquisition (or release) inside such a branch cannot be in
+// effect for code after it, so the held-set discounts the event past
+// that point (the two-branch MigrateInode shape).
+type event struct {
+	name    string
+	pos     token.Pos
+	expires token.Pos
+	acquire bool
+}
+
+// callSite is one statically-resolved call inside a function body.
+type callSite struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// chain is one declared ddlint:lock-order hierarchy.
+type chain struct {
+	names []string
+	rank  map[string]int
+}
+
+type checker struct {
+	pass *lint.Pass
+	// visiting guards summary recursion against call cycles.
+	visiting map[*types.Func]bool
+	// aliasLines maps file → declaration line → ddlint:lock-alias name.
+	aliasLines map[*ast.File]map[int]string
+	// okLines maps file → lines carrying ddlint:lock-ok waivers.
+	okLines map[*ast.File]map[int]bool
+}
+
+func run(pass *lint.Pass) error {
+	c := &checker{
+		pass:       pass,
+		visiting:   make(map[*types.Func]bool),
+		aliasLines: make(map[*ast.File]map[int]string),
+		okLines:    make(map[*ast.File]map[int]bool),
+	}
+
+	chains := declaredChains(pass)
+
+	edges := make(map[[2]string]token.Pos)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.collectEdges(f, fd, edges)
+		}
+	}
+
+	// Deterministic order for reporting.
+	keys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	// Edges diagnosed here are excluded from cycle detection below, so
+	// one bad acquisition yields one finding, not an inversion plus the
+	// cycle it forms with the legitimate direction.
+	reported := make(map[[2]string]bool)
+	for _, k := range keys {
+		from, to := k[0], k[1]
+		if from == to {
+			c.pass.Reportf(edges[k], "acquiring %s while already holding it risks self-deadlock "+
+				"(order the acquisitions or waive the reviewed site with ddlint:lock-ok)", to)
+			reported[k] = true
+			continue
+		}
+		for _, ch := range chains {
+			rf, okf := ch.rank[from]
+			rt, okt := ch.rank[to]
+			if okf && okt && rt <= rf {
+				c.pass.Reportf(edges[k], "acquiring %s while holding %s inverts the declared lock order (%s)",
+					to, from, strings.Join(ch.names, " < "))
+				reported[k] = true
+				break
+			}
+		}
+	}
+
+	c.reportCycles(edges, keys, reported)
+	return nil
+}
+
+// declaredChains parses every ddlint:lock-order annotation in the
+// analyzed package. Grammar: names separated by " < ", one chain per
+// annotation; multiple annotations declare independent constraints.
+func declaredChains(pass *lint.Pass) []chain {
+	var chains []chain
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, arg := range lint.Annotation(cg, "lock-order") {
+				var names []string
+				for _, part := range strings.Split(arg, "<") {
+					if name := strings.TrimSpace(part); name != "" {
+						names = append(names, name)
+					}
+				}
+				if len(names) < 2 {
+					continue
+				}
+				ch := chain{names: names, rank: make(map[string]int, len(names))}
+				for i, n := range names {
+					ch.rank[n] = i
+				}
+				chains = append(chains, ch)
+			}
+		}
+	}
+	return chains
+}
+
+// reportCycles finds strongly-connected components of the edge graph —
+// minus self-edges and declared-order inversions, which were already
+// reported — and reports one witness per cycle, at the position of its
+// first edge in sorted order.
+func (c *checker) reportCycles(edges map[[2]string]token.Pos, keys [][2]string, reported map[[2]string]bool) {
+	adj := make(map[string][]string)
+	for _, k := range keys {
+		if k[0] != k[1] && !reported[k] {
+			adj[k[0]] = append(adj[k[0]], k[1])
+		}
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's SCC, iterative enough for lint-sized graphs via recursion.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		member := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			member[n] = true
+		}
+		var witness token.Pos
+		for _, k := range keys {
+			if member[k[0]] && member[k[1]] && k[0] != k[1] && !reported[k] {
+				witness = edges[k]
+				break
+			}
+		}
+		c.pass.Reportf(witness, "lock acquisition cycle among %s: any two goroutines interleaving "+
+			"these acquisitions can deadlock", strings.Join(scc, " <-> "))
+	}
+}
+
+// collectEdges walks one function body and records every
+// held-while-acquiring pair: lexical acquisitions nested inside earlier
+// ones, and call sites whose callee (transitively) acquires locks.
+func (c *checker) collectEdges(file *ast.File, fd *ast.FuncDecl, edges map[[2]string]token.Pos) {
+	info := c.pass.TypesInfo
+	events, calls := c.bodyEvents(fd, info, file)
+
+	// Locks the function's contract says are held for the whole body.
+	base := c.requiredLocks(fd, info)
+
+	heldAt := func(pos token.Pos) []string {
+		count := make(map[string]int)
+		for _, ev := range events {
+			if ev.pos >= pos || ev.expires <= pos {
+				continue
+			}
+			if ev.acquire {
+				count[ev.name]++
+			} else {
+				count[ev.name]--
+			}
+		}
+		held := append([]string(nil), base...)
+		for name, n := range count {
+			if n > 0 {
+				held = append(held, name)
+			}
+		}
+		sort.Strings(held)
+		return held
+	}
+
+	add := func(from, to string, pos token.Pos) {
+		if c.waived(file, pos) {
+			return
+		}
+		k := [2]string{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = pos
+		}
+	}
+
+	for _, ev := range events {
+		if !ev.acquire {
+			continue
+		}
+		for _, held := range heldAt(ev.pos) {
+			add(held, ev.name, ev.pos)
+		}
+	}
+	for _, call := range calls {
+		held := heldAt(call.pos)
+		if len(held) == 0 {
+			continue
+		}
+		acq := c.acquiredSet(call.fn)
+		if len(acq) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(acq))
+		for name := range acq {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, from := range held {
+			for _, to := range names {
+				add(from, to, call.pos)
+			}
+		}
+	}
+}
+
+// requiredLocks resolves a function's ddlint:requires-lock annotations
+// to graph node names: a bare name matching a receiver field is
+// qualified as <RecvType>.<field>, anything else passes through.
+func (c *checker) requiredLocks(fd *ast.FuncDecl, info *types.Info) []string {
+	names := lint.Annotation(fd.Doc, "requires-lock")
+	if len(names) == 0 {
+		return nil
+	}
+	var recvName string
+	var recvFields *types.Struct
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if tv, ok := info.Types[fd.Recv.List[0].Type]; ok {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				recvName = n.Obj().Name()
+				if s, ok := n.Underlying().(*types.Struct); ok {
+					recvFields = s
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		qualified := name
+		if recvFields != nil && !strings.Contains(name, ".") {
+			for i := 0; i < recvFields.NumFields(); i++ {
+				if recvFields.Field(i).Name() == name {
+					qualified = recvName + "." + name
+					break
+				}
+			}
+		}
+		out = append(out, qualified)
+	}
+	return out
+}
+
+// bodyEvents collects the lexical lock events and statically-resolved
+// call sites of one function body. Function literals are skipped
+// entirely; deferred unlocks are dropped (they release at return);
+// deferred non-lock calls are skipped too (their acquisitions happen
+// after the body's last statement).
+func (c *checker) bodyEvents(fd *ast.FuncDecl, info *types.Info, file *ast.File) ([]event, []callSite) {
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	var events []event
+	var calls []callSite
+	// termEnds tracks the enclosing blocks that end in a return; pushedTerm
+	// mirrors the traversal stack so the pop on f(nil) stays matched.
+	var termEnds []token.Pos
+	var pushedTerm []bool
+	expiry := func() token.Pos {
+		if len(termEnds) > 0 {
+			return termEnds[len(termEnds)-1]
+		}
+		return fd.Body.End()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			if pushedTerm[len(pushedTerm)-1] {
+				termEnds = termEnds[:len(termEnds)-1]
+			}
+			pushedTerm = pushedTerm[:len(pushedTerm)-1]
+			return true
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		pushed := false
+		if b, isBlock := n.(*ast.BlockStmt); isBlock && len(b.List) > 0 {
+			if _, isRet := b.List[len(b.List)-1].(*ast.ReturnStmt); isRet {
+				termEnds = append(termEnds, b.End())
+				pushed = true
+			}
+		}
+		pushedTerm = append(pushedTerm, pushed)
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if name, acquire, ok := c.lockOp(call, info, file); ok {
+				if acquire || !deferred[call] {
+					events = append(events, event{name: name, pos: call.Pos(), expires: expiry(), acquire: acquire})
+				}
+			} else if !deferred[call] {
+				if fn := staticCallee(call, info); fn != nil {
+					calls = append(calls, callSite{fn: fn, pos: call.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return events, calls
+}
+
+// lockOp recognizes a sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock call
+// and names the mutex it operates on.
+func (c *checker) lockOp(call *ast.CallExpr, info *types.Info, file *ast.File) (name string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	m, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch m.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	return c.lockName(sel.X, info, file), acquire, true
+}
+
+// lockName produces the graph node for a mutex expression:
+// <OwnerType>.<field> when the mutex is a struct field, a declared
+// ddlint:lock-alias when the receiver is an aliased local, the bare
+// identifier otherwise.
+func (c *checker) lockName(x ast.Expr, info *types.Info, file *ast.File) string {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return c.lockName(x.X, info, file)
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[x.X]; ok {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				return n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		return x.Sel.Name
+	case *ast.Ident:
+		if obj := info.ObjectOf(x); obj != nil && file != nil {
+			if alias := c.aliasFor(file, obj); alias != "" {
+				return alias
+			}
+		}
+		return x.Name
+	default:
+		return ""
+	}
+}
+
+// aliasFor returns the ddlint:lock-alias declared on the line where obj
+// was defined, if any.
+func (c *checker) aliasFor(file *ast.File, obj types.Object) string {
+	lines, ok := c.aliasLines[file]
+	if !ok {
+		lines = make(map[int]string)
+		for _, cg := range file.Comments {
+			for _, cmt := range cg.List {
+				args := lint.Annotation(&ast.CommentGroup{List: []*ast.Comment{cmt}}, "lock-alias")
+				if len(args) == 1 && args[0] != "" {
+					lines[c.pass.Fset.Position(cmt.Pos()).Line] = args[0]
+				}
+			}
+		}
+		c.aliasLines[file] = lines
+	}
+	if obj.Pos() == token.NoPos {
+		return ""
+	}
+	return lines[c.pass.Fset.Position(obj.Pos()).Line]
+}
+
+// waived reports whether the line of pos carries a ddlint:lock-ok
+// waiver.
+func (c *checker) waived(file *ast.File, pos token.Pos) bool {
+	lines, ok := c.okLines[file]
+	if !ok {
+		lines = lint.MarkerLines(c.pass.Fset, file, "lock-ok")
+		c.okLines[file] = lines
+	}
+	return lines[c.pass.Fset.Position(pos).Line]
+}
+
+// acquiredSet computes the set of mutex names fn may acquire, directly
+// or through any statically-resolvable callee whose source is part of
+// the run. Summaries are memoized as pass facts, so a whole-module run
+// computes each one once; recursion through call cycles terminates via
+// the visiting set (the partial summary of a cycle participant is
+// completed by its first caller).
+func (c *checker) acquiredSet(fn *types.Func) map[string]bool {
+	if v, ok := c.pass.Fact(fn); ok {
+		return v.(map[string]bool)
+	}
+	if c.visiting[fn] {
+		return nil
+	}
+	c.visiting[fn] = true
+	defer delete(c.visiting, fn)
+
+	set := make(map[string]bool)
+	decl, file, info := c.declOf(fn)
+	if decl != nil && decl.Body != nil && info != nil {
+		events, calls := c.bodyEvents(decl, info, file)
+		for _, ev := range events {
+			if ev.acquire && ev.name != "" {
+				set[ev.name] = true
+			}
+		}
+		for _, call := range calls {
+			for name := range c.acquiredSet(call.fn) {
+				set[name] = true
+			}
+		}
+	}
+	c.pass.SetFact(fn, set)
+	return set
+}
+
+// declOf locates fn's declaration, enclosing file and type info in its
+// defining package, when that package was loaded from source.
+func (c *checker) declOf(fn *types.Func) (*ast.FuncDecl, *ast.File, *types.Info) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil, nil, nil
+	}
+	info := c.pass.InfoFor(pkg)
+	for _, f := range c.pass.FilesFor(pkg) {
+		if fn.Pos() < f.Pos() || fn.Pos() > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+				return fd, f, info
+			}
+		}
+	}
+	return nil, nil, nil
+}
+
+// staticCallee resolves the called function, when it is a declared
+// function or method (interface calls and function values resolve to
+// their types.Func only for concrete methods).
+func staticCallee(call *ast.CallExpr, info *types.Info) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	// An interface method has no body to summarize; skip it rather than
+	// caching an empty summary under the interface's method object.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return nil
+		}
+	}
+	return fn
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"doubledecker/internal/lint/analysistest"
+	"doubledecker/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataDir(t), lockorder.Analyzer, "a")
+}

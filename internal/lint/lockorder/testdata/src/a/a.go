@@ -1,0 +1,139 @@
+// Package a exercises lockorder: declared-order inversions, self
+// edges, interprocedural cycles and the waiver/alias markers.
+package a
+
+import "sync"
+
+// ddlint:lock-order S.alpha < S.beta
+
+// S owns two ordered mutexes.
+type S struct {
+	alpha sync.Mutex
+	beta  sync.Mutex
+}
+
+// inOrder nests beta under alpha, matching the declaration.
+func (s *S) inOrder() {
+	s.alpha.Lock()
+	defer s.alpha.Unlock()
+	s.beta.Lock()
+	s.beta.Unlock()
+}
+
+// sequential releases alpha before taking beta: no edge either way.
+func (s *S) sequential() {
+	s.beta.Lock()
+	s.beta.Unlock()
+	s.alpha.Lock()
+	s.alpha.Unlock()
+}
+
+// inverted acquires alpha while holding beta.
+func (s *S) inverted() {
+	s.beta.Lock()
+	defer s.beta.Unlock()
+	s.alpha.Lock() // want `acquiring S.alpha while holding S.beta inverts the declared lock order \(S.alpha < S.beta\)`
+	s.alpha.Unlock()
+}
+
+// reentrant re-acquires a mutex it already holds.
+func (s *S) reentrant() {
+	s.alpha.Lock()
+	defer s.alpha.Unlock()
+	s.alpha.Lock() // want `acquiring S.alpha while already holding it risks self-deadlock`
+	s.alpha.Unlock()
+}
+
+// migrate is the reviewed two-instance shape: same field on two
+// values, taken in id order, waived explicitly.
+func migrate(a, b *S) {
+	a.alpha.Lock()
+	defer a.alpha.Unlock()
+	b.alpha.Lock() // ddlint:lock-ok two instances locked in id order
+	defer b.alpha.Unlock()
+}
+
+// T owns two mutexes with no declared order; only the cycle check
+// applies to them.
+type T struct {
+	gamma sync.Mutex
+	delta sync.Mutex
+}
+
+// lockDelta is the callee half of a cycle spanning two functions: the
+// gamma → delta edge is only visible through its summary.
+func (t *T) lockDelta() {
+	t.delta.Lock()
+	t.delta.Unlock()
+}
+
+// gammaThenDelta holds gamma across a call that acquires delta.
+func (t *T) gammaThenDelta() {
+	t.gamma.Lock()
+	defer t.gamma.Unlock()
+	t.lockDelta()
+}
+
+// deltaThenGamma closes the cycle in the opposite direction. The cycle
+// is reported at the first edge in sorted order (T.delta → T.gamma).
+func (t *T) deltaThenGamma() {
+	t.delta.Lock()
+	defer t.delta.Unlock()
+	t.gamma.Lock() // want `lock acquisition cycle among T.delta <-> T.gamma`
+	t.gamma.Unlock()
+}
+
+// tokens models the eviction-token idiom: a *sync.Mutex reached
+// through an aliased local, named via ddlint:lock-alias so the chain
+// below can order it against S.beta.
+
+// ddlint:lock-order S.token < S.beta
+
+// tokenOf hands out a package-level token mutex.
+var token sync.Mutex
+
+func tokenOf() *sync.Mutex { return &token }
+
+// tokenInOrder takes the aliased token before beta, as declared.
+func tokenInOrder(s *S) {
+	tok := tokenOf() // ddlint:lock-alias S.token
+	tok.Lock()
+	defer tok.Unlock()
+	s.beta.Lock()
+	s.beta.Unlock()
+}
+
+// tokenInverted takes the aliased token while holding beta.
+func tokenInverted(s *S) {
+	tok := tokenOf() // ddlint:lock-alias S.token
+	s.beta.Lock()
+	defer s.beta.Unlock()
+	tok.Lock() // want `acquiring S.token while holding S.beta inverts the declared lock order \(S.token < S.beta\)`
+	tok.Unlock()
+}
+
+// branchScoped acquires alpha in a branch that returns; the
+// acquisition expires with the branch, so the second alpha.Lock is not
+// a re-acquisition and the alpha → beta nesting below stays in order.
+func branchScoped(s *S, cond bool) {
+	if cond {
+		s.alpha.Lock()
+		defer s.alpha.Unlock()
+		return
+	}
+	s.alpha.Lock()
+	defer s.alpha.Unlock()
+	s.beta.Lock()
+	s.beta.Unlock()
+}
+
+// spawned acquisitions inside function literals belong to the spawned
+// goroutine, not the spawner: no edge from alpha to gamma here.
+func spawn(s *S, t *T) {
+	s.alpha.Lock()
+	defer s.alpha.Unlock()
+	go func() {
+		t.gamma.Lock()
+		t.gamma.Unlock()
+	}()
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// A Finding is one diagnostic resolved to a file position, the unit all
+// output modes (text, JSON, SARIF) share. File paths are relative to the
+// invocation directory when possible, slash-separated, so CI artifacts
+// are stable across checkouts.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// A Result is one completed multichecker run over a set of packages.
+type Result struct {
+	Findings []Finding `json:"findings"`
+
+	// analyzers records the suite that ran, for SARIF rule metadata.
+	analyzers []*Analyzer
+}
+
+// Collect expands patterns (Go-style, with "..." wildcards) into package
+// directories relative to dir, loads and type-checks each package once,
+// applies every analyzer, and returns the sorted findings. It is the
+// engine behind Run and the -json/-sarif output modes.
+func Collect(dir string, analyzers []*Analyzer, patterns []string) (*Result, error) {
+	root, modPath, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewModuleLoader(root, modPath)
+
+	var diags []Diagnostic
+	for _, pkgDir := range dirs {
+		importPath, err := dirImportPath(root, modPath, pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := loader.LoadDir(pkgDir, importPath)
+		if errors.Is(err, ErrNoGoFiles) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, Analyze(pkg, loader, analyzers)...)
+	}
+
+	SortDiagnostics(loader.Fset, diags)
+	res := &Result{analyzers: analyzers}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		res.Findings = append(res.Findings, Finding{
+			File:     filepath.ToSlash(name),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return res, nil
+}
+
+// WriteText prints the classic file:line:col diagnostics.
+func (r *Result) WriteText(w io.Writer) {
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+	}
+}
+
+// WriteJSON emits the findings as an indented JSON object (an empty run
+// serializes with "findings": [] rather than null, so consumers can
+// index unconditionally).
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := struct {
+		Findings []Finding `json:"findings"`
+	}{Findings: r.Findings}
+	if out.Findings == nil {
+		out.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 skeleton — the minimal subset GitHub code scanning and
+// sarif viewers consume: one run, one rule per analyzer, one result per
+// finding with a physical location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log suitable for CI
+// annotation upload.
+func (r *Result) WriteSARIF(w io.Writer) error {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "ddlint", Rules: []sarifRule{}}},
+		Results: []sarifResult{},
+	}
+	for _, a := range r.analyzers {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	for _, f := range r.Findings {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,12 +1,12 @@
 package lint
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -15,42 +15,12 @@ import (
 // type-checks each package once, applies every analyzer, and writes
 // file:line:col diagnostics to w. It returns the number of diagnostics.
 func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns []string) (int, error) {
-	root, modPath, err := FindModuleRoot(dir)
+	res, err := Collect(dir, analyzers, patterns)
 	if err != nil {
 		return 0, err
 	}
-	dirs, err := expandPatterns(dir, patterns)
-	if err != nil {
-		return 0, err
-	}
-	loader := NewModuleLoader(root, modPath)
-
-	var diags []Diagnostic
-	for _, pkgDir := range dirs {
-		importPath, err := dirImportPath(root, modPath, pkgDir)
-		if err != nil {
-			return 0, err
-		}
-		pkg, err := loader.LoadDir(pkgDir, importPath)
-		if errors.Is(err, ErrNoGoFiles) {
-			continue
-		}
-		if err != nil {
-			return 0, err
-		}
-		diags = append(diags, Analyze(pkg, loader, analyzers)...)
-	}
-
-	SortDiagnostics(loader.Fset, diags)
-	for _, d := range diags {
-		pos := loader.Fset.Position(d.Pos)
-		name := pos.Filename
-		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
-		}
-		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
-	}
-	return len(diags), nil
+	res.WriteText(w)
+	return len(res.Findings), nil
 }
 
 // Analyze applies every analyzer to one loaded package.
@@ -128,6 +98,10 @@ func expandPatterns(dir string, patterns []string) ([]string, error) {
 			return nil, err
 		}
 	}
+	// Load (and therefore analyze and report) packages in sorted order
+	// regardless of how the caller interleaved patterns: diagnostics
+	// stay byte-identical across runs and CI diffs stay meaningful.
+	sort.Strings(out)
 	return out, nil
 }
 

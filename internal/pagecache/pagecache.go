@@ -280,7 +280,7 @@ func (c *Cache) Read(now time.Duration, g *cgroup.Group, f *fsmodel.File, start,
 		// Guest virtual-disk errors are outside the cleancache failure
 		// model (the guest would retry or surface EIO to the app); the
 		// simulation charges the latency and carries on.
-		dl, _ := c.disk.Read(now+lat, f.BlockOffset(b), runLen*fsmodel.BlockSize)
+		dl, _ := c.disk.Read(now+lat, f.BlockOffset(b), runLen*fsmodel.BlockSize) // ddlint:err-ok guest disk errors are outside the cleancache failure model
 		lat += dl
 		st.DiskReads += runLen
 		st.Misses += runLen - 1
@@ -324,7 +324,7 @@ func (c *Cache) readPipelined(base time.Duration, g *cgroup.Group, f *fsmodel.Fi
 		if runLen == 0 {
 			return
 		}
-		dl, _ := c.disk.Read(base+lat, f.BlockOffset(runStart), runLen*fsmodel.BlockSize)
+		dl, _ := c.disk.Read(base+lat, f.BlockOffset(runStart), runLen*fsmodel.BlockSize) // ddlint:err-ok guest disk errors are outside the cleancache failure model
 		lat += dl
 		st.DiskReads += runLen
 		for rb := runStart; rb < runStart+runLen; rb++ {
@@ -428,7 +428,7 @@ func (c *Cache) Fsync(now time.Duration, g *cgroup.Group, f *fsmodel.File) time.
 	runStart := dirtyBlocks[0]
 	runLen := int64(1)
 	flushRun := func(startBlock, length int64) {
-		wl, _ := c.disk.Write(now+lat, f.BlockOffset(startBlock), length*fsmodel.BlockSize)
+		wl, _ := c.disk.Write(now+lat, f.BlockOffset(startBlock), length*fsmodel.BlockSize) // ddlint:err-ok guest disk errors are outside the cleancache failure model
 		lat += wl
 		st.DiskWrites += length
 	}
@@ -529,7 +529,7 @@ func (c *Cache) throttleDirty(now time.Duration, g *cgroup.Group) time.Duration 
 		if len(run) == 0 {
 			break
 		}
-		wl, _ := c.disk.Write(now+lat, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
+		wl, _ := c.disk.Write(now+lat, run[0].diskOff, int64(len(run))*fsmodel.BlockSize) // ddlint:err-ok guest disk errors are outside the cleancache failure model
 		lat += wl
 		c.clean(run)
 	}
@@ -575,7 +575,7 @@ func (c *Cache) FlushDirty(now time.Duration, max int) int {
 			if len(run) == 0 {
 				continue
 			}
-			_ = c.disk.WriteAsync(now, run[0].diskOff, int64(len(run))*fsmodel.BlockSize)
+			_ = c.disk.WriteAsync(now, run[0].diskOff, int64(len(run))*fsmodel.BlockSize) // ddlint:err-ok background writeback; errors surface on the next sync write
 			c.clean(run)
 			n += len(run)
 			progressed = true
@@ -639,7 +639,7 @@ func (c *Cache) ReclaimFile(now time.Duration, g *cgroup.Group, want int64) (int
 				}
 				run = append(run, q)
 			}
-			wl, _ := c.disk.Write(now+lat, p.diskOff, int64(len(run))*fsmodel.BlockSize)
+			wl, _ := c.disk.Write(now+lat, p.diskOff, int64(len(run))*fsmodel.BlockSize) // ddlint:err-ok guest disk errors are outside the cleancache failure model
 			lat += wl
 			c.clean(run)
 		}
