@@ -9,6 +9,7 @@
 //	ddbench -parallel N
 //	ddbench [-quick] -transportjson BENCH_transport.json
 //	ddbench [-quick] -faultjson BENCH_fault.json
+//	ddbench [-quick] -livenessjson BENCH_liveness.json
 //	ddbench [-quick] -scalingjson BENCH_scaling.json [-minscaling F]
 //	ddbench [-quick] -readpathjson BENCH_readpath.json [-minreadpath F]
 //	ddbench [-quick] -readpathmode e2e -readpathjson BENCH_readpath_e2e.json [-minreadpath F]
@@ -44,6 +45,13 @@
 // -faultjson runs the SSD-stall robustness scenario healthy and under a
 // canned fault plan, and writes hit ratios, per-phase latencies and
 // breaker trip/restore counts for CI chaos tracking.
+//
+// -livenessjson runs the latency-budget liveness matrix — {healthy,
+// stall-heavy transport faults} × {deadlines on, off} — and writes
+// guest-observed get latency percentiles, deadline/shed accounting and
+// post-teardown leak counters. The run fails unless the stall-heavy
+// deadlines-on p99 and max get latency are within the budget and the
+// healthy hit ratio moves at most two points with deadlines armed.
 //
 // -parallel N skips the experiments and instead drives the concurrent
 // stress workload (4 guest VMs, N goroutines each, mixed traffic with
@@ -88,6 +96,7 @@ func run(args []string) error {
 	faultJSON := fs.String("faultjson", "", "write the fault-injection benchmark as JSON to this file and exit")
 	scalingJSON := fs.String("scalingjson", "", "write the hot-path scaling benchmark as JSON to this file and exit")
 	minScaling := fs.Float64("minscaling", 0, "fail unless sharded 8-guest throughput is at least this multiple of 1-guest (0 = no gate)")
+	livenessJSON := fs.String("livenessjson", "", "write the liveness benchmark as JSON to this file and exit")
 	readPathJSON := fs.String("readpathjson", "", "write the read-path benchmark as JSON to this file and exit")
 	readPathMode := fs.String("readpathmode", "transport", "read-path benchmark flavor: 'transport' (raw transport gets) or 'e2e' (full guest stack through pagecache.Cache.Read)")
 	minReadPath := fs.Float64("minreadpath", 0, "fail unless the pipelined 8-guest read throughput is at least this multiple of the sync baseline (0 = no gate)")
@@ -102,6 +111,9 @@ func run(args []string) error {
 	}
 	if *faultJSON != "" {
 		return writeFaultJSON(*faultJSON, *seed, *quick, *stretch)
+	}
+	if *livenessJSON != "" {
+		return writeLivenessJSON(*livenessJSON, *seed, *quick, *stretch)
 	}
 	if *scalingJSON != "" {
 		return writeScalingJSON(*scalingJSON, *seed, *quick, *minScaling)
@@ -667,6 +679,104 @@ func writeReadPathE2EJSON(path string, seed int64, quick bool, stretch, minReadP
 	if minReadPath > 0 && out.Speedup8 < minReadPath {
 		return fmt.Errorf("pipelined read path only %.2fx guest-observed read throughput at 8 guests, want >= %.2fx",
 			out.Speedup8, minReadPath)
+	}
+	return nil
+}
+
+// livenessMode is the JSON shape of one liveness-scenario run.
+type livenessMode struct {
+	Run               string  `json:"run"`
+	Deadlines         bool    `json:"deadlines"`
+	Gets              int64   `json:"gets"`
+	GetP50US          float64 `json:"get_p50_us"`
+	GetP99US          float64 `json:"get_p99_us"`
+	GetMaxUS          float64 `json:"get_max_us"`
+	HitPct            float64 `json:"hit_pct"`
+	MeanTickUS        float64 `json:"mean_tick_us"`
+	DeadlineMisses    int64   `json:"deadline_misses"`
+	WatchdogFails     int64   `json:"watchdog_fails"`
+	ShedGets          int64   `json:"shed_gets"`
+	ShedOps           int64   `json:"shed_ops"`
+	DeadlineFallbacks int64   `json:"deadline_fallbacks"`
+	LeakedWaiters     int64   `json:"leaked_waiters"`
+	LeakedStaged      int64   `json:"leaked_staged"`
+	LeakedPending     int64   `json:"leaked_pending"`
+	InjectedFaults    int64   `json:"injected_faults"`
+}
+
+// writeLivenessJSON runs the liveness 2×2 matrix and emits
+// BENCH_liveness.json for CI chaos tracking. Two gates are built in:
+// the stall-heavy deadlines-on run's p99 (and max) guest-observed get
+// latency must be within the budget, and on the healthy baseline the
+// deadline machinery must move the hit ratio by at most two points.
+func writeLivenessJSON(path string, seed int64, quick bool, stretch float64) error {
+	opts := experiments.DefaultOpts()
+	if quick {
+		opts = experiments.QuickOpts()
+	}
+	opts.Seed = seed
+	if stretch > 0 {
+		opts.Stretch = stretch
+	}
+	b := experiments.LivenessBench(opts)
+	toMode := func(m experiments.LivenessModeResult) livenessMode {
+		return livenessMode{
+			Run:               m.Label,
+			Deadlines:         m.Deadlines,
+			Gets:              m.Gets,
+			GetP50US:          m.GetP50US,
+			GetP99US:          m.GetP99US,
+			GetMaxUS:          m.GetMaxUS,
+			HitPct:            m.HitPct,
+			MeanTickUS:        m.MeanTickUS,
+			DeadlineMisses:    m.DeadlineMisses,
+			WatchdogFails:     m.WatchdogFails,
+			ShedGets:          m.ShedGets,
+			ShedOps:           m.ShedOps,
+			DeadlineFallbacks: m.DeadlineFallbacks,
+			LeakedWaiters:     m.LeakedWaiters,
+			LeakedStaged:      m.LeakedStaged,
+			LeakedPending:     m.LeakedPending,
+			InjectedFaults:    m.InjectedFaults,
+		}
+	}
+	out := struct {
+		Benchmark       string         `json:"benchmark"`
+		Seed            int64          `json:"seed"`
+		Stretch         float64        `json:"stretch"`
+		BudgetUS        float64        `json:"budget_us"`
+		Modes           []livenessMode `json:"modes"`
+		HealthyHitDelta float64        `json:"healthy_hit_delta_points"`
+	}{
+		Benchmark:       "liveness",
+		Seed:            seed,
+		Stretch:         opts.Stretch,
+		BudgetUS:        b.BudgetUS,
+		Modes:           []livenessMode{toMode(b.HealthyOff), toMode(b.HealthyOn), toMode(b.StallOff), toMode(b.StallOn)},
+		HealthyHitDelta: b.HealthyHitDelta,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: stall p99 %.0f µs (max %.0f) vs budget %.0f µs with deadlines on; %.0f µs max with them off; healthy hit delta %.2f points\n",
+		path, b.StallOn.GetP99US, b.StallOn.GetMaxUS, b.BudgetUS, b.StallOff.GetMaxUS, b.HealthyHitDelta)
+	if b.StallOn.GetP99US > b.BudgetUS || b.StallOn.GetMaxUS > b.BudgetUS {
+		return fmt.Errorf("stall-heavy p99/max get latency %.0f/%.0f µs exceeds the %.0f µs budget with deadlines on",
+			b.StallOn.GetP99US, b.StallOn.GetMaxUS, b.BudgetUS)
+	}
+	if b.HealthyHitDelta > 2 {
+		return fmt.Errorf("deadline machinery moved the healthy hit ratio %.2f points (limit 2)", b.HealthyHitDelta)
+	}
+	for _, m := range out.Modes {
+		if m.LeakedWaiters != 0 || m.LeakedStaged != 0 || m.LeakedPending != 0 {
+			return fmt.Errorf("run %q leaked transport state after teardown: waiters=%d staged=%d pending=%d",
+				m.Run, m.LeakedWaiters, m.LeakedStaged, m.LeakedPending)
+		}
 	}
 	return nil
 }

@@ -146,6 +146,23 @@ func (t *pendingTransport) InFlight() int {
 	return len(t.waiters) // lockcheck: guarded pending-handle table, mu not held
 }
 
+// watchdogTransport mirrors the hypercall.Transport deadline machinery
+// added with the liveness work: the cancelled-tag tombstone set is
+// mu-guarded because the watchdog sweep writes it while the batch drain
+// consults it to release ring slots without dispatching.
+type watchdogTransport struct {
+	mu sync.Mutex
+	// ddlint:guarded-by mu
+	cancelled map[uint64]struct{}
+}
+
+// CancelledTags counts watchdog-failed frames without the lock — the
+// shape lockcheck must keep rejecting: the sweep mutates the set
+// concurrently with every drain that reads it.
+func (t *watchdogTransport) CancelledTags() int {
+	return len(t.cancelled) // lockcheck: guarded watchdog state, mu not held
+}
+
 // Demote takes the manager lock while holding the breaker's — the
 // inversion of the declared manager.mu < breaker.mu chain that
 // lockorder must keep rejecting (the real tree orders VM locks above

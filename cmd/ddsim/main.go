@@ -6,7 +6,14 @@
 // A scenario may also carry a "faults" block — a fault-injection plan
 // (see internal/fault) plus circuit-breaker tuning — in which case the
 // report appends the breaker's trip/restore counts and a per-site
-// injection summary.
+// injection summary. The plan is validated before the run: structurally
+// invalid rules abort, rules naming unknown injection sites only warn.
+//
+// A "deadlines" block arms the per-op latency budget (over-budget ops
+// fail as misses, a watchdog sweeps over-budget waiters), and a "limits"
+// block caps in-flight work (per-VM inflight gets and queued ops, plus a
+// hypervisor-wide op budget); both add shed/deadline-miss columns to the
+// report.
 //
 // Usage:
 //
@@ -36,12 +43,35 @@ const mib = int64(1) << 20
 
 // Config is the top-level scenario description.
 type Config struct {
-	Seed            int64         `json:"seed"`
-	DurationSeconds int64         `json:"durationSeconds"`
-	SampleSeconds   int64         `json:"sampleSeconds"`
-	Host            HostConfig    `json:"host"`
-	VMs             []VMConfig    `json:"vms"`
-	Faults          *FaultsConfig `json:"faults,omitempty"`
+	Seed            int64            `json:"seed"`
+	DurationSeconds int64            `json:"durationSeconds"`
+	SampleSeconds   int64            `json:"sampleSeconds"`
+	Host            HostConfig       `json:"host"`
+	VMs             []VMConfig       `json:"vms"`
+	Faults          *FaultsConfig    `json:"faults,omitempty"`
+	Deadlines       *DeadlinesConfig `json:"deadlines,omitempty"`
+	Limits          *LimitsConfig    `json:"limits,omitempty"`
+}
+
+// DeadlinesConfig arms the per-op latency budget on every VM's hypercall
+// transport: an op that cannot complete within the budget fails as a
+// miss (the guest falls back to its virtual disk) instead of blocking,
+// and a watchdog sweep fails over-budget waiters outright. A zero
+// watchdog period defaults to the budget itself.
+type DeadlinesConfig struct {
+	BudgetMicros         int64 `json:"budgetMicros"`
+	WatchdogPeriodMicros int64 `json:"watchdogPeriodMicros,omitempty"`
+}
+
+// LimitsConfig caps in-flight work: per-VM tagged-get and batch-queue
+// caps on the transport, plus a hypervisor-wide in-flight op budget in
+// the cache manager. Over-limit submissions are shed as immediate misses
+// (counted in the report, never surfaced as errors); zero fields leave
+// that limit off.
+type LimitsConfig struct {
+	MaxInflightGets int   `json:"maxInflightGets,omitempty"`
+	MaxQueuedOps    int   `json:"maxQueuedOps,omitempty"`
+	MaxInflightOps  int64 `json:"maxInflightOps,omitempty"`
 }
 
 // FaultsConfig attaches a fault-injection plan to the scenario. Rules use
@@ -239,13 +269,30 @@ func simulate(cfg Config, out *os.File) error {
 		ReadAheadWindow: cfg.Host.ReadAheadWindow,
 		NoPipeline:      cfg.Host.NoPipeline,
 	}
+	if dc := cfg.Deadlines; dc != nil {
+		hcfg.OpBudget = time.Duration(dc.BudgetMicros) * time.Microsecond
+		hcfg.WatchdogPeriod = time.Duration(dc.WatchdogPeriodMicros) * time.Microsecond
+	}
+	if lc := cfg.Limits; lc != nil {
+		hcfg.MaxInflightGets = lc.MaxInflightGets
+		hcfg.MaxQueuedOps = lc.MaxQueuedOps
+		hcfg.MaxInflightOps = lc.MaxInflightOps
+	}
 	var inj *fault.Injector
 	if fc := cfg.Faults; fc != nil && len(fc.Rules) > 0 {
 		planSeed := fc.PlanSeed
 		if planSeed == 0 {
 			planSeed = cfg.Seed
 		}
-		inj = fault.New(fault.Plan{Seed: planSeed, Rules: fc.Rules})
+		plan := fault.Plan{Seed: planSeed, Rules: fc.Rules}
+		warnings, err := plan.Validate()
+		if err != nil {
+			return fmt.Errorf("fault plan: %w", err)
+		}
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "ddsim: fault plan warning: %s\n", w)
+		}
+		inj = fault.New(plan)
 		hcfg.Faults = inj
 		hcfg.Breaker = ddcache.BreakerConfig{
 			Threshold: fc.BreakerThreshold,
@@ -313,6 +360,22 @@ func simulate(cfg Config, out *os.File) error {
 		fmt.Fprintf(out, "%-4d %12d %12d %14.3f %10d %12d %12d %12d\n",
 			vc.ID, st.Calls, ops, perOp, st.Batches, st.PagesCopied, st.AsyncGets, st.StagedHits)
 	}
+	if cfg.Deadlines != nil || cfg.Limits != nil {
+		fmt.Fprintf(out, "\ndeadlines and admission per VM:\n")
+		fmt.Fprintf(out, "%-4s %15s %14s %10s %10s %10s %12s\n",
+			"vm", "deadline misses", "watchdog fails", "shed gets", "shed ops", "waiters", "staged pages")
+		for _, vc := range cfg.VMs {
+			tr := host.Transport(cleancache.VMID(vc.ID))
+			if tr == nil {
+				continue
+			}
+			st := tr.Stats()
+			fmt.Fprintf(out, "%-4d %15d %14d %10d %10d %10d %12d\n",
+				vc.ID, st.DeadlineMisses, st.WatchdogFails, st.ShedGets, st.ShedOps,
+				st.Waiters, st.StagedPages)
+		}
+		fmt.Fprintf(out, "manager admission: %d ops shed hypervisor-wide\n", host.Manager().ShedOps())
+	}
 	if inj != nil {
 		bs := host.Manager().SSDBreakerStats()
 		fmt.Fprintf(out, "\nssd circuit breaker: state %s, trips %d, probes %d, restores %d\n",
@@ -326,6 +389,8 @@ const exampleConfig = `{
   "seed": 42,
   "durationSeconds": 180,
   "host": {"mode": "dd", "memCacheMiB": 256, "ssdCacheMiB": 4096},
+  "deadlines": {"budgetMicros": 5000, "watchdogPeriodMicros": 2500},
+  "limits": {"maxInflightGets": 128, "maxQueuedOps": 400, "maxInflightOps": 1024},
   "faults": {
     "rules": [
       {"site": "host-ssd.*", "kind": "io-error", "prob": 0.02,

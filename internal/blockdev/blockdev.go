@@ -52,6 +52,13 @@ type Stats struct {
 	BusyTime     time.Duration
 }
 
+func init() {
+	// Every device exposes per-instance sites "<name>.read" and
+	// "<name>.write"; register the suffix patterns so plan validation
+	// recognizes device rules regardless of the instance name.
+	fault.RegisterSites("*.read", "*.write")
+}
+
 // Option configures a device at construction.
 type Option func(*devConfig)
 

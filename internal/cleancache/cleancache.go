@@ -215,6 +215,13 @@ type PendingGet struct {
 	failed  bool // crossing abandoned: the frame never reached the backend
 	readyAt time.Duration
 
+	// deadline is the absolute virtual time by which the get must
+	// resolve; past it the handle reports a miss regardless of the
+	// completion's verdict (0 = no budget). expired records that the
+	// budget was the reason the get missed.
+	deadline time.Duration
+	expired  bool
+
 	resolved bool
 	resp     Response
 }
@@ -240,6 +247,19 @@ func CompletedPendingGet(resp Response, readyAt time.Duration) *PendingGet {
 
 // Tag reports the completion tag the transport assigned at submission.
 func (pg *PendingGet) Tag() uint64 { return pg.tag }
+
+// SetDeadline arms the handle's latency budget: Resolve reports a miss
+// (with latency clamped to the budget) if the completion lands after the
+// absolute virtual time d, and a watchdog may FailDeadline the handle
+// outright once now passes d.
+func (pg *PendingGet) SetDeadline(d time.Duration) { pg.deadline = d }
+
+// Deadline reports the armed deadline (0 = no budget).
+func (pg *PendingGet) Deadline() time.Duration { return pg.deadline }
+
+// DeadlineExceeded reports whether the latency budget — not a transport
+// failure — is why the get resolved as a miss.
+func (pg *PendingGet) DeadlineExceeded() bool { return pg.expired }
 
 // Done reports whether the completion has landed (or the crossing
 // failed); a done handle's Await forces no further drain.
@@ -267,6 +287,19 @@ func (pg *PendingGet) Fail(at time.Duration) {
 	pg.readyAt = at
 }
 
+// FailDeadline completes the handle as a latency-budget miss at virtual
+// time at — the watchdog's verdict for a waiter whose deadline passed
+// with the completion still in flight. Like Fail it is loss-free: the
+// guest re-reads the block from its virtual disk.
+//
+// ddlint:consumes
+func (pg *PendingGet) FailDeadline(at time.Duration) {
+	pg.done = true
+	pg.failed = true
+	pg.expired = true
+	pg.readyAt = at
+}
+
 // Resolve turns the handle into the guest-visible response. submitLat is
 // the latency the caller already accumulated this submission (drains it
 // triggered); the reported latency is the later of that and the wait
@@ -287,16 +320,33 @@ func (pg *PendingGet) Resolve(now, submitLat time.Duration) (resp Response, firs
 		return resp, false
 	}
 	if !pg.done {
-		// Cannot happen — a transport completes or fails every frame it
-		// accepted — but a stuck waiter must not hang the guest.
+		// A transport completes or fails every frame it accepted, but a
+		// completion can be lost in flight (drop fault on the completion
+		// path) or torn down mid-flight; a stuck waiter must not hang the
+		// guest.
 		pg.Fail(now + submitLat)
 	}
 	total := submitLat
 	if wait := pg.readyAt - now; wait > total {
 		total = wait
 	}
+	ok := pg.ok && !pg.failed
+	if pg.deadline > 0 && now+total > pg.deadline {
+		// The budget expired before the answer was usable: the guest
+		// stopped waiting at the deadline and falls back to disk, so the
+		// get is a miss and the charged wait is clamped to the budget
+		// remaining. The crossing still completes in the background (its
+		// virtual cost was already charged to the drain); only the
+		// guest-visible verdict and wait are bounded.
+		pg.expired = true
+		ok = false
+		total = pg.deadline - now
+		if total < 0 {
+			total = 0
+		}
+	}
 	pg.resolved = true
-	pg.resp = Response{Op: OpGet, Ok: pg.ok && !pg.failed, Latency: total}
+	pg.resp = Response{Op: OpGet, Ok: ok, Latency: total}
 	return pg.resp, true
 }
 
@@ -317,6 +367,22 @@ type AsyncTransport interface {
 	// Await blocks (in virtual time) until pg completes, returning the
 	// response with Latency the wait remaining from now.
 	Await(now time.Duration, pg *PendingGet) Response
+}
+
+// DeadlineTransport is the optional capability a Transport may implement
+// when it enforces per-op latency budgets. Watchdog sweeps in-flight
+// operations whose deadline has passed, failing each as a miss and
+// releasing its transport-side resources (waiter-table entry, ring slot,
+// covered staged blocks); it returns how many waiters it failed. Close
+// tears the transport down — final drain, every outstanding handle
+// failed as a miss, staging dropped — returning the teardown latency.
+// Guests discover the capability by type assertion: the watchdog tick
+// and VM shutdown call it when present, and plain transports need
+// neither (they complete everything synchronously).
+type DeadlineTransport interface {
+	Transport
+	Watchdog(now time.Duration) int
+	Close(now time.Duration) time.Duration
 }
 
 // backendTransport is the trivial Transport: every op dispatches
@@ -389,6 +455,10 @@ type FrontStats struct {
 	// ReadAheads counts the READ_AHEAD requests the sequential-stream
 	// detector issued.
 	ReadAheads int64
+	// DeadlineMisses counts async lookups that resolved as misses because
+	// their latency budget expired (the transport's deadline enforcement,
+	// see DeadlineTransport) rather than because the block was absent.
+	DeadlineMisses int64
 }
 
 // streamKey identifies one per-file read stream for the sequential
@@ -557,6 +627,11 @@ type PendingRead struct {
 // Hit reports the lookup verdict of a redeemed handle.
 func (pr *PendingRead) Hit() bool { return pr.hit }
 
+// Expired reports whether a redeemed handle missed because its latency
+// budget ran out rather than because the block was absent — the signal
+// the page cache uses to count deadline-driven disk fallbacks.
+func (pr *PendingRead) Expired() bool { return pr.pg != nil && pr.pg.DeadlineExceeded() }
+
 // GetAsync issues a second-chance lookup without waiting for its answer.
 // On an AsyncTransport the get is submitted as an in-flight frame and
 // the returned latency covers only the submission cost charged now (any
@@ -612,6 +687,8 @@ func (f *Front) AwaitRead(now time.Duration, pr *PendingRead) (bool, time.Durati
 	pr.done, pr.hit = true, resp.Ok
 	if resp.Ok {
 		f.stats.GetHits++
+	} else if pr.pg.DeadlineExceeded() {
+		f.stats.DeadlineMisses++
 	}
 	return resp.Ok, resp.Latency
 }

@@ -157,6 +157,15 @@ type Config struct {
 	// defaults documented on BreakerConfig. The breaker exists whenever
 	// an SSD store is configured.
 	Breaker BreakerConfig
+	// MaxInflightOps is the hypervisor-wide admission budget: the number
+	// of data-path operations (gets, puts, readahead) allowed through
+	// Dispatch concurrently across every VM. Submissions over the budget
+	// are shed as immediate misses — counted on ShedOps, never errors —
+	// so a flood from one guest degrades to disk reads instead of
+	// queueing behind the cache. Control ops and flushes are always
+	// admitted: a shed flush would break the cleancache invalidation
+	// contract. Zero disables admission control.
+	MaxInflightOps int64
 }
 
 // DefaultEvictBatch is the paper's 2 MiB eviction batch.
@@ -252,6 +261,12 @@ type Manager struct {
 	// run-wide counters
 	nextSeq        atomic.Uint64
 	totalEvictions atomic.Int64
+
+	// admission control: inflightOps tracks data-path ops currently
+	// inside Dispatch, shedOps counts the ones rejected over
+	// Config.MaxInflightOps.
+	inflightOps atomic.Int64
+	shedOps     atomic.Int64
 }
 
 // contentKey identifies one deduplicated physical copy.
@@ -1155,6 +1170,14 @@ func (m *Manager) StoreUsedBytes(st cgroup.StoreType) int64 {
 // TotalEvictions reports objects evicted by capacity enforcement since
 // start.
 func (m *Manager) TotalEvictions() int64 { return m.totalEvictions.Load() }
+
+// ShedOps reports data-path operations rejected by the hypervisor-wide
+// admission budget (Config.MaxInflightOps) since start.
+func (m *Manager) ShedOps() int64 { return m.shedOps.Load() }
+
+// InflightOps reports the data-path operations currently inside Dispatch;
+// it must drain to zero at quiesce.
+func (m *Manager) InflightOps() int64 { return m.inflightOps.Load() }
 
 // DedupSavedBytes reports the cumulative physical bytes avoided by
 // content deduplication (0 unless Config.Dedup).

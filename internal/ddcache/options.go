@@ -77,3 +77,8 @@ func WithMetrics(reg *metrics.Registry) Option { return func(c *Config) { c.Metr
 // WithSSDBreaker tunes the SSD circuit breaker (threshold, window,
 // cooldown, probe count); the zero value keeps the defaults.
 func WithSSDBreaker(b BreakerConfig) Option { return func(c *Config) { c.Breaker = b } }
+
+// WithMaxInflightOps sets the hypervisor-wide admission budget: data-path
+// ops (gets, puts, readahead) over this many concurrent dispatches are
+// shed as immediate misses. Zero disables admission control.
+func WithMaxInflightOps(n int64) Option { return func(c *Config) { c.MaxInflightOps = n } }

@@ -20,11 +20,13 @@ func defaultRunners() map[string]Runner {
 		"fig14":  Fig14,
 
 		// Beyond the paper's artifacts: transport batching (ISSUE 2),
-		// fault-injection robustness (ISSUE 4) and the end-to-end
-		// pipelined read path (ISSUE 7).
+		// fault-injection robustness (ISSUE 4), the end-to-end
+		// pipelined read path (ISSUE 7) and latency-budget liveness
+		// (ISSUE 9).
 		"transport": TransportExp,
 		"faults":    FaultsExp,
 		"readpath":  ReadPathExp,
+		"liveness":  LivenessExp,
 	}
 }
 

@@ -157,7 +157,9 @@ type Plan struct {
 }
 
 // ParsePlan decodes a JSON-encoded plan, rejecting unknown fields so typos
-// in canned plans fail loudly instead of silently injecting nothing.
+// in canned plans fail loudly instead of silently injecting nothing, and
+// validating every rule (see Plan.Validate); unknown-site warnings do not
+// fail the parse — callers that want them run Validate themselves.
 func ParsePlan(data []byte) (Plan, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
@@ -165,16 +167,8 @@ func ParsePlan(data []byte) (Plan, error) {
 	if err := dec.Decode(&p); err != nil {
 		return Plan{}, fmt.Errorf("fault: parse plan: %w", err)
 	}
-	for i, r := range p.Rules {
-		if r.Site == "" {
-			return Plan{}, fmt.Errorf("fault: rule %d has no site", i)
-		}
-		if r.Kind == KindNone {
-			return Plan{}, fmt.Errorf("fault: rule %d (site %s) has no kind", i, r.Site)
-		}
-		if r.Prob < 0 || r.Prob > 1 {
-			return Plan{}, fmt.Errorf("fault: rule %d (site %s) probability %v out of [0,1]", i, r.Site, r.Prob)
-		}
+	if _, err := p.Validate(); err != nil {
+		return Plan{}, err
 	}
 	return p, nil
 }
@@ -227,10 +221,16 @@ type Injector struct {
 	rules []*compiledRule
 	// ddlint:guarded-by mu
 	sites map[string]*SiteStats
+	// unknownRules counts compiled rules whose site matched no registered
+	// site pattern — the warning counter plan validation surfaces.
+	// ddlint:guarded-by mu
+	unknownRules int64
 }
 
 // New compiles a plan. A plan with no rules yields a working (all-pass)
 // injector; callers that want the true zero-cost path keep a nil pointer.
+// Rules naming unregistered sites compile anyway (the component may just
+// not be linked in) but are counted — see UnknownSiteRules.
 func New(plan Plan) *Injector {
 	in := &Injector{sites: make(map[string]*SiteStats)}
 	in.mu.Lock()
@@ -240,8 +240,23 @@ func New(plan Plan) *Injector {
 			Rule: r,
 			rng:  rand.New(rand.NewSource(plan.Seed + int64(i)*0x9e3779b9)),
 		})
+		if !siteKnown(r.Site) {
+			in.unknownRules++
+		}
 	}
 	return in
+}
+
+// UnknownSiteRules reports how many of the compiled rules target sites no
+// component registered — a likely typo if the run was expected to inject
+// faults there. Nil-safe.
+func (in *Injector) UnknownSiteRules() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.unknownRules
 }
 
 // Decide consults the plan for one operation at site, at virtual time now.

@@ -1,0 +1,173 @@
+// Plan validation and generation.
+//
+// Validation happens when a plan is compiled (ParsePlan, New): structurally
+// broken rules — no site, no kind, probabilities outside [0,1], negative or
+// absurd latencies, inverted windows — are hard errors, because a plan that
+// cannot fire as written silently injects nothing and the experiment's
+// "robustness" result is a lie. A rule naming a site no component registered
+// is only a warning: sites are strings by design (a device's sites carry its
+// instance name), so an unknown site may simply belong to a component that
+// is not part of this run. Warned rules still compile and are counted on
+// the injector (UnknownSiteRules).
+//
+// RandomPlan is the chaos harness's generator: a seeded, always-valid plan
+// drawing rules across the registered transport and device sites.
+
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MaxDelay bounds a rule's Delay: a latency spike or stall timeout longer
+// than this is almost certainly a units mistake (ms vs ns) and would wedge
+// a virtual-time run, so validation rejects it.
+const MaxDelay = 10 * time.Minute
+
+// siteRegistry holds the site patterns components have declared. A pattern
+// is a literal ("transport.batch"), a trailing-* prefix ("host-ssd.*") or a
+// leading-* suffix ("*.read" — any device's read site). Registration
+// happens in component init functions, so a linked-in component's sites are
+// always known to validation.
+var (
+	siteMu       sync.Mutex
+	sitePatterns []string
+)
+
+// RegisterSites declares injection-site patterns as known to validation.
+// Safe for concurrent use; duplicates are ignored.
+func RegisterSites(patterns ...string) {
+	siteMu.Lock()
+	defer siteMu.Unlock()
+	for _, p := range patterns {
+		dup := false
+		for _, have := range sitePatterns {
+			if have == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sitePatterns = append(sitePatterns, p)
+		}
+	}
+}
+
+// KnownSites returns the registered site patterns (for diagnostics).
+func KnownSites() []string {
+	siteMu.Lock()
+	defer siteMu.Unlock()
+	out := make([]string, len(sitePatterns))
+	copy(out, sitePatterns)
+	return out
+}
+
+// siteKnown reports whether a rule's site (literal or trailing-* prefix)
+// could match at least one registered pattern.
+func siteKnown(site string) bool {
+	siteMu.Lock()
+	defer siteMu.Unlock()
+	for _, p := range sitePatterns {
+		if patternsOverlap(site, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// patternsOverlap reports whether some concrete site name matches both the
+// rule's site expression (literal or trailing-* prefix) and a registered
+// pattern (literal, trailing-* prefix, or leading-* suffix).
+func patternsOverlap(rule, pattern string) bool {
+	rulePrefix, ruleWild := strings.CutSuffix(rule, "*")
+	if suffix, ok := strings.CutPrefix(pattern, "*"); ok {
+		if ruleWild {
+			return true // prefix+suffix is a concrete site matching both
+		}
+		return strings.HasSuffix(rule, suffix)
+	}
+	patPrefix, patWild := strings.CutSuffix(pattern, "*")
+	switch {
+	case ruleWild && patWild:
+		return strings.HasPrefix(rulePrefix, patPrefix) || strings.HasPrefix(patPrefix, rulePrefix)
+	case ruleWild:
+		return strings.HasPrefix(pattern, rulePrefix)
+	case patWild:
+		return strings.HasPrefix(rule, patPrefix)
+	default:
+		return rule == pattern
+	}
+}
+
+// Validate checks the plan's rules. Structural defects — which would make
+// a rule silently unable to fire as written, or wedge a virtual-time run —
+// are errors; rules naming sites no linked-in component registered are
+// returned as warnings (one string per rule) and left in the plan.
+func (p Plan) Validate() (warnings []string, err error) {
+	for i, r := range p.Rules {
+		switch {
+		case r.Site == "":
+			return warnings, fmt.Errorf("fault: rule %d has no site", i)
+		case r.Kind == KindNone:
+			return warnings, fmt.Errorf("fault: rule %d (site %s) has no kind", i, r.Site)
+		case r.Prob < 0 || r.Prob > 1:
+			return warnings, fmt.Errorf("fault: rule %d (site %s) probability %v out of [0,1]", i, r.Site, r.Prob)
+		case r.Nth < 0:
+			return warnings, fmt.Errorf("fault: rule %d (site %s) negative nth %d", i, r.Site, r.Nth)
+		case r.Delay < 0:
+			return warnings, fmt.Errorf("fault: rule %d (site %s) negative delay %v", i, r.Site, r.Delay)
+		case r.Delay > MaxDelay:
+			return warnings, fmt.Errorf("fault: rule %d (site %s) delay %v exceeds %v — a units mistake would wedge the run", i, r.Site, r.Delay, MaxDelay)
+		case r.From < 0:
+			return warnings, fmt.Errorf("fault: rule %d (site %s) negative window start %v", i, r.Site, r.From)
+		case r.To != 0 && r.To <= r.From:
+			return warnings, fmt.Errorf("fault: rule %d (site %s) empty window [%v, %v)", i, r.Site, r.From, r.To)
+		}
+		if !siteKnown(r.Site) {
+			warnings = append(warnings, fmt.Sprintf("fault: rule %d targets unknown site %q (known: %s)", i, r.Site, strings.Join(KnownSites(), ", ")))
+		}
+	}
+	return warnings, nil
+}
+
+// RandomPlan generates a seeded, always-valid chaos plan over the
+// transport and host-SSD sites: one to four rules with randomized kinds,
+// probabilities and delays, plus optionally a hard stall window. The same
+// seed yields the same plan, so a failing chaos run is replayable from its
+// seed alone.
+func RandomPlan(seed int64) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	sites := []string{
+		"transport.batch", "transport.call", "transport.completion",
+		"host-ssd.read", "host-ssd.write", "host-ssd.*",
+	}
+	kinds := []Kind{KindIOError, KindLatency, KindStall, KindDrop, KindCorrupt}
+	p := Plan{Seed: seed}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		r := Rule{
+			Site: sites[rng.Intn(len(sites))],
+			Kind: kinds[rng.Intn(len(kinds))],
+		}
+		switch rng.Intn(3) {
+		case 0:
+			r.Prob = 0.05 + 0.4*rng.Float64()
+		case 1:
+			r.Nth = int64(2 + rng.Intn(30))
+		default:
+			// Always-on rule: confine it to a window so the run can make
+			// progress outside it.
+			r.From = time.Duration(rng.Intn(200)) * time.Millisecond
+			r.To = r.From + time.Duration(50+rng.Intn(300))*time.Millisecond
+		}
+		if r.Kind == KindLatency || r.Kind == KindStall {
+			r.Delay = time.Duration(50+rng.Intn(5000)) * time.Microsecond
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p
+}

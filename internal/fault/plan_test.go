@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateRejectsStructuralDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		want string
+	}{
+		{"no site", Rule{Kind: KindDrop}, "no site"},
+		{"no kind", Rule{Site: "transport.batch"}, "no kind"},
+		{"prob high", Rule{Site: "transport.batch", Kind: KindDrop, Prob: 1.5}, "out of [0,1]"},
+		{"prob negative", Rule{Site: "transport.batch", Kind: KindDrop, Prob: -0.1}, "out of [0,1]"},
+		{"negative nth", Rule{Site: "transport.batch", Kind: KindDrop, Nth: -3}, "negative nth"},
+		{"negative delay", Rule{Site: "transport.batch", Kind: KindLatency, Delay: -time.Second}, "negative delay"},
+		{"absurd delay", Rule{Site: "transport.batch", Kind: KindStall, Delay: time.Hour}, "exceeds"},
+		{"negative window", Rule{Site: "transport.batch", Kind: KindDrop, From: -time.Second}, "negative window"},
+		{"empty window", Rule{Site: "transport.batch", Kind: KindDrop, From: time.Second, To: time.Second}, "empty window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Plan{Rules: []Rule{tc.rule}}
+			if _, err := p.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateWarnsOnUnknownSiteOnly(t *testing.T) {
+	RegisterSites("transport.batch") // idempotent with the real registration
+	p := Plan{Rules: []Rule{
+		{Site: "transport.batch", Kind: KindDrop, Prob: 0.5},
+		{Site: "no-such-component.op", Kind: KindDrop, Prob: 0.5},
+	}}
+	warnings, err := p.Validate()
+	if err != nil {
+		t.Fatalf("unknown site must not be a hard error: %v", err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "no-such-component.op") {
+		t.Fatalf("warnings = %v, want one naming the unknown site", warnings)
+	}
+}
+
+func TestParsePlanRejectsInvalidRules(t *testing.T) {
+	_, err := ParsePlan([]byte(`{"seed":1,"rules":[{"site":"transport.batch","kind":"stall","delay":99999999999999}]}`))
+	if err == nil {
+		t.Fatalf("ParsePlan accepted an absurd delay")
+	}
+	// Unknown sites parse fine — they are warnings, not errors.
+	p, err := ParsePlan([]byte(`{"seed":1,"rules":[{"site":"martian.op","kind":"drop","prob":0.5}]}`))
+	if err != nil {
+		t.Fatalf("ParsePlan rejected an unknown-site rule: %v", err)
+	}
+	if New(p).UnknownSiteRules() != 1 {
+		t.Fatalf("injector did not count the unknown-site rule")
+	}
+}
+
+func TestSitePatternOverlap(t *testing.T) {
+	cases := []struct {
+		rule, pattern string
+		want          bool
+	}{
+		{"host-ssd.read", "host-ssd.read", true},
+		{"host-ssd.read", "host-ssd.*", true},
+		{"host-ssd.*", "host-ssd.read", true},
+		{"host-ssd.*", "host-*", true},
+		{"vm3-disk.read", "*.read", true},
+		{"anything.*", "*.read", true}, // some concrete site matches both
+		{"host-ssd.read", "transport.batch", false},
+		{"host-ssd.read", "*.write", false},
+		{"transport.*", "host-ssd.*", false},
+	}
+	for _, tc := range cases {
+		if got := patternsOverlap(tc.rule, tc.pattern); got != tc.want {
+			t.Errorf("patternsOverlap(%q, %q) = %v, want %v", tc.rule, tc.pattern, got, tc.want)
+		}
+	}
+}
+
+func TestRandomPlanDeterministicAndValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := RandomPlan(seed)
+		if len(p.Rules) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		if _, err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: generated plan invalid: %v", seed, err)
+		}
+		q := RandomPlan(seed)
+		if len(q.Rules) != len(p.Rules) {
+			t.Fatalf("seed %d: non-deterministic rule count", seed)
+		}
+		for i := range p.Rules {
+			if p.Rules[i] != q.Rules[i] {
+				t.Fatalf("seed %d rule %d: %+v != %+v", seed, i, p.Rules[i], q.Rules[i])
+			}
+		}
+	}
+}
+
+func TestRandomPlanTargetsRegisteredSites(t *testing.T) {
+	// The chaos generator must draw only sites validation knows about,
+	// so a generated plan never trips the unknown-site warning. The fault
+	// package itself links no components; register the patterns the real
+	// components declare in their init functions (hypercall, blockdev).
+	RegisterSites("transport.batch", "transport.call", "transport.completion", "*.read", "*.write")
+	for seed := int64(0); seed < 50; seed++ {
+		warnings, err := RandomPlan(seed).Validate()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(warnings) != 0 {
+			t.Fatalf("seed %d: RandomPlan drew an unregistered site: %v", seed, warnings)
+		}
+	}
+}

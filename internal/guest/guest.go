@@ -50,6 +50,13 @@ type Config struct {
 	// the page cache's async probe window of the same depth
 	// (pagecache.Cache.SetReadWindow). Zero disables both.
 	ReadAheadWindow int
+	// WatchdogPeriod drives the transport deadline watchdog: every period
+	// the VM sweeps its transport (cleancache.DeadlineTransport.Watchdog)
+	// and fails over-budget async waiters as misses, releasing their ring
+	// slots, waiter-table entries and any staged readahead they cover.
+	// Zero disables the tick — only meaningful when the transport has an
+	// OpBudget configured.
+	WatchdogPeriod time.Duration
 	// Disk overrides the VM's virtual disk; nil selects a 7200 RPM HDD.
 	Disk blockdev.Device
 }
@@ -67,6 +74,7 @@ type VM struct {
 	containers []*Container
 	flusher    *sim.Event
 	hcFlusher  *sim.Event // transport flush tick; nil when front is nil
+	watchdog   *sim.Event // deadline watchdog tick; nil when disabled
 }
 
 // New builds a VM. front may be nil to run without a second-chance cache.
@@ -109,6 +117,13 @@ func New(engine *sim.Engine, cfg Config, front *cleancache.Front) *VM {
 		vm.hcFlusher = engine.Every(cfg.HypercallFlushInterval, func() {
 			front.FlushTransport(engine.Now())
 		})
+		if cfg.WatchdogPeriod > 0 {
+			if dt, ok := front.Transport().(cleancache.DeadlineTransport); ok {
+				vm.watchdog = engine.Every(cfg.WatchdogPeriod, func() {
+					dt.Watchdog(engine.Now())
+				})
+			}
+		}
 	}
 	return vm
 }
@@ -134,13 +149,22 @@ func (vm *VM) Disk() blockdev.Device { return vm.disk }
 // Allocator exposes the VM's file allocator (one filesystem per VM).
 func (vm *VM) Allocator() *fsmodel.Allocator { return vm.alloc }
 
-// Shutdown cancels background activity (writeback and transport ticks),
-// draining any buffered hypercall batch first.
+// Shutdown cancels background activity (writeback, transport and watchdog
+// ticks), draining any buffered hypercall batch first, then closes the
+// transport: outstanding async gets and staged readahead are failed as
+// misses and every waiter-table entry, ring slot and staged page is
+// released — the crash-safe teardown path.
 func (vm *VM) Shutdown() {
 	vm.flusher.Cancel()
+	if vm.watchdog != nil {
+		vm.watchdog.Cancel()
+	}
 	if vm.hcFlusher != nil {
 		vm.front.FlushTransport(vm.engine.Now())
 		vm.hcFlusher.Cancel()
+		if dt, ok := vm.front.Transport().(cleancache.DeadlineTransport); ok {
+			dt.Close(vm.engine.Now())
+		}
 	}
 }
 

@@ -54,3 +54,8 @@ func WithReadAheadWindow(n int) Option { return func(c *Config) { c.ReadAheadWin
 
 // WithDisk overrides the VM's virtual disk (default: a 7200 RPM HDD).
 func WithDisk(dev blockdev.Device) Option { return func(c *Config) { c.Disk = dev } }
+
+// WithWatchdogPeriod enables the transport deadline watchdog tick: every
+// period the VM sweeps over-budget async waiters and fails them as misses
+// (see Config.WatchdogPeriod). Zero disables the tick.
+func WithWatchdogPeriod(d time.Duration) Option { return func(c *Config) { c.WatchdogPeriod = d } }

@@ -35,11 +35,20 @@ const (
 )
 
 // Fault-injection sites the transport consults: one decision per batched
-// crossing and one per synchronous call.
+// crossing, one per synchronous call, and one per completion-frame (0xF9)
+// delivery — so plans can stall or lose completions independently of the
+// submissions that produced them.
 const (
-	SiteBatch = "transport.batch"
-	SiteCall  = "transport.call"
+	SiteBatch      = "transport.batch"
+	SiteCall       = "transport.call"
+	SiteCompletion = "transport.completion"
 )
+
+func init() {
+	// Make the transport's sites known to plan validation, so rules that
+	// target them do not trip the unknown-site warning.
+	fault.RegisterSites(SiteBatch, SiteCall, SiteCompletion)
+}
 
 // ErrCorrupt is returned when the receive-side checksum verification
 // rejects a crossing; the sender must re-send the same frames.
@@ -150,6 +159,33 @@ func (c *Channel) Deliver(now time.Duration, pages int, payload []byte, site str
 		return lat, fmt.Errorf("%w at %s: sent %016x, received %016x", ErrCorrupt, site, sent, received)
 	}
 	return lat, nil
+}
+
+// CompletionFault plays the fault plan on one completion-frame delivery
+// (SiteCompletion) at virtual time now. It returns the extra delay the
+// completions must absorb and whether the whole completion batch was
+// lost in flight: a drop/stall/io-error loses the frames (the waiters
+// stay pending and must be failed by the watchdog or the await path),
+// a corruption is rejected by the receive-side checksum — equally lost,
+// since completions are never re-sent — and a latency fault delays every
+// completion's ready-time. Nothing is consulted without an injector.
+func (c *Channel) CompletionFault(now time.Duration) (time.Duration, bool) {
+	if c.faults == nil {
+		return 0, false
+	}
+	d := c.faults.Decide(now, SiteCompletion)
+	switch d.Kind {
+	case fault.KindLatency:
+		return d.Delay, false
+	case fault.KindDrop, fault.KindStall, fault.KindIOError:
+		c.drops.Add(1)
+		return d.Delay, true
+	case fault.KindCorrupt:
+		c.corrupts.Add(1)
+		return 0, true
+	default: // KindNone
+		return 0, false
+	}
 }
 
 // Calls reports the number of hypercalls issued.

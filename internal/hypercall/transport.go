@@ -90,6 +90,24 @@ type Options struct {
 	// MaxRequeues bounds how many abandoned crossings a flush survives
 	// before it too is dropped and counted as FlushAbandoned (default 4).
 	MaxRequeues int
+	// OpBudget is the per-operation latency budget for the data path
+	// (gets and readahead): a get whose cumulative virtual latency —
+	// drains, retries, backoff, stalls — would exceed the budget resolves
+	// as a miss with its charged wait clamped to the budget, and the
+	// guest falls back to disk. Zero disables deadline enforcement.
+	// Control ops and flushes are exempt: they carry correctness, not
+	// data, and must run to completion.
+	OpBudget time.Duration
+	// MaxInflightGets caps the number of outstanding async get waiters;
+	// submissions over the cap are shed as immediate misses (counted as
+	// ShedGets, never errors). Zero means unlimited.
+	MaxInflightGets int
+	// MaxQueuedOps caps the ring's buffered-op depth for droppable
+	// batchable ops (puts, readaheads): submissions over the cap are shed
+	// (counted as ShedOps). Flushes are never shed — a lost flush breaks
+	// the cleancache contract — so the cap bounds best-effort traffic
+	// while invalidations always get through. Zero means unlimited.
+	MaxQueuedOps int
 }
 
 // TransportStats is a snapshot of one transport's traffic.
@@ -142,6 +160,26 @@ type TransportStats struct {
 	// SyncFailures is the number of synchronous ops whose crossing was
 	// abandoned (reported Ok=false to the guest).
 	SyncFailures int64
+	// DeadlineMisses is the number of data-path ops that resolved as
+	// misses because their latency budget expired (WatchdogFails of them
+	// were failed by the watchdog sweep rather than at resolution).
+	DeadlineMisses int64
+	WatchdogFails  int64
+	// ShedGets and ShedOps count admission-control rejections: gets shed
+	// at the inflight cap and puts/readaheads shed at the queue cap, all
+	// reported to the guest as immediate misses, never errors.
+	ShedGets int64
+	ShedOps  int64
+	// CompletionDrops is the number of completion-frame batches lost to
+	// an injected fault on the 0xF9 path; their waiters resolve as misses
+	// via the watchdog or the await fallback.
+	CompletionDrops int64
+	// Waiters is the number of async get handles currently outstanding
+	// (in the waiter table); it must drain to zero at quiesce.
+	Waiters int64
+	// MaxGetLatency is the largest latency charged to any single get —
+	// the liveness bound the deadline budget enforces.
+	MaxGetLatency time.Duration
 }
 
 // transportMetrics holds the metric handles the transport touches on hot
@@ -161,6 +199,9 @@ type transportMetrics struct {
 	asyncGets      *metrics.Counter
 	stagedHits     *metrics.Counter
 	stagedFills    *metrics.Counter
+	deadlineMisses *metrics.Counter
+	shedGets       *metrics.Counter
+	shedOps        *metrics.Counter
 	lat            []*metrics.Histogram // indexed by OpCode
 }
 
@@ -180,6 +221,9 @@ func newTransportMetrics(reg *metrics.Registry, prefix string) *transportMetrics
 		asyncGets:      reg.Counter(prefix + ".async_gets"),
 		stagedHits:     reg.Counter(prefix + ".staged_hits"),
 		stagedFills:    reg.Counter(prefix + ".staged_fills"),
+		deadlineMisses: reg.Counter(prefix + ".deadline_misses"),
+		shedGets:       reg.Counter(prefix + ".shed_gets"),
+		shedOps:        reg.Counter(prefix + ".shed_ops"),
 	}
 	ops := cleancache.OpCodes()
 	m.lat = make([]*metrics.Histogram, int(ops[len(ops)-1])+1)
@@ -246,12 +290,23 @@ type Transport struct {
 	retryCap    time.Duration
 	maxAttempts int
 	maxRequeues int
+	opBudget    time.Duration
+	maxInflight int
+	maxQueued   int
 
-	// Async get demultiplexing: the next frame tag, the waiters keyed by
-	// tag, and the wire-encoded completions of the drain in progress.
-	nextTag     uint64                 // ddlint:guarded-by mu
-	waiters     map[uint64]*PendingGet // ddlint:guarded-by mu
-	completions []byte                 // ddlint:guarded-by mu
+	// Async get demultiplexing: the next frame tag (tag 0 is reserved for
+	// untagged handles), the waiters keyed by tag, the key each waiter
+	// covers (so a watchdog-failed get can invalidate staged readahead
+	// over the same block), and the wire-encoded completions of the drain
+	// in progress. cancelled tombstones the tags of watchdog-failed
+	// waiters whose frames are still in the ring: the next drain releases
+	// each slot without dispatching — dispatching would extract the block
+	// under the exclusive protocol with nobody left to consume it.
+	nextTag     uint64                    // ddlint:guarded-by mu
+	waiters     map[uint64]*PendingGet    // ddlint:guarded-by mu
+	waiterKeys  map[uint64]cleancache.Key // ddlint:guarded-by mu
+	cancelled   map[uint64]struct{}       // ddlint:guarded-by mu
+	completions []byte                    // ddlint:guarded-by mu
 
 	// Staging buffer: readahead-filled blocks and the virtual time their
 	// fill completes. stagedOrder is the FIFO eviction queue (lazily
@@ -277,11 +332,18 @@ type Transport struct {
 	requeuedOps     int64         // ddlint:guarded-by mu
 	flushAbandoned  int64         // ddlint:guarded-by mu
 	syncFailures    int64         // ddlint:guarded-by mu
+	deadlineMisses  int64         // ddlint:guarded-by mu
+	watchdogFails   int64         // ddlint:guarded-by mu
+	shedGets        int64         // ddlint:guarded-by mu
+	shedOps         int64         // ddlint:guarded-by mu
+	completionDrops int64         // ddlint:guarded-by mu
+	maxGetLat       time.Duration // ddlint:guarded-by mu
 }
 
 var (
-	_ cleancache.Transport      = (*Transport)(nil)
-	_ cleancache.AsyncTransport = (*Transport)(nil)
+	_ cleancache.Transport         = (*Transport)(nil)
+	_ cleancache.AsyncTransport    = (*Transport)(nil)
+	_ cleancache.DeadlineTransport = (*Transport)(nil)
 )
 
 // NewTransport wires a batched transport to be.
@@ -329,7 +391,13 @@ func NewTransport(be cleancache.Backend, opts Options) *Transport {
 		retryCap:    opts.RetryCap,
 		maxAttempts: opts.MaxAttempts,
 		maxRequeues: opts.MaxRequeues,
+		opBudget:    opts.OpBudget,
+		maxInflight: opts.MaxInflightGets,
+		maxQueued:   opts.MaxQueuedOps,
+		nextTag:     1, // tag 0 is the "no tag" sentinel on untagged handles
 		waiters:     make(map[uint64]*PendingGet),
+		waiterKeys:  make(map[uint64]cleancache.Key),
+		cancelled:   make(map[uint64]struct{}),
 		staged:      make(map[cleancache.Key]time.Duration),
 	}
 }
@@ -362,6 +430,13 @@ func (t *Transport) Stats() TransportStats {
 		RequeuedOps:     t.requeuedOps,
 		FlushAbandoned:  t.flushAbandoned,
 		SyncFailures:    t.syncFailures,
+		DeadlineMisses:  t.deadlineMisses,
+		WatchdogFails:   t.watchdogFails,
+		ShedGets:        t.shedGets,
+		ShedOps:         t.shedOps,
+		CompletionDrops: t.completionDrops,
+		Waiters:         int64(len(t.waiters)),
+		MaxGetLatency:   t.maxGetLat,
 	}
 }
 
@@ -380,6 +455,22 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 	t.invalidateStagedLocked(req)
 
 	if !t.unbatched && req.Op.Batchable() {
+		if t.maxQueued > 0 && t.ring.Len() >= t.maxQueued {
+			// Admission control: over the queue cap, best-effort ops are
+			// shed instead of buffered — the page is simply not cached (or
+			// not prefetched), free under the cleancache contract. Flushes
+			// fall through: dropping an invalidation would leave the
+			// hypervisor holding an object the guest dirtied.
+			switch req.Op {
+			case cleancache.OpPut, cleancache.OpReadAhead:
+				t.shedOps++
+				if t.m != nil {
+					t.m.shedOps.Inc()
+				}
+				return cleancache.Response{Op: req.Op, Ok: false}
+			default: // ddlint:nonexhaustive — only flushes remain batchable
+			}
+		}
 		var lat time.Duration
 		if !t.ring.Fits(req.Op.Pages()) {
 			lat = t.drainLocked(now)
@@ -429,8 +520,20 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 		// The drain may have dispatched a buffered readahead that staged
 		// this very block: re-check before paying a crossing.
 		if wait, hit := t.consumeStagedLocked(at, req.Key); hit {
-			t.observe(req.Op, at+wait-now)
-			return cleancache.Response{Op: req.Op, Ok: true, Latency: at + wait - now}
+			lat := at + wait - now
+			if t.opBudget > 0 && lat > t.opBudget {
+				// The barrier drain alone blew the budget: the guest
+				// stopped waiting, so the staged block is dropped (fail-
+				// to-miss) and the charge is clamped.
+				t.deadlineMisses++
+				if t.m != nil {
+					t.m.deadlineMisses.Inc()
+				}
+				t.observe(req.Op, t.opBudget)
+				return cleancache.Response{Op: req.Op, Ok: false, Latency: t.opBudget}
+			}
+			t.observe(req.Op, lat)
+			return cleancache.Response{Op: req.Op, Ok: true, Latency: lat}
 		}
 	}
 	var payload []byte
@@ -438,7 +541,15 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 		t.scratch = EncodeRequest(t.scratch[:0], req)
 		payload = t.scratch
 	}
-	clat, ok := t.crossLocked(at, req.Op.Pages(), payload, SiteCall)
+	// Data-path ops carry a latency budget: the retry loop gives up once
+	// the deadline passes, and an over-budget get resolves as a miss with
+	// its charge clamped. Control ops and flushes are exempt — they carry
+	// correctness and must run to completion whatever the cost.
+	var deadline time.Duration
+	if t.opBudget > 0 && (req.Op == cleancache.OpGet || req.Op == cleancache.OpReadAhead) {
+		deadline = now + t.opBudget
+	}
+	clat, ok := t.crossLocked(at, req.Op.Pages(), payload, SiteCall, deadline)
 	at += clat
 	t.syncOps++
 	if !ok {
@@ -449,8 +560,12 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 		if t.m != nil {
 			t.m.syncFailures.Inc()
 		}
-		t.observe(req.Op, at-now)
-		return cleancache.Response{Op: req.Op, Ok: false, Latency: at - now}
+		lat := at - now
+		if deadline > 0 && req.Op == cleancache.OpGet && lat > t.opBudget {
+			lat = t.opBudget // the guest stopped waiting at the deadline
+		}
+		t.observe(req.Op, lat)
+		return cleancache.Response{Op: req.Op, Ok: false, Latency: lat}
 	}
 	resp := t.be.Dispatch(at, req)
 	if req.Op == cleancache.OpReadAhead {
@@ -462,6 +577,18 @@ func (t *Transport) Submit(now time.Duration, req cleancache.Request) cleancache
 		t.stageLocked(at, req, resp)
 	}
 	resp.Latency += at - now
+	if req.Op == cleancache.OpGet && deadline > 0 && now+resp.Latency > deadline {
+		// The answer landed past the budget: the guest already fell back
+		// to disk, so the verdict is a miss (the extracted block is
+		// dropped — fail-to-miss, never data loss) and the charge is the
+		// budget, not the stalled crossing.
+		t.deadlineMisses++
+		if t.m != nil {
+			t.m.deadlineMisses.Inc()
+		}
+		resp.Ok = false
+		resp.Latency = t.opBudget
+	}
 	t.observe(req.Op, resp.Latency)
 	return resp
 }
@@ -505,7 +632,17 @@ func (t *Transport) Await(now time.Duration, pg *PendingGet) cleancache.Response
 // ddlint:requires-lock mu
 func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) (*PendingGet, time.Duration) {
 	if wait, hit := t.consumeStagedLocked(now, req.Key); hit {
-		return cleancache.ReadyPendingGet(true, now+wait), 0
+		return t.armDeadline(now, cleancache.ReadyPendingGet(true, now+wait)), 0
+	}
+	if t.maxInflight > 0 && len(t.waiters) >= t.maxInflight {
+		// Admission control: over the inflight cap the get is shed as an
+		// immediate miss — the guest reads from disk — instead of growing
+		// the waiter table without bound while the transport is stalled.
+		t.shedGets++
+		if t.m != nil {
+			t.m.shedGets.Inc()
+		}
+		return cleancache.ReadyPendingGet(false, now), 0
 	}
 	pages := req.Op.Pages()
 	if t.zeroCopy {
@@ -515,14 +652,21 @@ func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) 
 	if !t.ring.Fits(pages) {
 		lat = t.drainLocked(now)
 		// That drain may have dispatched a readahead staging this block.
+		// The drain's own latency counts against the budget too — the
+		// armed deadline turns an over-budget resolution into a clamped
+		// miss.
 		if wait, hit := t.consumeStagedLocked(now+lat, req.Key); hit {
-			return cleancache.ReadyPendingGet(true, now+lat+wait), lat
+			return t.armDeadline(now, cleancache.ReadyPendingGet(true, now+lat+wait)), lat
 		}
 	}
 	tag := t.nextTag
 	t.nextTag++
 	pg := cleancache.NewPendingGet(tag)
+	if t.opBudget > 0 {
+		pg.SetDeadline(now + t.opBudget)
+	}
 	t.waiters[tag] = pg
+	t.waiterKeys[tag] = req.Key
 	t.ring.PushTagged(tag, req, pages)
 	t.asyncGetOps++
 	if t.m != nil {
@@ -532,6 +676,17 @@ func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) 
 		lat += t.drainLocked(now + lat)
 	}
 	return pg, lat
+}
+
+// armDeadline arms a handle's latency budget relative to its submission
+// time (a no-op without a configured budget), so Resolve clamps an
+// over-budget resolution to a miss even for handles that never entered
+// the waiter table.
+func (t *Transport) armDeadline(now time.Duration, pg *PendingGet) *PendingGet {
+	if t.opBudget > 0 {
+		pg.SetDeadline(now + t.opBudget)
+	}
+	return pg
 }
 
 // resolveLocked turns a completed handle into the guest-visible
@@ -545,11 +700,27 @@ func (t *Transport) enqueueGetLocked(now time.Duration, req cleancache.Request) 
 //
 // ddlint:requires-lock mu
 func (t *Transport) resolveLocked(now, submitLat time.Duration, pg *PendingGet) cleancache.Response {
+	preExpired := pg.DeadlineExceeded() // watchdog fails were counted at the sweep
 	resp, first := pg.Resolve(now, submitLat)
 	if !first {
 		return resp
 	}
-	if pg.Failed() {
+	if tag := pg.Tag(); tag != 0 {
+		// A waiter can resolve without a delivered completion — its 0xF9
+		// frames were lost in flight, or the transport is being torn down
+		// — and must still release its table entries, or the waiter table
+		// leaks an entry per lost completion.
+		delete(t.waiters, tag)
+		delete(t.waiterKeys, tag)
+	}
+	if pg.DeadlineExceeded() {
+		if !preExpired {
+			t.deadlineMisses++
+			if t.m != nil {
+				t.m.deadlineMisses.Inc()
+			}
+		}
+	} else if pg.Failed() {
 		t.syncFailures++
 		if t.m != nil {
 			t.m.syncFailures.Inc()
@@ -563,9 +734,22 @@ func (t *Transport) resolveLocked(now, submitLat time.Duration, pg *PendingGet) 
 // the entry is consumed (gets are exclusive) and the returned wait is
 // the time until its fill completes — zero for a block staged in the
 // past. The fill already paid the page movement, so consumption is free.
+// Under a latency budget, a fill that will not be ready within the
+// budget is left staged (it may serve a later get once ready) and the
+// lookup misses now — the guest is not made to wait past its deadline
+// for a stalled prefetch.
 //
 // ddlint:requires-lock mu
 func (t *Transport) consumeStagedLocked(now time.Duration, key cleancache.Key) (time.Duration, bool) {
+	if t.opBudget > 0 {
+		if readyAt, ok := t.staged[key]; ok && readyAt-now > t.opBudget {
+			t.deadlineMisses++
+			if t.m != nil {
+				t.m.deadlineMisses.Inc()
+			}
+			return 0, false
+		}
+	}
 	readyAt, ok := t.stagedHitLocked(key)
 	if !ok {
 		return 0, false
@@ -663,12 +847,15 @@ func (t *Transport) invalidateStagedLocked(req cleancache.Request) {
 // either decoded the whole payload or saw none of it, so re-sending the
 // same frames cannot double-apply an op. The delivery timestamp `at`
 // advances through every attempt and backoff, so each retry hits the
-// fault plan at the virtual time it actually occurs. Returns the total
-// latency (at-now: crossings plus backoff) and whether the payload was
-// delivered within the attempt budget. Requires t.mu.
+// fault plan at the virtual time it actually occurs. A non-zero deadline
+// bounds the retry loop in virtual time: once `at` passes it, further
+// retries cannot produce an answer anyone is still waiting for, so the
+// crossing is abandoned early. Returns the total latency (at-now:
+// crossings plus backoff) and whether the payload was delivered within
+// the attempt and deadline budgets. Requires t.mu.
 //
 // ddlint:requires-lock mu
-func (t *Transport) crossLocked(now time.Duration, pages int, payload []byte, site string) (time.Duration, bool) {
+func (t *Transport) crossLocked(now time.Duration, pages int, payload []byte, site string, deadline time.Duration) (time.Duration, bool) {
 	at := now
 	backoff := t.retryBase
 	for attempt := 1; ; attempt++ {
@@ -678,6 +865,9 @@ func (t *Transport) crossLocked(now time.Duration, pages int, payload []byte, si
 			return at - now, true
 		}
 		if attempt >= t.maxAttempts {
+			return at - now, false
+		}
+		if deadline > 0 && at >= deadline {
 			return at - now, false
 		}
 		t.retries++
@@ -718,6 +908,10 @@ func (t *Transport) requeueLocked(at time.Duration) {
 	t.ring.DrainFrames(func(f Frame) {
 		idx++
 		if f.Tagged {
+			if _, gone := t.cancelled[f.Tag]; gone {
+				delete(t.cancelled, f.Tag) // watchdog already failed the waiter
+				return
+			}
 			t.failWaiterLocked(f.Tag, at)
 			return
 		}
@@ -760,6 +954,7 @@ func (t *Transport) failWaiterLocked(tag uint64, at time.Duration) {
 		return
 	}
 	delete(t.waiters, tag)
+	delete(t.waiterKeys, tag)
 	pg.Fail(at)
 }
 
@@ -769,6 +964,72 @@ func (t *Transport) Flush(now time.Duration) time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.drainLocked(now)
+}
+
+// Watchdog implements cleancache.DeadlineTransport: it sweeps the waiter
+// table for handles whose deadline has passed with the completion still
+// in flight, failing each as a deadline miss and releasing its
+// transport-side resources — the waiter-table entry now, the ring slot
+// at the next drain (via the cancelled-tag tombstone: the frame must not
+// dispatch, or the exclusive protocol would extract the block with
+// nobody left to consume it), and any staged readahead covering the same
+// block (a fill nobody is waiting for anymore). Returns how many waiters
+// it failed. A no-op without a configured budget.
+func (t *Transport) Watchdog(now time.Duration) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opBudget <= 0 {
+		return 0
+	}
+	n := 0
+	for tag, pg := range t.waiters {
+		dl := pg.Deadline()
+		if dl <= 0 || now < dl {
+			continue
+		}
+		delete(t.waiters, tag)
+		if key, ok := t.waiterKeys[tag]; ok {
+			delete(t.waiterKeys, tag)
+			delete(t.staged, key)
+		}
+		t.cancelled[tag] = struct{}{}
+		pg.FailDeadline(dl)
+		t.watchdogFails++
+		t.deadlineMisses++
+		if t.m != nil {
+			t.m.deadlineMisses.Inc()
+		}
+		n++
+	}
+	return n
+}
+
+// Close implements cleancache.DeadlineTransport: crash-safe teardown
+// with work still in flight. Buffered ops get one final drain (flushes
+// must reach the hypervisor; cancelled frames release their slots), any
+// waiter still pending afterwards fails as a miss, and the staging
+// buffer is dropped — staged blocks were already extracted from the
+// pools, so dropping them is the exclusive protocol's normal fail-to-
+// miss, never data loss. Counters survive Close; the waiter and staging
+// tables are empty afterwards.
+func (t *Transport) Close(now time.Duration) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lat := t.drainLocked(now)
+	for tag, pg := range t.waiters {
+		delete(t.waiters, tag)
+		delete(t.waiterKeys, tag)
+		pg.Fail(now + lat)
+	}
+	for tag := range t.cancelled {
+		delete(t.cancelled, tag)
+	}
+	t.stagedEvictions += int64(len(t.staged))
+	for key := range t.staged {
+		delete(t.staged, key)
+	}
+	t.stagedOrder = t.stagedOrder[:0]
+	return lat
 }
 
 // drainLocked delivers the buffered batch in one checksummed crossing:
@@ -789,7 +1050,14 @@ func (t *Transport) drainLocked(now time.Duration) time.Duration {
 		return 0
 	}
 	pages := t.ring.Pages()
-	lat, ok := t.crossLocked(now, pages, t.ring.Bytes(), SiteBatch)
+	// A configured budget caps the batch crossing's retry loop too: a
+	// drain is charged to whichever caller triggered it, and no caller
+	// should burn more than one budget's worth of retries on it.
+	var dl time.Duration
+	if t.opBudget > 0 {
+		dl = now + t.opBudget
+	}
+	lat, ok := t.crossLocked(now, pages, t.ring.Bytes(), SiteBatch, dl)
 	if !ok {
 		// Attempt budget exhausted: abandon the batch, salvaging what the
 		// contract requires (see requeueLocked).
@@ -813,6 +1081,14 @@ func (t *Transport) drainLocked(now time.Duration) time.Duration {
 	t.completions = t.completions[:0]
 	t.ring.DrainFrames(func(f Frame) {
 		if f.Tagged {
+			if _, gone := t.cancelled[f.Tag]; gone {
+				// The watchdog failed this frame's waiter while the frame
+				// sat in the ring: release the slot without dispatching —
+				// dispatching would extract the block under the exclusive
+				// protocol with nobody left to consume it.
+				delete(t.cancelled, f.Tag)
+				return
+			}
 			t.completeGetLocked(now+acc, f)
 			return
 		}
@@ -832,7 +1108,20 @@ func (t *Transport) drainLocked(now time.Duration) time.Duration {
 		acc += resp.Latency
 		t.observe(f.Req.Op, resp.Latency+perOp)
 	})
-	t.deliverCompletionsLocked()
+	// The completion frames (0xF9) cross back on their own delivery: the
+	// fault plan can stall or lose them independently of the submissions.
+	// Lost completions leave their waiters pending — the watchdog sweep
+	// or the await fallback fails each as a miss within its budget.
+	var cdelay time.Duration
+	if len(t.completions) > 0 && t.ch.Faulty() {
+		var lost bool
+		cdelay, lost = t.ch.CompletionFault(now + acc)
+		if lost {
+			t.completionDrops++
+			t.completions = t.completions[:0]
+		}
+	}
+	t.deliverCompletionsLocked(cdelay)
 	return acc
 }
 
@@ -879,10 +1168,12 @@ func (t *Transport) stagedHitLocked(key cleancache.Key) (time.Duration, bool) {
 
 // deliverCompletionsLocked decodes the drain's completion frames — the
 // same bytes a real transport would write into the shared completion
-// ring — and demultiplexes each to its waiter by tag. Requires t.mu.
+// ring — and demultiplexes each to its waiter by tag, with delay (an
+// injected completion-path latency) added to every ready-time. Requires
+// t.mu.
 //
 // ddlint:requires-lock mu
-func (t *Transport) deliverCompletionsLocked() {
+func (t *Transport) deliverCompletionsLocked(delay time.Duration) {
 	b := t.completions
 	for len(b) > 0 {
 		c, n, err := DecodeCompletion(b)
@@ -895,13 +1186,21 @@ func (t *Transport) deliverCompletionsLocked() {
 			continue
 		}
 		delete(t.waiters, c.Tag)
-		pg.Complete(c.Ok, c.At)
+		delete(t.waiterKeys, c.Tag)
+		pg.Complete(c.Ok, c.At+delay)
 	}
 	t.completions = t.completions[:0]
 }
 
-// observe records one op's charged latency in its per-op-code histogram.
+// observe records one op's charged latency in its per-op-code histogram
+// and tracks the worst charge any single get saw — the liveness bound
+// the deadline budget enforces.
+//
+// ddlint:requires-lock mu
 func (t *Transport) observe(op cleancache.OpCode, d time.Duration) {
+	if op == cleancache.OpGet && d > t.maxGetLat {
+		t.maxGetLat = d
+	}
 	if t.m == nil {
 		return
 	}

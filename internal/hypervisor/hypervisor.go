@@ -67,6 +67,21 @@ type Config struct {
 	// Breaker tunes the cache manager's SSD circuit breaker; the zero
 	// value keeps the defaults.
 	Breaker ddcache.BreakerConfig
+	// OpBudget is the per-operation latency budget every VM's transport
+	// enforces on the data path (see hypercall.Options.OpBudget); zero
+	// disables deadlines. Overrides Transport.OpBudget when set.
+	OpBudget time.Duration
+	// WatchdogPeriod is each guest's deadline-watchdog tick period; zero
+	// with OpBudget set defaults to OpBudget (a waiter is failed at most
+	// one budget late).
+	WatchdogPeriod time.Duration
+	// MaxInflightGets and MaxQueuedOps are the per-VM transport admission
+	// caps (see hypercall.Options); zero means unlimited.
+	MaxInflightGets int
+	MaxQueuedOps    int
+	// MaxInflightOps is the hypervisor-wide admission budget on the cache
+	// manager (see ddcache.Config.MaxInflightOps); zero disables it.
+	MaxInflightOps int64
 }
 
 // Host is a physical machine running the DoubleDecker-enabled hypervisor.
@@ -81,6 +96,7 @@ type Host struct {
 	topts      hypercall.Options
 	tick       time.Duration
 	rawin      int
+	wdog       time.Duration
 	transports map[cleancache.VMID]*hypercall.Transport
 }
 
@@ -108,6 +124,21 @@ func New(engine *sim.Engine, cfg Config) *Host {
 	if cfg.ReadAheadWindow < 0 {
 		cfg.ReadAheadWindow = 0
 	}
+	// Deadline and admission plumbing: the host-level knobs override the
+	// raw transport options, and a budget without a watchdog period gets
+	// one — a waiter is then failed at most one budget past its deadline.
+	if cfg.OpBudget > 0 {
+		topts.OpBudget = cfg.OpBudget
+	}
+	if cfg.MaxInflightGets > 0 {
+		topts.MaxInflightGets = cfg.MaxInflightGets
+	}
+	if cfg.MaxQueuedOps > 0 {
+		topts.MaxQueuedOps = cfg.MaxQueuedOps
+	}
+	if cfg.WatchdogPeriod == 0 && topts.OpBudget > 0 {
+		cfg.WatchdogPeriod = topts.OpBudget
+	}
 	h := &Host{
 		engine:     engine,
 		ram:        blockdev.NewRAM("host-ram"),
@@ -117,6 +148,7 @@ func New(engine *sim.Engine, cfg Config) *Host {
 		topts:      topts,
 		tick:       cfg.GuestFlushInterval,
 		rawin:      cfg.ReadAheadWindow,
+		wdog:       cfg.WatchdogPeriod,
 		transports: make(map[cleancache.VMID]*hypercall.Transport),
 	}
 	mcfg := ddcache.Config{
@@ -125,6 +157,7 @@ func New(engine *sim.Engine, cfg Config) *Host {
 		VictimSelector:  cfg.VictimSelector,
 		Metrics:         cfg.Metrics,
 		Breaker:         cfg.Breaker,
+		MaxInflightOps:  cfg.MaxInflightOps,
 	}
 	if cfg.MemCacheBytes > 0 {
 		mcfg.Mem = store.NewMem(h.ram, cfg.MemCacheBytes)
@@ -154,6 +187,9 @@ func (h *Host) NewVM(id cleancache.VMID, memBytes int64, weight int64) *guest.VM
 		front = cleancache.NewFront(id, tr)
 	}
 	gcfg := guest.Config{ID: id, MemBytes: memBytes, HypercallFlushInterval: h.tick, ReadAheadWindow: h.rawin}
+	if h.topts.OpBudget > 0 {
+		gcfg.WatchdogPeriod = h.wdog
+	}
 	if h.diskFor != nil {
 		gcfg.Disk = h.diskFor(id)
 	}
@@ -209,6 +245,15 @@ func (h *Host) TransportStats() hypercall.TransportStats {
 		agg.RequeuedOps += s.RequeuedOps
 		agg.FlushAbandoned += s.FlushAbandoned
 		agg.SyncFailures += s.SyncFailures
+		agg.DeadlineMisses += s.DeadlineMisses
+		agg.WatchdogFails += s.WatchdogFails
+		agg.ShedGets += s.ShedGets
+		agg.ShedOps += s.ShedOps
+		agg.CompletionDrops += s.CompletionDrops
+		agg.Waiters += s.Waiters
+		if s.MaxGetLatency > agg.MaxGetLatency {
+			agg.MaxGetLatency = s.MaxGetLatency
+		}
 	}
 	return agg
 }

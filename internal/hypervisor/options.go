@@ -88,3 +88,25 @@ func WithFaults(inj *fault.Injector) Option { return func(c *Config) { c.Faults 
 
 // WithBreaker tunes the cache manager's SSD circuit breaker.
 func WithBreaker(b ddcache.BreakerConfig) Option { return func(c *Config) { c.Breaker = b } }
+
+// WithDeadlines enables the per-op latency budget on every VM's transport
+// and the guest watchdog tick that enforces it for async waiters. A zero
+// period defaults to the budget itself.
+func WithDeadlines(budget, watchdogPeriod time.Duration) Option {
+	return func(c *Config) {
+		c.OpBudget = budget
+		c.WatchdogPeriod = watchdogPeriod
+	}
+}
+
+// WithAdmission sets the admission-control caps: per-VM inflight async
+// gets and queued batchable ops on each transport, plus the
+// hypervisor-wide inflight budget on the cache manager. Zero leaves a cap
+// unlimited.
+func WithAdmission(inflightGets, queuedOps int, managerOps int64) Option {
+	return func(c *Config) {
+		c.MaxInflightGets = inflightGets
+		c.MaxQueuedOps = queuedOps
+		c.MaxInflightOps = managerOps
+	}
+}

@@ -46,6 +46,10 @@ type IOStats struct {
 	DiskReads  int64 // blocks read from the virtual disk
 	DiskWrites int64 // blocks written back
 	CCHits     int64 // misses served by the second-chance cache
+	// DeadlineFallbacks counts misses caused by a second-chance probe
+	// blowing its latency budget: the transport failed the get to a miss
+	// and the read fell back to disk instead of blocking past budget.
+	DeadlineFallbacks int64
 }
 
 // Cache is one VM's page cache.
@@ -354,6 +358,9 @@ func (c *Cache) readPipelined(base time.Duration, g *cgroup.Group, f *fsmodel.Fi
 			lat += wl
 			pb := wb + int64(i)
 			if !hit {
+				if pr.Expired() {
+					st.DeadlineFallbacks++
+				}
 				if runLen == 0 {
 					runStart = pb
 				}
