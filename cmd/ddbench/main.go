@@ -11,6 +11,7 @@
 //	ddbench [-quick] -faultjson BENCH_fault.json
 //	ddbench [-quick] -livenessjson BENCH_liveness.json
 //	ddbench [-quick] -scalingjson BENCH_scaling.json [-minscaling F]
+//	ddbench [-quick] -tierjson BENCH_tier.json
 //	ddbench [-quick] -readpathjson BENCH_readpath.json [-minreadpath F]
 //	ddbench [-quick] -readpathmode e2e -readpathjson BENCH_readpath_e2e.json [-minreadpath F]
 //
@@ -37,6 +38,13 @@
 // writes throughput rows plus the 8-vs-1 speedups. -minscaling F makes
 // the run fail unless the sharded 8-guest throughput is at least F times
 // the sharded 1-guest throughput.
+//
+// -tierjson runs the capacity-overcommit tier experiment: one guest
+// works a 32 MiB set against 2 MiB of memory cache plus 4 MiB of SSD,
+// with and without a 64 MiB remote object-store third tier behind the
+// write-behind demotion queue. The run fails unless the remote-on hit
+// ratio is strictly above the remote-off baseline at identical mem+SSD —
+// the gate that keeps the third tier earning its keep.
 //
 // -transportjson runs the batched-vs-unbatched hypercall transport
 // benchmark and writes machine-readable results (hypercalls/op, ns/op,
@@ -97,6 +105,7 @@ func run(args []string) error {
 	scalingJSON := fs.String("scalingjson", "", "write the hot-path scaling benchmark as JSON to this file and exit")
 	minScaling := fs.Float64("minscaling", 0, "fail unless sharded 8-guest throughput is at least this multiple of 1-guest (0 = no gate)")
 	livenessJSON := fs.String("livenessjson", "", "write the liveness benchmark as JSON to this file and exit")
+	tierJSON := fs.String("tierjson", "", "write the remote-tier overcommit benchmark as JSON to this file and exit")
 	readPathJSON := fs.String("readpathjson", "", "write the read-path benchmark as JSON to this file and exit")
 	readPathMode := fs.String("readpathmode", "transport", "read-path benchmark flavor: 'transport' (raw transport gets) or 'e2e' (full guest stack through pagecache.Cache.Read)")
 	minReadPath := fs.Float64("minreadpath", 0, "fail unless the pipelined 8-guest read throughput is at least this multiple of the sync baseline (0 = no gate)")
@@ -117,6 +126,9 @@ func run(args []string) error {
 	}
 	if *scalingJSON != "" {
 		return writeScalingJSON(*scalingJSON, *seed, *quick, *minScaling)
+	}
+	if *tierJSON != "" {
+		return writeTierJSON(*tierJSON, *seed, *quick, *stretch)
 	}
 	if *readPathJSON != "" {
 		switch *readPathMode {
@@ -850,5 +862,88 @@ func writeFaultJSON(path string, seed int64, quick bool, stretch float64) error 
 	fmt.Printf("wrote %s: breaker trips %d, restores %d, vm2 hit %% %.1f → %.1f, vm1 impact %.2fx\n",
 		path, b.Faulted.Breaker.Trips, b.Faulted.Breaker.Restores,
 		b.Healthy.VM2HitPct, b.Faulted.VM2HitPct, b.VM1Impact)
+	return nil
+}
+
+// tierMode is the JSON shape of one overcommit run.
+type tierMode struct {
+	Run              string  `json:"run"`
+	RemoteMiB        int64   `json:"remote_mib"`
+	HitPct           float64 `json:"hit_pct"`
+	TickUS           float64 `json:"tick_us"`
+	Ticks            int64   `json:"ticks"`
+	NSPerTick        float64 `json:"ns_per_tick"`
+	Demoted          int64   `json:"demoted"`
+	DemotionsDropped int64   `json:"demotions_dropped"`
+	Cancelled        int64   `json:"demotions_cancelled"`
+	RemoteRequests   int64   `json:"remote_requests"`
+	RemoteBytes      int64   `json:"remote_bytes"`
+	RemoteCostNanos  int64   `json:"remote_cost_nanos"`
+	BreakerTrips     int64   `json:"breaker_trips"`
+}
+
+// writeTierJSON runs the capacity-overcommit tier scenario with the
+// remote third tier off and on (identical mem+SSD) and emits
+// BENCH_tier.json for CI tracking. The built-in gate fails the run
+// unless the remote-on hit ratio is strictly above the remote-off
+// baseline — and sanity-checks that the on-run actually demoted.
+func writeTierJSON(path string, seed int64, quick bool, stretch float64) error {
+	opts := experiments.DefaultOpts()
+	if quick {
+		opts = experiments.QuickOpts()
+	}
+	opts.Seed = seed
+	if stretch > 0 {
+		opts.Stretch = stretch
+	}
+	b := experiments.TierBench(opts)
+	toMode := func(m experiments.TierModeResult) tierMode {
+		d := m.Demotions
+		return tierMode{
+			Run:              m.Label,
+			RemoteMiB:        m.RemoteMiB,
+			HitPct:           m.HitPct,
+			TickUS:           m.TickUS,
+			Ticks:            m.Ticks,
+			NSPerTick:        m.WallNSPerTick,
+			Demoted:          d.Drained,
+			DemotionsDropped: d.DroppedFull + d.DroppedError + d.DroppedBreaker,
+			Cancelled:        d.Cancelled,
+			RemoteRequests:   m.Cost.Requests,
+			RemoteBytes:      m.Cost.Bytes,
+			RemoteCostNanos:  m.Cost.CostNanos,
+			BreakerTrips:     m.Breaker.Trips,
+		}
+	}
+	out := struct {
+		Benchmark string     `json:"benchmark"`
+		Seed      int64      `json:"seed"`
+		Stretch   float64    `json:"stretch"`
+		Modes     []tierMode `json:"modes"`
+		HitGain   float64    `json:"hit_gain_points"`
+	}{
+		Benchmark: "tier",
+		Seed:      seed,
+		Stretch:   opts.Stretch,
+		Modes:     []tierMode{toMode(b.Off), toMode(b.On)},
+		HitGain:   b.HitGain,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: hit %% %.1f → %.1f (+%.1f points) with the remote tier on; %d demotions drained at %d modeled requests\n",
+		path, b.Off.HitPct, b.On.HitPct, b.HitGain, b.On.Demotions.Drained, b.On.Cost.Requests)
+	if b.On.HitPct <= b.Off.HitPct {
+		return fmt.Errorf("remote-on hit ratio %.2f%% is not strictly above the remote-off baseline %.2f%%",
+			b.On.HitPct, b.Off.HitPct)
+	}
+	if b.On.Demotions.Drained == 0 {
+		return fmt.Errorf("remote-on run drained no demotions — the third tier was never exercised")
+	}
 	return nil
 }

@@ -36,6 +36,7 @@ import (
 	"doubledecker/internal/guest"
 	"doubledecker/internal/hypervisor"
 	"doubledecker/internal/sim"
+	"doubledecker/internal/store/remote"
 	"doubledecker/internal/workload"
 )
 
@@ -88,11 +89,29 @@ type FaultsConfig struct {
 	BreakerProbes     int          `json:"breakerProbes,omitempty"`
 }
 
+// RemoteConfig tunes the modeled remote object store and its
+// write-behind demotion queue; zero fields keep the package defaults.
+type RemoteConfig struct {
+	BaseLatencyMicros   int64 `json:"baseLatencyMicros,omitempty"`
+	JitterMicros        int64 `json:"jitterMicros,omitempty"`
+	BytesPerSec         int64 `json:"bytesPerSec,omitempty"`
+	CostPerRequestNanos int64 `json:"costPerRequestNanos,omitempty"`
+	CostPerGiBNanos     int64 `json:"costPerGiBNanos,omitempty"`
+	MaxDirtyMiB         int64 `json:"maxDirtyMiB,omitempty"`
+	DemoteBatchKiB      int64 `json:"demoteBatchKiB,omitempty"`
+}
+
 // HostConfig describes the hypervisor cache.
 type HostConfig struct {
 	Mode        string `json:"mode"` // "dd" or "global"
 	MemCacheMiB int64  `json:"memCacheMiB"`
 	SSDCacheMiB int64  `json:"ssdCacheMiB"`
+	// RemoteCacheMiB, when positive, adds the remote object-store third
+	// tier: SSD evictions demote into it through the write-behind queue
+	// and come back as slow hits. The optional "remote" block tunes the
+	// modeled service.
+	RemoteCacheMiB int64         `json:"remoteCacheMiB,omitempty"`
+	Remote         *RemoteConfig `json:"remote,omitempty"`
 	// ReadAheadWindow overrides the guests' pipelined-read window in
 	// blocks: 0 keeps the stock default, negative disables readahead
 	// while keeping the async transport.
@@ -170,6 +189,8 @@ func storeType(s string) (cgroup.StoreType, error) {
 		return cgroup.StoreSSD, nil
 	case "hybrid":
 		return cgroup.StoreHybrid, nil
+	case "remote":
+		return cgroup.StoreRemote, nil
 	default:
 		return 0, fmt.Errorf("unknown store %q", s)
 	}
@@ -263,11 +284,25 @@ func simulate(cfg Config, out *os.File) error {
 		mode = ddcache.ModeGlobal
 	}
 	hcfg := hypervisor.Config{
-		Mode:            mode,
-		MemCacheBytes:   cfg.Host.MemCacheMiB * mib,
-		SSDCacheBytes:   cfg.Host.SSDCacheMiB * mib,
-		ReadAheadWindow: cfg.Host.ReadAheadWindow,
-		NoPipeline:      cfg.Host.NoPipeline,
+		Mode:             mode,
+		MemCacheBytes:    cfg.Host.MemCacheMiB * mib,
+		SSDCacheBytes:    cfg.Host.SSDCacheMiB * mib,
+		RemoteCacheBytes: cfg.Host.RemoteCacheMiB * mib,
+		ReadAheadWindow:  cfg.Host.ReadAheadWindow,
+		NoPipeline:       cfg.Host.NoPipeline,
+	}
+	if rc := cfg.Host.Remote; rc != nil {
+		hcfg.Remote = remote.Config{
+			BaseLatency:         time.Duration(rc.BaseLatencyMicros) * time.Microsecond,
+			Jitter:              time.Duration(rc.JitterMicros) * time.Microsecond,
+			BytesPerSec:         rc.BytesPerSec,
+			CostPerRequestNanos: rc.CostPerRequestNanos,
+			CostPerGiBNanos:     rc.CostPerGiBNanos,
+		}
+		hcfg.Demotion = ddcache.DemotionConfig{
+			MaxDirtyBytes: rc.MaxDirtyMiB * mib,
+			BatchBytes:    rc.DemoteBatchKiB << 10,
+		}
 	}
 	if dc := cfg.Deadlines; dc != nil {
 		hcfg.OpBudget = time.Duration(dc.BudgetMicros) * time.Microsecond
@@ -332,15 +367,21 @@ func simulate(cfg Config, out *os.File) error {
 	}
 	now := engine.Now()
 	fmt.Fprintf(out, "scenario complete at t=%v (mode %v)\n\n", now, mode)
-	fmt.Fprintf(out, "%-4s %-12s %10s %10s %12s %12s %10s %10s\n",
-		"vm", "container", "ops/s", "MB/s", "cache MiB", "hit %", "evictions", "swap MiB")
+	fmt.Fprintf(out, "%-4s %-12s %10s %10s %10s %10s %11s %12s %10s %10s\n",
+		"vm", "container", "ops/s", "MB/s", "mem MiB", "ssd MiB", "remote MiB", "hit %", "evictions", "swap MiB")
 	for _, t := range all {
 		cs := t.container.CacheStats()
 		g := t.container.Group()
-		fmt.Fprintf(out, "%-4d %-12s %10.1f %10.2f %12.1f %12.1f %10d %10.1f\n",
+		vm := cleancache.VMID(t.vmID)
+		pool := cleancache.PoolID(g.PoolID())
+		tierMiB := func(st cgroup.StoreType) float64 {
+			return float64(host.Manager().PoolStoreBytes(vm, pool, st)) / float64(mib)
+		}
+		fmt.Fprintf(out, "%-4d %-12s %10.1f %10.2f %10.1f %10.1f %11.1f %12.1f %10d %10.1f\n",
 			t.vmID, t.container.Name(),
 			t.runner.OpsPerSec(now), t.runner.MBPerSec(now),
-			float64(cs.UsedBytes)/float64(mib), cs.HitRatio(), cs.Evictions,
+			tierMiB(cgroup.StoreMem), tierMiB(cgroup.StoreSSD), tierMiB(cgroup.StoreRemote),
+			cs.HitRatio(), cs.Evictions,
 			float64(g.Stats().SwapOutPages)*4096/float64(mib))
 	}
 	fmt.Fprintf(out, "\nhypercall transport per VM:\n")
@@ -376,10 +417,28 @@ func simulate(cfg Config, out *os.File) error {
 		}
 		fmt.Fprintf(out, "manager admission: %d ops shed hypervisor-wide\n", host.Manager().ShedOps())
 	}
+	if cfg.Host.RemoteCacheMiB > 0 {
+		host.Manager().FlushDemotions(engine.Now())
+		ds := host.Manager().DemotionStats()
+		cost := host.Remote().Cost()
+		fmt.Fprintf(out, "\nremote tier: %.1f / %d MiB used, demotions drained %d cancelled %d dropped %d (full %d, error %d, breaker %d)\n",
+			float64(host.Manager().StoreUsedBytes(cgroup.StoreRemote))/float64(mib),
+			cfg.Host.RemoteCacheMiB,
+			ds.Drained, ds.Cancelled,
+			ds.DroppedFull+ds.DroppedError+ds.DroppedBreaker,
+			ds.DroppedFull, ds.DroppedError, ds.DroppedBreaker)
+		fmt.Fprintf(out, "remote bill: %d requests, %.1f MiB moved, %.2f m$ modeled\n",
+			cost.Requests, float64(cost.Bytes)/float64(mib), float64(cost.CostNanos)/1e6)
+	}
 	if inj != nil {
 		bs := host.Manager().SSDBreakerStats()
 		fmt.Fprintf(out, "\nssd circuit breaker: state %s, trips %d, probes %d, restores %d\n",
 			bs.State, bs.Trips, bs.Probes, bs.Restores)
+		if cfg.Host.RemoteCacheMiB > 0 {
+			rb := host.Manager().RemoteBreakerStats()
+			fmt.Fprintf(out, "remote circuit breaker: state %s, trips %d, probes %d, restores %d\n",
+				rb.State, rb.Trips, rb.Probes, rb.Restores)
+		}
 		fmt.Fprintf(out, "injected faults (%d total):\n%s", inj.Injected(fault.KindNone), inj.Summary())
 	}
 	return nil
@@ -388,7 +447,10 @@ func simulate(cfg Config, out *os.File) error {
 const exampleConfig = `{
   "seed": 42,
   "durationSeconds": 180,
-  "host": {"mode": "dd", "memCacheMiB": 256, "ssdCacheMiB": 4096},
+  "host": {"mode": "dd", "memCacheMiB": 256, "ssdCacheMiB": 4096,
+           "remoteCacheMiB": 16384,
+           "remote": {"baseLatencyMicros": 800, "jitterMicros": 400,
+                      "maxDirtyMiB": 8, "demoteBatchKiB": 2048}},
   "deadlines": {"budgetMicros": 5000, "watchdogPeriodMicros": 2500},
   "limits": {"maxInflightGets": 128, "maxQueuedOps": 400, "maxInflightOps": 1024},
   "faults": {

@@ -34,11 +34,15 @@ const (
 type StoreType int
 
 // Store types. Hybrid (memory share with SSD spill) is the configuration
-// option the paper describes and defers detailed evaluation of.
+// option the paper describes and defers detailed evaluation of. Remote
+// names the modeled object-store third tier (ROADMAP item 1): cold
+// objects demote mem→SSD→remote and a remote hit is served as a slow
+// hit with the modeled round-trip charged.
 const (
 	StoreMem StoreType = iota + 1
 	StoreSSD
 	StoreHybrid
+	StoreRemote
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +54,8 @@ func (t StoreType) String() string {
 		return "ssd"
 	case StoreHybrid:
 		return "hybrid"
+	case StoreRemote:
+		return "remote"
 	default:
 		return fmt.Sprintf("StoreType(%d)", int(t))
 	}

@@ -411,6 +411,11 @@ type PoolStats struct {
 	Puts             int64
 	PutRejects       int64
 	Evictions        int64
+	// Demotions counts objects moved down the tier ladder by capacity
+	// enforcement instead of evicted outright (the write-behind third
+	// tier); a demoted object is still cached, so it is deliberately not
+	// part of Evictions.
+	Demotions int64
 	// ReadAheadGets counts blocks probed by READ_AHEAD bulk extraction
 	// (including the terminating miss probe); ReadAheadHits counts the
 	// blocks actually extracted. They stay out of Gets/GetHits: a staged

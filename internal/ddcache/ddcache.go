@@ -8,7 +8,11 @@
 //     host administrator, per-container <T, W> tuples set from inside each
 //     VM;
 //   - memory and SSD cache stores, plus the hybrid (mem with SSD spill)
-//     configuration option the paper describes;
+//     configuration option the paper describes, plus an optional third
+//     tier: a modeled remote object store (see internal/store/remote)
+//     that cold objects demote into through an asynchronous write-behind
+//     queue (see demote.go) — mem evicts to SSD, SSD evicts to remote,
+//     remote evictions are true drops;
 //   - resource-conservative eviction: objects are evicted only when a
 //     store reaches capacity, using the paper's Algorithm 1 victim
 //     selection (VM level first, then container level) in 2 MiB batches;
@@ -41,30 +45,32 @@
 //     N-way sharded hash table (see dedup.go): contentKey hashes select
 //     a shard mutex, replacing the old manager-global dedupMu.
 //   - Capacity enforcement batches under a per-store eviction token
-//     (evictMemMu/evictSSDMu), so at most one evictor per store runs
-//     Algorithm 1 at a time while readers and same-store putters keep
-//     flowing.
+//     (Manager.evictTokens, one slot per tier), so at most one evictor
+//     per store runs Algorithm 1 at a time while readers and same-store
+//     putters keep flowing.
 //
 // The lock hierarchy, from outermost to innermost:
 //
 //  1. Manager.configMu — serializes configuration/structural operations
 //     (VM registration, pool create/destroy, weight/spec/capacity
 //     changes). Never taken by data-path operations.
-//  2. Eviction tokens (Manager.evictMemMu, Manager.evictSSDMu) — one
-//     evictor per store. Taken with configMu held (capacity shrink) or
-//     with no lock held (Put slow path).
+//  2. Eviction tokens (Manager.evictTokens, one per tier) — one evictor
+//     per store. Taken with configMu held (capacity shrink) or with no
+//     lock held (Put slow path, demotion drain).
 //  3. vmState.mu — one VM's pool indexes and liveness flags. Cross-VM
 //     migration acquires two VM locks in VM-id order; every other
 //     operation holds at most one.
-//  4. Leaf locks: dedup shard mutexes, the SSD breaker's internal lock.
+//  4. Leaf locks: dedup shard mutexes, the breakers' internal locks, the
+//     demotion queue's ring mutex.
 //
 // The order is machine-checked: ddlint's lockorder analyzer verifies
 // every acquisition (including through callees) against the chains
-// below, with both eviction tokens folded onto one level under the
+// below, with all eviction tokens folded onto one level under the
 // Manager.evictToken alias.
 //
 // ddlint:lock-order Manager.configMu < Manager.evictToken < vmState.mu < dedupShard.mu
 // ddlint:lock-order Manager.configMu < Manager.evictToken < vmState.mu < breaker.mu
+// ddlint:lock-order Manager.configMu < Manager.evictToken < vmState.mu < demoteQueue.mu
 //
 // A goroutine may hold an epoch that a concurrent configuration change
 // has already superseded. That is safe by construction: epochs are
@@ -130,6 +136,15 @@ type Config struct {
 	// that backend.
 	Mem store.Backend
 	SSD store.Backend
+	// Remote is the third-tier object-store backend (typically
+	// store/remote); nil disables the tier. With a remote backend in
+	// ModeDD, evictions demote down the tier ladder through the
+	// write-behind queue instead of dropping (see demote.go).
+	Remote store.Backend
+	// Demotion tunes the write-behind demotion queue; the zero value
+	// selects the defaults documented on DemotionConfig. Only meaningful
+	// with a Remote backend in ModeDD.
+	Demotion DemotionConfig
 	// EvictBatchBytes is the eviction granularity; the paper uses 2 MiB.
 	EvictBatchBytes int64
 	// OpOverhead is the manager-internal CPU cost per operation.
@@ -157,6 +172,11 @@ type Config struct {
 	// defaults documented on BreakerConfig. The breaker exists whenever
 	// an SSD store is configured.
 	Breaker BreakerConfig
+	// RemoteBreaker tunes the remote tier's circuit breaker, which
+	// exists whenever a Remote backend is configured: while open, remote
+	// placements fall back to SSD-or-miss, remote-resident gets miss
+	// without invalidating, and queued demotions are dropped.
+	RemoteBreaker BreakerConfig
 	// MaxInflightOps is the hypervisor-wide admission budget: the number
 	// of data-path operations (gets, puts, readahead) allowed through
 	// Dispatch concurrently across every VM. Submissions over the budget
@@ -189,6 +209,7 @@ type poolCounters struct {
 	puts          atomic.Int64
 	putRejects    atomic.Int64
 	evictions     atomic.Int64
+	demotions     atomic.Int64
 	readaheadGets atomic.Int64
 	readaheadHits atomic.Int64
 }
@@ -200,6 +221,7 @@ func (c *poolCounters) snapshot() cleancache.PoolStats {
 		Puts:          c.puts.Load(),
 		PutRejects:    c.putRejects.Load(),
 		Evictions:     c.evictions.Load(),
+		Demotions:     c.demotions.Load(),
 		ReadAheadGets: c.readaheadGets.Load(),
 		ReadAheadHits: c.readaheadHits.Load(),
 	}
@@ -244,11 +266,12 @@ type Manager struct {
 	// dedup is the sharded cross-VM content-reference table (leaf locks).
 	dedup *dedupTable
 
-	// evictMemMu and evictSSDMu are the per-store eviction tokens (level
-	// 2): capacity enforcement for a store batches under its token
-	// instead of blocking readers store-wide.
-	evictMemMu sync.Mutex
-	evictSSDMu sync.Mutex
+	// evictTokens are the per-store eviction tokens (level 2), indexed
+	// by entSlot: capacity enforcement for a store batches under its
+	// token instead of blocking readers store-wide. Generalized from the
+	// old evictMemMu/evictSSDMu pair so every tier — including remote —
+	// gets its own token.
+	evictTokens [entSlots]sync.Mutex
 
 	// ssdBreaker guards the SSD store against a failing device: after
 	// Config.Breaker.Threshold errors in the sliding window, SSD traffic
@@ -257,6 +280,13 @@ type Manager struct {
 	// self-locking (its mutex is a leaf below the VM locks) and nil only
 	// when no SSD store is configured.
 	ssdBreaker *breaker
+	// remoteBreaker plays the same role for the remote tier (nil when no
+	// remote backend is configured); see Config.RemoteBreaker.
+	remoteBreaker *breaker
+
+	// demote is the write-behind demotion queue (see demote.go); nil
+	// unless a remote backend is configured in ModeDD.
+	demote *demoteQueue
 
 	// run-wide counters
 	nextSeq        atomic.Uint64
@@ -303,6 +333,12 @@ func NewManager(cfg Config) *Manager {
 	if cfg.SSD != nil {
 		m.ssdBreaker = newBreaker(cfg.Breaker, cfg.Metrics, "breaker.ssd")
 	}
+	if cfg.Remote != nil {
+		m.remoteBreaker = newBreaker(cfg.RemoteBreaker, cfg.Metrics, "breaker.remote")
+		if m.cfg.Mode == ModeDD {
+			m.demote = newDemoteQueue(m.cfg.Demotion)
+		}
+	}
 	return m
 }
 
@@ -316,6 +352,21 @@ func (m *Manager) backend(st cgroup.StoreType) store.Backend {
 		return m.cfg.Mem
 	case cgroup.StoreSSD:
 		return m.cfg.SSD
+	case cgroup.StoreRemote:
+		return m.cfg.Remote
+	default:
+		return nil
+	}
+}
+
+// tierBreaker returns the circuit breaker guarding st, or nil for tiers
+// without one (nil breakers allow all traffic).
+func (m *Manager) tierBreaker(st cgroup.StoreType) *breaker {
+	switch st {
+	case cgroup.StoreSSD:
+		return m.ssdBreaker
+	case cgroup.StoreRemote:
+		return m.remoteBreaker
 	default:
 		return nil
 	}
@@ -375,6 +426,12 @@ func (m *Manager) SetSSDCapacity(now time.Duration, n int64) time.Duration {
 	return m.setCapacity(now, cgroup.StoreSSD, n)
 }
 
+// SetRemoteCapacity resizes the remote tier at runtime; see
+// SetMemCapacity for the latency contract.
+func (m *Manager) SetRemoteCapacity(now time.Duration, n int64) time.Duration {
+	return m.setCapacity(now, cgroup.StoreRemote, n)
+}
+
 func (m *Manager) setCapacity(now time.Duration, st cgroup.StoreType, n int64) time.Duration {
 	be := m.backend(st)
 	if be == nil {
@@ -387,6 +444,9 @@ func (m *Manager) setCapacity(now time.Duration, st cgroup.StoreType, n int64) t
 	m.mutateEpoch(nil)
 	lat := m.cfg.OpOverhead
 	lat += m.enforceCapacity(now+lat, st, 0)
+	// A shrink may have demoted objects down the tier ladder; settle the
+	// queue before returning so the resize's cost is charged here.
+	lat += m.drainDemotions(now + lat)
 	return lat
 }
 
@@ -471,7 +531,7 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 	v := p.vm
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
+	for _, st := range tierOrder {
 		if npe.usesStore(st) || p.acct.UsedBytes(st) == 0 {
 			continue
 		}
@@ -495,9 +555,14 @@ func (m *Manager) SetSpec(_ time.Duration, _ cleancache.VMID, pool cleancache.Po
 //
 // Failure handling follows the cleancache contract: a fetch error
 // invalidates the entry and reports a miss — the guest re-reads the page
-// from its virtual disk, so dropping is always safe. While the SSD
-// breaker is open, gets of SSD-resident objects miss without invalidating
-// (the stored bytes are intact; only the device is being avoided).
+// from its virtual disk, so dropping is always safe. While a tier's
+// breaker is open, gets of objects resident there miss without
+// invalidating (the stored bytes are intact; only the device is being
+// avoided). A get that misses SSD but hits the remote tier is a slow
+// hit: the modeled round trip is charged in full. An object whose
+// demotion is still queued (Pending) hits at metadata cost — its bytes
+// sit in the write-behind buffer, no device is touched — and the hit
+// cancels the queued demotion.
 func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (bool, time.Duration) {
 	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
@@ -516,17 +581,19 @@ func (m *Manager) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) 
 	if obj == nil {
 		return false, lat
 	}
-	if obj.Store == cgroup.StoreSSD && !m.ssdBreaker.allow(now+lat) {
-		return false, lat
-	}
-	if be := m.backend(obj.Store); be != nil {
-		flat, err := be.Fetch(now+lat, obj.Size)
-		lat += flat
-		m.feedBreaker(now+lat, obj.Store, err)
-		if err != nil {
-			p.idx.Remove(obj)
-			m.releaseObject(obj)
+	if !obj.Pending {
+		if !m.tierBreaker(obj.Store).allow(now + lat) {
 			return false, lat
+		}
+		if be := m.backend(obj.Store); be != nil {
+			flat, err := be.Fetch(now+lat, obj.Size)
+			lat += flat
+			m.feedBreaker(now+lat, obj.Store, err)
+			if err != nil {
+				p.idx.Remove(obj)
+				m.releaseObject(obj)
+				return false, lat
+			}
 		}
 	}
 	p.counters.getHits.Add(1)
@@ -567,17 +634,19 @@ func (m *Manager) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache
 		if obj == nil {
 			break
 		}
-		if obj.Store == cgroup.StoreSSD && !m.ssdBreaker.allow(now+lat) {
-			break
-		}
-		if be := m.backend(obj.Store); be != nil {
-			flat, err := be.Fetch(now+lat, obj.Size)
-			lat += flat
-			m.feedBreaker(now+lat, obj.Store, err)
-			if err != nil {
-				p.idx.Remove(obj)
-				m.releaseObject(obj)
+		if !obj.Pending {
+			if !m.tierBreaker(obj.Store).allow(now + lat) {
 				break
+			}
+			if be := m.backend(obj.Store); be != nil {
+				flat, err := be.Fetch(now+lat, obj.Size)
+				lat += flat
+				m.feedBreaker(now+lat, obj.Store, err)
+				if err != nil {
+					p.idx.Remove(obj)
+					m.releaseObject(obj)
+					break
+				}
 			}
 		}
 		p.counters.readaheadHits.Add(1)
@@ -590,22 +659,27 @@ func (m *Manager) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache
 	return n, lat
 }
 
-// feedBreaker reports an SSD store operation's outcome to the circuit
-// breaker; operations on other stores are ignored.
+// feedBreaker reports a store operation's outcome to the tier's circuit
+// breaker; operations on tiers without a breaker are ignored.
 func (m *Manager) feedBreaker(now time.Duration, st cgroup.StoreType, err error) {
-	if st != cgroup.StoreSSD {
+	br := m.tierBreaker(st)
+	if br == nil {
 		return
 	}
 	if err != nil {
-		m.ssdBreaker.onFailure(now)
+		br.onFailure(now)
 	} else {
-		m.ssdBreaker.onSuccess()
+		br.onSuccess()
 	}
 }
 
 // SSDBreakerStats snapshots the SSD circuit breaker's state and event
 // counters (zero-valued, state "closed", when no SSD store is configured).
 func (m *Manager) SSDBreakerStats() BreakerStats { return m.ssdBreaker.snapshot() }
+
+// RemoteBreakerStats snapshots the remote tier's circuit breaker
+// (zero-valued, state "closed", when no remote backend is configured).
+func (m *Manager) RemoteBreakerStats() BreakerStats { return m.remoteBreaker.snapshot() }
 
 // Put handles the PUT op: stores a clean page evicted by the
 // guest, evicting per Algorithm 1 when the target store is full. With
@@ -615,8 +689,21 @@ func (m *Manager) SSDBreakerStats() BreakerStats { return m.ssdBreaker.snapshot(
 // The fast path runs entirely under the VM lock (epoch state is read
 // lock-free); only when the target store is full does Put drop to the
 // slow path, which evicts under the store's eviction token and then
-// re-validates everything.
-func (m *Manager) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
+// re-validates everything. Once the write-behind queue's dirty bytes
+// reach the demotion batch threshold, the put drains the queue after
+// releasing its locks — demotion I/O is batched onto put boundaries,
+// never charged to gets.
+func (m *Manager) Put(now time.Duration, vm cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
+	ok, lat := m.putInner(now, vm, key, content)
+	if m.demote.ready() {
+		lat += m.drainDemotions(now + lat)
+	}
+	return ok, lat
+}
+
+// putInner is Put minus the demotion-drain trigger; it returns with no
+// locks held.
+func (m *Manager) putInner(now time.Duration, _ cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
 	pe, ok := m.epoch.Load().pools[key.Pool]
 	if !ok {
 		return false, 0
@@ -736,8 +823,20 @@ func (m *Manager) commitPut(now time.Duration, p *poolState, st cgroup.StoreType
 }
 
 // releaseObject drops an object's physical storage, honouring shared
-// deduplicated copies.
+// deduplicated copies. A Pending object holds no backend storage — its
+// bytes sit in the write-behind buffer — so releasing it just cancels
+// the queued demotion; the drain skips the settled entry. This is the
+// cancellation point every invalidation path (flush, exclusive get,
+// destroy, replace, eviction) funnels through, which is what makes a
+// demoted-then-staled block unable to resurrect: by the time the drain
+// reaches the entry, Pending is false and nothing is written. Callers
+// hold the owning VM's lock.
 func (m *Manager) releaseObject(obj *index.Object) {
+	if obj.Pending {
+		obj.Pending = false
+		m.demote.cancel(obj.Size)
+		return
+	}
 	be := m.backend(obj.Store)
 	if be == nil {
 		return
@@ -750,11 +849,12 @@ func (m *Manager) releaseObject(obj *index.Object) {
 
 // placementStore resolves where a pool's next object goes: its configured
 // store, or for hybrid pools memory until the pool's memory entitlement is
-// exhausted, then SSD (the paper's hybrid-mode semantics). When the SSD
-// breaker is open, SSD placements transparently degrade to the memory
-// store if one exists; otherwise ok is false and the put is rejected (the
-// page is simply not cached — cleancache-safe). Reads only epoch state
-// and atomic accounting, so callers need no lock.
+// exhausted, then SSD (the paper's hybrid-mode semantics). Open breakers
+// walk placements down the fallback ladder — remote degrades to SSD (or
+// memory), SSD degrades to memory — and when no healthy tier remains, ok
+// is false and the put is rejected (the page is simply not cached —
+// cleancache-safe). Reads only epoch state and atomic accounting, so
+// callers need no lock.
 func (m *Manager) placementStore(now time.Duration, pe *epochPool) (st cgroup.StoreType, ok bool) {
 	if m.cfg.Mode == ModeGlobal {
 		// The nesting-agnostic baseline is a plain memory cache.
@@ -766,6 +866,15 @@ func (m *Manager) placementStore(now time.Duration, pe *epochPool) (st cgroup.St
 			return cgroup.StoreMem, true
 		}
 		st = cgroup.StoreSSD
+	}
+	if st == cgroup.StoreRemote && !m.remoteBreaker.allow(now) {
+		if m.cfg.SSD != nil {
+			st = cgroup.StoreSSD
+		} else if m.cfg.Mem != nil {
+			return cgroup.StoreMem, true
+		} else {
+			return 0, false
+		}
 	}
 	if st == cgroup.StoreSSD && !m.ssdBreaker.allow(now) {
 		if m.cfg.Mem != nil {
@@ -818,23 +927,27 @@ func (m *Manager) FlushInode(_ time.Duration, _ cleancache.VMID, pool cleancache
 // MigrateInode handles the MIGRATE_OBJECT op: cached blocks of a shared
 // file change pool ownership without moving data. Migration within one
 // VM holds that VM's lock; the cross-VM case acquires both VM locks in
-// VM-id order (the one place two VM locks are held at once).
-func (m *Manager) MigrateInode(_ time.Duration, _ cleancache.VMID, from, to cleancache.PoolID, inode uint64) time.Duration {
+// VM-id order (the one place two VM locks are held at once). The queue
+// is force-drained first — flush-before-migrate ordering — so a queued
+// demotion can never follow its object across a pool boundary; any
+// demotion racing in after the drain is dropped by migrateLocked.
+func (m *Manager) MigrateInode(now time.Duration, _ cleancache.VMID, from, to cleancache.PoolID, inode uint64) time.Duration {
+	lat := m.drainDemotions(now)
 	ep := m.epoch.Load()
 	src, okSrc := ep.pools[from]
 	dst, okDst := ep.pools[to]
 	if !okSrc || !okDst {
-		return 0
+		return lat
 	}
 	a, b := src.state.vm, dst.state.vm
 	if a == b {
 		a.mu.Lock()
 		defer a.mu.Unlock()
 		if src.state.dead || dst.state.dead {
-			return 0
+			return lat
 		}
 		m.migrateLocked(src.state, dst.state, inode)
-		return m.cfg.OpOverhead
+		return lat + m.cfg.OpOverhead
 	}
 	if b.id < a.id {
 		a, b = b, a
@@ -844,18 +957,26 @@ func (m *Manager) MigrateInode(_ time.Duration, _ cleancache.VMID, from, to clea
 	b.mu.Lock() // ddlint:lock-ok two VM locks taken in VM-id order, the documented same-level exception
 	defer b.mu.Unlock()
 	if src.state.dead || dst.state.dead {
-		return 0
+		return lat
 	}
 	m.migrateLocked(src.state, dst.state, inode)
-	return m.cfg.OpOverhead
+	return lat + m.cfg.OpOverhead
 }
 
-// migrateLocked moves inode's objects from src to dst. Callers hold the
-// VM lock(s) covering both pools.
+// migrateLocked moves inode's objects from src to dst. Objects whose
+// demotion is still queued are dropped instead of migrated: their bytes
+// exist only in the write-behind buffer, and the queue entry pins the
+// source pool, so handing them to dst would let a later drain write
+// into the wrong pool's accounting. Dropping is cleancache-safe.
+// Callers hold the VM lock(s) covering both pools.
 //
 // ddlint:requires-lock mu
 func (m *Manager) migrateLocked(src, dst *poolState, inode uint64) {
 	for _, obj := range src.idx.RemoveInode(inode) {
+		if obj.Pending {
+			m.releaseObject(obj)
+			continue
+		}
 		if replaced := dst.idx.Insert(obj); replaced != nil {
 			m.releaseObject(replaced)
 		}
@@ -874,7 +995,7 @@ func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancach
 	s.UsedBytes = pe.acct.TotalBytes()
 	s.Objects = pe.acct.Count()
 	var ent int64
-	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
+	for _, st := range tierOrder {
 		if pe.usesStore(st) {
 			ent += pe.ent[entSlot(st)]
 		}
@@ -883,17 +1004,28 @@ func (m *Manager) PoolStats(_ cleancache.VMID, pool cleancache.PoolID) cleancach
 	return s
 }
 
+// PoolStoreBytes reports the pool's bytes resident in one tier — the
+// per-tier breakdown of PoolStats.UsedBytes. Lock-free, same snapshot
+// caveats as PoolStats.
+func (m *Manager) PoolStoreBytes(_ cleancache.VMID, pool cleancache.PoolID, st cgroup.StoreType) int64 {
+	pe, ok := m.epoch.Load().pools[pool]
+	if !ok {
+		return 0
+	}
+	return pe.acct.UsedBytes(st)
+}
+
 // --- policy: capacity enforcement and Algorithm 1 --------------------------
 
 // evictToken returns the eviction token serializing capacity
 // enforcement for st, or nil for store types that are never enforced
-// directly (hybrid resolves to mem/SSD before eviction).
+// directly (hybrid resolves to a concrete tier before eviction). Every
+// concrete tier gets its own token slot — the old mem/ssd literal pair
+// silently gave any third store no token at all.
 func (m *Manager) evictToken(st cgroup.StoreType) *sync.Mutex {
 	switch st {
-	case cgroup.StoreMem:
-		return &m.evictMemMu
-	case cgroup.StoreSSD:
-		return &m.evictSSDMu
+	case cgroup.StoreMem, cgroup.StoreSSD, cgroup.StoreRemote:
+		return &m.evictTokens[entSlot(st)]
 	default:
 		return nil
 	}
@@ -932,6 +1064,15 @@ func (m *Manager) enforceCapacity(now time.Duration, st cgroup.StoreType, incomi
 // bytes actually freed. Victim selection reads the current epoch and the
 // pools' atomic accounting lock-free; the selected pool is then evicted
 // under its VM lock.
+//
+// With the write-behind queue active, each victim object demotes to the
+// next tier its pool's spec still uses instead of dropping: the source
+// bytes are freed immediately, the object is re-homed to the target tier
+// as Pending, and the actual device write happens at the next drain.
+// Objects fall back to a plain drop when the queue is at its dirtiness
+// bound, when their own demotion is still in flight (no chained
+// re-demotion), or when they hold a deduplicated copy (content refs are
+// keyed by store and do not transfer across tiers).
 func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 	ep := m.epoch.Load()
 	if m.cfg.Mode == ModeGlobal {
@@ -945,6 +1086,7 @@ func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 	if victim == nil {
 		return 0
 	}
+	target := m.demoteTarget(victim, st)
 	p := victim.state
 	v := p.vm
 	v.mu.Lock()
@@ -959,12 +1101,45 @@ func (m *Manager) evictBatch(st cgroup.StoreType, batch int64) int64 {
 			break
 		}
 		p.idx.Remove(obj)
-		m.releaseObject(obj)
+		if target != 0 && !obj.Pending && obj.Content == 0 && m.demote.tryEnqueue(p, obj) {
+			// The queue admitted the object: free the source tier's
+			// bytes and re-home it to the target tier as Pending. The
+			// drain cannot touch the entry yet — it reads Pending under
+			// the VM lock we hold.
+			m.releaseObject(obj)
+			obj.Store = target
+			obj.Pending = true
+			p.idx.Insert(obj)
+			p.counters.demotions.Add(1)
+		} else {
+			m.releaseObject(obj)
+			p.counters.evictions.Add(1)
+			m.totalEvictions.Add(1)
+		}
 		freed += obj.Size
-		p.counters.evictions.Add(1)
-		m.totalEvictions.Add(1)
 	}
 	return freed
+}
+
+// demoteTarget resolves where evictions from st in pe's pool demote to:
+// the next tier of tierOrder the pool's spec uses and a backend exists
+// for, or 0 when evictions are plain drops (no queue, mem-only or
+// remote-tier evictions, Global mode).
+func (m *Manager) demoteTarget(pe *epochPool, st cgroup.StoreType) cgroup.StoreType {
+	if m.demote == nil {
+		return 0
+	}
+	past := false
+	for _, t := range tierOrder {
+		if t == st {
+			past = true
+			continue
+		}
+		if past && pe.usesStore(t) && m.backend(t) != nil {
+			return t
+		}
+	}
+	return 0
 }
 
 // evictGlobalFIFO implements the baseline's container-agnostic policy:

@@ -22,6 +22,7 @@ import (
 	"doubledecker/internal/ddcache"
 	"doubledecker/internal/ddcache/oracle"
 	"doubledecker/internal/store"
+	"doubledecker/internal/store/remote"
 )
 
 // duo drives a sharded Manager and a sequential Oracle in lockstep.
@@ -30,10 +31,12 @@ type duo struct {
 	m *ddcache.Manager
 	o *oracle.Oracle
 
-	oMem, oSSD store.Backend // the oracle's stores, for physical-usage compares
-	memCap     int64
-	ssdCap     int64
-	dedup      bool
+	// the oracle's stores, for physical-usage compares
+	oMem, oSSD, oRemote store.Backend
+	memCap              int64
+	ssdCap              int64
+	remoteCap           int64
+	dedup               bool
 
 	vms     []cleancache.VMID
 	created []cleancache.PoolID // every pool id ever returned
@@ -43,9 +46,17 @@ type duo struct {
 }
 
 func newDuo(t testing.TB, mode ddcache.Mode, memCap, ssdCap, batch int64, dedup bool) *duo {
+	return newTieredDuo(t, mode, memCap, ssdCap, 0, batch, dedup)
+}
+
+// newTieredDuo builds a manager/oracle pair over up to three tiers. The
+// remote tier's modeled latencies are a pure function of the call
+// sequence (see store/remote), so the two independent instances stay in
+// lockstep and even slow-hit latencies must compare equal.
+func newTieredDuo(t testing.TB, mode ddcache.Mode, memCap, ssdCap, remoteCap, batch int64, dedup bool) *duo {
 	mcfg := ddcache.Config{Mode: mode, EvictBatchBytes: batch, Dedup: dedup}
 	ocfg := oracle.Config{Mode: oracle.Mode(mode), EvictBatchBytes: batch, Dedup: dedup}
-	d := &duo{t: t, memCap: memCap, ssdCap: ssdCap, dedup: dedup}
+	d := &duo{t: t, memCap: memCap, ssdCap: ssdCap, remoteCap: remoteCap, dedup: dedup}
 	if memCap > 0 {
 		mcfg.Mem = store.NewMem(blockdev.NewRAM("m.ram"), memCap)
 		d.oMem = store.NewMem(blockdev.NewRAM("o.ram"), memCap)
@@ -55,6 +66,15 @@ func newDuo(t testing.TB, mode ddcache.Mode, memCap, ssdCap, batch int64, dedup 
 		mcfg.SSD = store.NewSSD(blockdev.NewSSD("m.ssd"), ssdCap)
 		d.oSSD = store.NewSSD(blockdev.NewSSD("o.ssd"), ssdCap)
 		ocfg.SSD = d.oSSD
+	}
+	if remoteCap > 0 {
+		// A small demotion queue keeps the drain triggers firing often.
+		dq := ddcache.DemotionConfig{MaxDirtyBytes: 64 << 10, BatchBytes: 16 << 10}
+		mcfg.Remote = remote.New(remote.Config{CapacityBytes: remoteCap})
+		mcfg.Demotion = dq
+		d.oRemote = remote.New(remote.Config{CapacityBytes: remoteCap})
+		ocfg.Remote = d.oRemote
+		ocfg.Demotion = oracle.DemotionConfig(dq)
 	}
 	d.m = ddcache.NewManager(mcfg)
 	d.o = oracle.New(ocfg)
@@ -94,14 +114,16 @@ func (d *duo) step(req cleancache.Request) cleancache.Response {
 	return rm
 }
 
-var bothStores = []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD}
+// allTiers is every concrete tier a three-level run can place objects
+// in; two-tier duos compare zero against zero for the remote slot.
+var allTiers = []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD, cgroup.StoreRemote}
 
 // barrier deep-compares every pool and VM the run has ever seen, plus
 // the global invariants the sharded implementation must preserve.
 func (d *duo) barrier() {
 	t := d.t
 	for _, id := range d.created {
-		for _, st := range bothStores {
+		for _, st := range allTiers {
 			if got, want := d.m.PoolUsedBytes(id, st), d.o.PoolUsedBytes(id, st); got != want {
 				t.Fatalf("op %d: pool %d used[%v]: manager %d, oracle %d", d.nops, id, st, got, want)
 			}
@@ -116,9 +138,9 @@ func (d *duo) barrier() {
 			t.Fatalf("op %d: pool %d stats:\n  manager %+v\n  oracle  %+v", d.nops, id, got, want)
 		}
 	}
-	var entSum [2]int64
+	var entSum [3]int64
 	for _, vm := range d.vms {
-		for si, st := range bothStores {
+		for si, st := range allTiers {
 			got, want := d.m.VMEntitlement(vm, st), d.o.VMEntitlement(vm, st)
 			if got != want {
 				t.Fatalf("op %d: vm %d entitlement[%v]: manager %d, oracle %d", d.nops, vm, st, got, want)
@@ -128,15 +150,15 @@ func (d *duo) barrier() {
 	}
 	// Entitlements sum to capacity (every registered VM has positive
 	// weight, so the largest-remainder shares are exhaustive).
-	for si, cap := range []int64{d.memCap, d.ssdCap} {
+	for si, cap := range []int64{d.memCap, d.ssdCap, d.remoteCap} {
 		if cap > 0 && entSum[si] != cap {
-			t.Fatalf("op %d: VM entitlements sum to %d, want capacity %d (store %v)", d.nops, entSum[si], cap, bothStores[si])
+			t.Fatalf("op %d: VM entitlements sum to %d, want capacity %d (store %v)", d.nops, entSum[si], cap, allTiers[si])
 		}
 	}
 	// Physical usage: manager store vs oracle store, and ≤ capacity
 	// (sequential runs never overshoot).
-	oracleStores := []store.Backend{d.oMem, d.oSSD}
-	for si, st := range bothStores {
+	oracleStores := []store.Backend{d.oMem, d.oSSD, d.oRemote}
+	for si, st := range allTiers {
 		want := int64(0)
 		if oracleStores[si] != nil {
 			want = oracleStores[si].UsedBytes()
@@ -144,13 +166,16 @@ func (d *duo) barrier() {
 		if got := d.m.StoreUsedBytes(st); got != want {
 			t.Fatalf("op %d: store %v used: manager %d, oracle %d", d.nops, st, got, want)
 		}
-		caps := []int64{d.memCap, d.ssdCap}
+		caps := []int64{d.memCap, d.ssdCap, d.remoteCap}
 		if caps[si] > 0 && want > caps[si] {
 			t.Fatalf("op %d: store %v used %d exceeds capacity %d", d.nops, st, want, caps[si])
 		}
 	}
 	if got, want := d.m.TotalEvictions(), d.o.TotalEvictions(); got != want {
 		t.Fatalf("op %d: total evictions: manager %d, oracle %d", d.nops, got, want)
+	}
+	if got, want := d.m.DemotionStats(), ddcache.DemotionStats(d.o.DemotionStats()); got != want {
+		t.Fatalf("op %d: demotion stats:\n  manager %+v\n  oracle  %+v", d.nops, got, want)
 	}
 	if got, want := d.m.DedupSavedBytes(), d.o.DedupSavedBytes(); got != want {
 		t.Fatalf("op %d: dedup saved: manager %d, oracle %d", d.nops, got, want)
@@ -167,6 +192,13 @@ func (d *duo) run(seed int64, ops int) {
 	storeChoices := []cgroup.StoreType{0, cgroup.StoreMem}
 	if d.ssdCap > 0 {
 		storeChoices = append(storeChoices, cgroup.StoreSSD, cgroup.StoreHybrid)
+	}
+	if d.remoteCap > 0 {
+		storeChoices = append(storeChoices, cgroup.StoreRemote)
+		if d.ssdCap == 0 {
+			// mem+remote: hybrid pools demote mem→remote directly.
+			storeChoices = append(storeChoices, cgroup.StoreHybrid)
+		}
 	}
 	randSpec := func() cgroup.HCacheSpec {
 		return cgroup.HCacheSpec{
@@ -212,7 +244,7 @@ func (d *duo) run(seed int64, ops int) {
 			d.memCap = n
 			d.now += lm + time.Microsecond
 			d.nops++
-		case r < 100 && d.ssdCap > 0:
+		case r < 98 && d.ssdCap > 0:
 			n := d.ssdCap/2 + rng.Int63n(d.ssdCap)
 			lm := d.m.SetSSDCapacity(d.now, n)
 			lo := d.o.SetSSDCapacity(d.now, n)
@@ -222,14 +254,27 @@ func (d *duo) run(seed int64, ops int) {
 			d.ssdCap = n
 			d.now += lm + time.Microsecond
 			d.nops++
+		case r < 100 && d.remoteCap > 0:
+			n := d.remoteCap/2 + rng.Int63n(d.remoteCap)
+			lm := d.m.SetRemoteCapacity(d.now, n)
+			lo := d.o.SetRemoteCapacity(d.now, n)
+			if lm != lo {
+				d.t.Fatalf("op %d: SetRemoteCapacity(%d) latency: manager %v, oracle %v", d.nops, n, lm, lo)
+			}
+			d.remoteCap = n
+			d.now += lm + time.Microsecond
+			d.nops++
 		default:
 			key := cleancache.Key{Pool: randPool(), Inode: uint64(1 + rng.Intn(24)), Block: rng.Int63n(24)}
 			req := cleancache.Request{VM: vm, Key: key}
 			switch x := rng.Intn(100); {
 			case x < 50:
 				req.Op = cleancache.OpPut
-				if d.dedup {
-					req.Content = 1 + uint64(rng.Intn(40)) // heavy sharing across pools and VMs
+				if d.dedup && rng.Intn(4) > 0 {
+					// Heavy sharing across pools and VMs; one put in four
+					// stays content-free so the demotion path (which skips
+					// dedup'd objects) is exercised in dedup runs too.
+					req.Content = 1 + uint64(rng.Intn(40))
 				}
 			case x < 78:
 				req.Op = cleancache.OpGet
@@ -272,6 +317,50 @@ func TestDifferentialOracle(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			d := newDuo(t, tc.mode, tc.memCap, tc.ssdCap, tc.batch, tc.dedup)
 			d.run(tc.seed, tc.ops)
+		})
+	}
+}
+
+// TestDifferentialOracleThreeTier extends the acceptance run to the
+// remote tier: 3 seeds × 50k ops with capacities tight enough that
+// evictions continuously demote down the ladder and gets routinely come
+// back as slow remote hits. Per-op latency equality covers the modeled
+// remote round trips, and every barrier compares the demotion queues'
+// full counter sets — so a divergence in write-behind ordering, dirtiness
+// accounting or drop policy is caught within 4096 ops.
+func TestDifferentialOracleThreeTier(t *testing.T) {
+	cases := []struct {
+		name      string
+		seed      int64
+		memCap    int64
+		ssdCap    int64
+		remoteCap int64
+		batch     int64
+		dedup     bool
+		ops       int
+	}{
+		{name: "three-tier-hybrid", seed: 11, memCap: 1 << 20, ssdCap: 2 << 20, remoteCap: 8 << 20, batch: 128 << 10, ops: 50000},
+		{name: "three-tier-dedup", seed: 12, memCap: 1 << 20, ssdCap: 1 << 20, remoteCap: 4 << 20, batch: 64 << 10, dedup: true, ops: 50000},
+		{name: "mem-remote", seed: 13, memCap: 1 << 20, remoteCap: 4 << 20, batch: 64 << 10, ops: 50000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newTieredDuo(t, ddcache.ModeDD, tc.memCap, tc.ssdCap, tc.remoteCap, tc.batch, tc.dedup)
+			d.run(tc.seed, tc.ops)
+			// Quiesce: both queues must drain identically, to empty.
+			lm := d.m.FlushDemotions(d.now)
+			lo := d.o.FlushDemotions(d.now)
+			if lm != lo {
+				t.Fatalf("final FlushDemotions latency: manager %v, oracle %v", lm, lo)
+			}
+			d.barrier()
+			ds := d.m.DemotionStats()
+			if ds.DirtyBytes != 0 || ds.DirtyObjects != 0 {
+				t.Fatalf("demotion queue not empty after flush: %+v", ds)
+			}
+			if tc.remoteCap > 0 && ds.Enqueued == 0 {
+				t.Fatalf("run produced no demotions — workload does not exercise the tier ladder")
+			}
 		})
 	}
 }

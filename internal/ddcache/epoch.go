@@ -9,7 +9,13 @@ import (
 
 // entSlots bounds the per-store entitlement arrays carried by an epoch
 // (store types are small consecutive constants, as in package index).
-const entSlots = 4
+const entSlots = 5
+
+// tierOrder lists the backend tiers in demotion order: mem evicts to
+// SSD, SSD evicts to remote, remote evictions are true drops. Every loop
+// that used to hard-code the mem/ssd pair iterates this slice instead,
+// so adding a tier is a one-line change here plus a backend() case.
+var tierOrder = []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD, cgroup.StoreRemote}
 
 // entSlot maps a store type onto the entitlement arrays, folding
 // out-of-range values onto slot 0.
@@ -80,11 +86,18 @@ type epochPool struct {
 }
 
 // usesStore reports whether the pool may place objects in st under this
-// epoch's spec.
+// epoch's spec. The demotion ladder follows from these sets: an eviction
+// demotes to the next tier of tierOrder the spec still uses, so hybrid
+// pools ride mem→SSD→remote, SSD pools ride SSD→remote, and mem-only or
+// remote-only pools drop on eviction. When no remote backend is
+// configured, build() skips the remote tier entirely (entitlement stays
+// zero) and two-tier behaviour is unchanged.
 func (pe *epochPool) usesStore(st cgroup.StoreType) bool {
 	switch pe.spec.Store {
 	case cgroup.StoreHybrid:
-		return st == cgroup.StoreMem || st == cgroup.StoreSSD
+		return st == cgroup.StoreMem || st == cgroup.StoreSSD || st == cgroup.StoreRemote
+	case cgroup.StoreSSD:
+		return st == cgroup.StoreSSD || st == cgroup.StoreRemote
 	default:
 		return pe.spec.Store == st
 	}
@@ -198,7 +211,7 @@ func (b *epochBuilder) build(m *Manager, seq uint64) *epoch {
 		ep.vms = append(ep.vms, ev)
 		ep.vmByID[bv.state.id] = ev
 	}
-	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
+	for _, st := range tierOrder {
 		be := m.backend(st)
 		if be == nil {
 			continue

@@ -7,6 +7,7 @@ import (
 	"doubledecker/internal/metrics"
 	"doubledecker/internal/policy"
 	"doubledecker/internal/store"
+	"doubledecker/internal/store/remote"
 )
 
 // Option configures a Manager built by New.
@@ -47,6 +48,24 @@ func WithSSDBackend(be store.Backend) Option { return func(c *Config) { c.SSD = 
 func WithSSDCapacity(n int64) Option {
 	return func(c *Config) { c.SSD = store.NewSSD(blockdev.NewSSD("ssd"), n) }
 }
+
+// WithRemoteBackend installs an explicit remote object-store backend as
+// the third tier.
+func WithRemoteBackend(be store.Backend) Option { return func(c *Config) { c.Remote = be } }
+
+// WithRemoteCapacity installs a modeled remote object store of n bytes
+// with the default latency, throughput and cost parameters.
+func WithRemoteCapacity(n int64) Option {
+	return func(c *Config) { c.Remote = remote.New(remote.Config{CapacityBytes: n}) }
+}
+
+// WithDemotion tunes the write-behind demotion queue (zero fields keep
+// the DemotionConfig defaults). Only meaningful with a remote backend.
+func WithDemotion(d DemotionConfig) Option { return func(c *Config) { c.Demotion = d } }
+
+// WithRemoteBreaker tunes the remote tier's circuit breaker; the zero
+// value keeps the defaults.
+func WithRemoteBreaker(b BreakerConfig) Option { return func(c *Config) { c.RemoteBreaker = b } }
 
 // WithEvictBatch sets the eviction granularity (the paper uses 2 MiB).
 func WithEvictBatch(n int64) Option { return func(c *Config) { c.EvictBatchBytes = n } }

@@ -42,19 +42,47 @@ const (
 )
 
 // Config parameterizes an Oracle; fields mirror ddcache.Config. The
-// oracle models a healthy SSD (no circuit breaker): differential runs
+// oracle models healthy devices (no circuit breakers): differential runs
 // must not inject device faults, since breaker state is timing-dependent
 // and deliberately outside the sequential model.
 type Config struct {
 	Mode            Mode
 	Mem             store.Backend
 	SSD             store.Backend
+	Remote          store.Backend
+	Demotion        DemotionConfig
 	EvictBatchBytes int64
 	OpOverhead      time.Duration
 	VictimSelector  func(ents []policy.Entity, evictionSize int64) int
 	Dedup           bool
 	Inclusive       bool
 }
+
+// DemotionConfig mirrors ddcache.DemotionConfig (declared independently:
+// the oracle must not import the package it checks).
+type DemotionConfig struct {
+	MaxDirtyBytes   int64
+	MaxDirtyObjects int64
+	BatchBytes      int64
+}
+
+// DemotionStats mirrors ddcache.DemotionStats field-for-field, so the
+// differential tests can compare the two by struct conversion.
+type DemotionStats struct {
+	Enqueued       int64
+	Drained        int64
+	Cancelled      int64
+	DroppedFull    int64
+	DroppedError   int64
+	DroppedBreaker int64
+	DirtyBytes     int64
+	DirtyObjects   int64
+	MaxDirtyBytes  int64
+}
+
+// tierOrder mirrors ddcache's demotion ladder: mem evicts to SSD, SSD
+// evicts to remote, remote evictions are true drops.
+var tierOrder = []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD, cgroup.StoreRemote}
 
 type objKey struct {
 	inode uint64
@@ -68,6 +96,81 @@ type obj struct {
 	store   cgroup.StoreType
 	seq     uint64
 	content uint64
+	// pending mirrors index.Object.Pending: a write-behind demotion in
+	// flight, bytes buffered in the demotion queue, charged to no backend.
+	pending bool
+}
+
+// demoteEntry is one queued write-behind demotion.
+type demoteEntry struct {
+	p  *pool
+	ob *obj
+}
+
+// demoteQueue mirrors ddcache's bounded write-behind ring, including its
+// refusal semantics: the ring has exactly MaxDirtyObjects slots and
+// cancelled entries occupy theirs until popped.
+type demoteQueue struct {
+	cfg   DemotionConfig
+	ring  []demoteEntry
+	stats DemotionStats
+}
+
+func newDemoteQueue(cfg DemotionConfig) *demoteQueue {
+	if cfg.MaxDirtyBytes <= 0 {
+		cfg.MaxDirtyBytes = 8 << 20
+	}
+	if cfg.MaxDirtyObjects <= 0 {
+		cfg.MaxDirtyObjects = cfg.MaxDirtyBytes / ObjectSize
+		if cfg.MaxDirtyObjects <= 0 {
+			cfg.MaxDirtyObjects = 1
+		}
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 2 << 20
+	}
+	return &demoteQueue{cfg: cfg}
+}
+
+func (q *demoteQueue) tryEnqueue(p *pool, ob *obj) bool {
+	if int64(len(q.ring)) == q.cfg.MaxDirtyObjects ||
+		q.stats.DirtyObjects >= q.cfg.MaxDirtyObjects ||
+		q.stats.DirtyBytes+ob.size > q.cfg.MaxDirtyBytes {
+		return false
+	}
+	q.ring = append(q.ring, demoteEntry{p: p, ob: ob})
+	q.stats.DirtyObjects++
+	q.stats.DirtyBytes += ob.size
+	if q.stats.DirtyBytes > q.stats.MaxDirtyBytes {
+		q.stats.MaxDirtyBytes = q.stats.DirtyBytes
+	}
+	q.stats.Enqueued++
+	return true
+}
+
+func (q *demoteQueue) pop() (demoteEntry, bool) {
+	if len(q.ring) == 0 {
+		return demoteEntry{}, false
+	}
+	e := q.ring[0]
+	q.ring = q.ring[1:]
+	return e, true
+}
+
+func (q *demoteQueue) ready() bool {
+	return q != nil && q.stats.DirtyBytes >= q.cfg.BatchBytes
+}
+
+func (q *demoteQueue) cancel(size int64) {
+	q.stats.DirtyBytes -= size
+	q.stats.DirtyObjects--
+	q.stats.Cancelled++
+}
+
+func (q *demoteQueue) settle(size int64, outcome *int64) {
+	q.stats.DirtyBytes -= size
+	q.stats.DirtyObjects--
+	*outcome++
 }
 
 type pool struct {
@@ -104,6 +207,10 @@ type Oracle struct {
 	refs           map[refKey]int64
 	dedupSaved     int64
 	totalEvictions int64
+
+	// demote is the write-behind demotion queue mirror; nil unless a
+	// remote backend is configured in ModeDD, exactly as in ddcache.
+	demote *demoteQueue
 }
 
 type refKey struct {
@@ -128,13 +235,17 @@ func New(cfg Config) *Oracle {
 	if cfg.VictimSelector == nil {
 		cfg.VictimSelector = policy.SelectVictim
 	}
-	return &Oracle{
+	o := &Oracle{
 		cfg:      cfg,
 		vmByID:   make(map[cleancache.VMID]*vm),
 		pools:    make(map[cleancache.PoolID]*pool),
 		nextPool: 1,
 		refs:     make(map[refKey]int64),
 	}
+	if cfg.Remote != nil && cfg.Mode == ModeDD {
+		o.demote = newDemoteQueue(cfg.Demotion)
+	}
+	return o
 }
 
 // Dispatch implements cleancache.Backend with the same routing as the
@@ -175,6 +286,8 @@ func (o *Oracle) backend(st cgroup.StoreType) store.Backend {
 		return o.cfg.Mem
 	case cgroup.StoreSSD:
 		return o.cfg.SSD
+	case cgroup.StoreRemote:
+		return o.cfg.Remote
 	default:
 		return nil
 	}
@@ -229,6 +342,11 @@ func (o *Oracle) SetSSDCapacity(now time.Duration, n int64) time.Duration {
 	return o.setCapacity(now, cgroup.StoreSSD, n)
 }
 
+// SetRemoteCapacity resizes the remote tier and returns the latency.
+func (o *Oracle) SetRemoteCapacity(now time.Duration, n int64) time.Duration {
+	return o.setCapacity(now, cgroup.StoreRemote, n)
+}
+
 func (o *Oracle) setCapacity(now time.Duration, st cgroup.StoreType, n int64) time.Duration {
 	be := o.backend(st)
 	if be == nil {
@@ -237,6 +355,7 @@ func (o *Oracle) setCapacity(now time.Duration, st cgroup.StoreType, n int64) ti
 	be.SetCapacityBytes(n)
 	lat := o.cfg.OpOverhead
 	lat += o.enforceCapacity(now+lat, st, 0)
+	lat += o.drainDemotions(now + lat)
 	return lat
 }
 
@@ -315,7 +434,7 @@ func (o *Oracle) SetSpec(_ time.Duration, _ cleancache.VMID, id cleancache.PoolI
 		spec.Store = old.Store
 	}
 	p.spec = spec
-	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
+	for _, st := range tierOrder {
 		if usesStore(p.spec, st) || p.used[st] == 0 {
 			continue
 		}
@@ -345,13 +464,15 @@ func (o *Oracle) Get(now time.Duration, _ cleancache.VMID, key cleancache.Key) (
 	if ob == nil {
 		return false, lat
 	}
-	if be := o.backend(ob.store); be != nil {
-		flat, err := be.Fetch(now+lat, ob.size)
-		lat += flat
-		if err != nil {
-			o.unlink(p, ob)
-			o.releaseObject(ob)
-			return false, lat
+	if !ob.pending {
+		if be := o.backend(ob.store); be != nil {
+			flat, err := be.Fetch(now+lat, ob.size)
+			lat += flat
+			if err != nil {
+				o.unlink(p, ob)
+				o.releaseObject(ob)
+				return false, lat
+			}
 		}
 	}
 	p.stats.GetHits++
@@ -381,13 +502,16 @@ func (o *Oracle) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.
 		if ob == nil {
 			break
 		}
-		if be := o.backend(ob.store); be != nil {
-			flat, err := be.Fetch(now+lat, ob.size)
-			lat += flat
-			if err != nil {
-				o.unlink(p, ob)
-				o.releaseObject(ob)
-				break
+		if !ob.pending {
+			be := o.backend(ob.store)
+			if be != nil {
+				flat, err := be.Fetch(now+lat, ob.size)
+				lat += flat
+				if err != nil {
+					o.unlink(p, ob)
+					o.releaseObject(ob)
+					break
+				}
 			}
 		}
 		p.stats.ReadAheadHits++
@@ -400,8 +524,17 @@ func (o *Oracle) ReadAhead(now time.Duration, _ cleancache.VMID, key cleancache.
 	return n, lat
 }
 
-// Put mirrors PUT: placement, dedup, capacity enforcement, commit.
-func (o *Oracle) Put(now time.Duration, _ cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
+// Put mirrors PUT: placement, dedup, capacity enforcement, commit, and
+// the batched write-behind drain once dirty bytes reach the threshold.
+func (o *Oracle) Put(now time.Duration, vmid cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
+	ok, lat := o.putInner(now, vmid, key, content)
+	if o.demote.ready() {
+		lat += o.drainDemotions(now + lat)
+	}
+	return ok, lat
+}
+
+func (o *Oracle) putInner(now time.Duration, _ cleancache.VMID, key cleancache.Key, content uint64) (bool, time.Duration) {
 	p, ok := o.pools[key.Pool]
 	if !ok {
 		return false, 0
@@ -481,17 +614,24 @@ func (o *Oracle) FlushInode(_ time.Duration, _ cleancache.VMID, id cleancache.Po
 
 // MigrateInode mirrors MIGRATE_OBJECT: objects keep their seq but join
 // the back of the destination pool's FIFO, in ascending block order (the
-// real index's radix-tree iteration order).
-func (o *Oracle) MigrateInode(_ time.Duration, _ cleancache.VMID, from, to cleancache.PoolID, inode uint64) time.Duration {
+// real index's radix-tree iteration order). The write-behind queue is
+// force-drained first (flush-before-migrate), and any pending object is
+// dropped instead of migrated, exactly as the real manager does.
+func (o *Oracle) MigrateInode(now time.Duration, _ cleancache.VMID, from, to cleancache.PoolID, inode uint64) time.Duration {
+	lat := o.drainDemotions(now)
 	src, okSrc := o.pools[from]
 	dst, okDst := o.pools[to]
 	if !okSrc || !okDst {
-		return 0
+		return lat
 	}
 	for _, ob := range o.removeInode(src, inode) {
+		if ob.pending {
+			o.releaseObject(ob)
+			continue
+		}
 		o.insert(dst, ob)
 	}
-	return o.cfg.OpOverhead
+	return lat + o.cfg.OpOverhead
 }
 
 // PoolStats mirrors GET_STATS.
@@ -509,7 +649,7 @@ func (o *Oracle) PoolStats(_ cleancache.VMID, id cleancache.PoolID) cleancache.P
 	s.UsedBytes = used
 	s.Objects = count
 	var ent int64
-	for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD} {
+	for _, st := range tierOrder {
 		if usesStore(p.spec, st) {
 			ent += o.poolEntitlement(p, st)
 		}
@@ -523,7 +663,9 @@ func (o *Oracle) PoolStats(_ cleancache.VMID, id cleancache.PoolID) cleancache.P
 func usesStore(spec cgroup.HCacheSpec, st cgroup.StoreType) bool {
 	switch spec.Store {
 	case cgroup.StoreHybrid:
-		return st == cgroup.StoreMem || st == cgroup.StoreSSD
+		return st == cgroup.StoreMem || st == cgroup.StoreSSD || st == cgroup.StoreRemote
+	case cgroup.StoreSSD:
+		return st == cgroup.StoreSSD || st == cgroup.StoreRemote
 	default:
 		return spec.Store == st
 	}
@@ -608,7 +750,14 @@ func (o *Oracle) drainAll(p *pool) []*obj {
 }
 
 // releaseObject frees ob's physical bytes, honouring shared dedup copies.
+// A pending object holds no backend storage: releasing it cancels the
+// queued demotion instead.
 func (o *Oracle) releaseObject(ob *obj) {
+	if ob.pending {
+		ob.pending = false
+		o.demote.cancel(ob.size)
+		return
+	}
 	be := o.backend(ob.store)
 	if be == nil {
 		return
@@ -701,6 +850,7 @@ func (o *Oracle) evictBatch(st cgroup.StoreType, batch int64) int64 {
 	if victim == nil {
 		return 0
 	}
+	target := o.demoteTarget(victim, st)
 	var freed int64
 	for freed < batch {
 		ob := o.oldest(victim, st)
@@ -708,12 +858,101 @@ func (o *Oracle) evictBatch(st cgroup.StoreType, batch int64) int64 {
 			break
 		}
 		o.unlink(victim, ob)
-		o.releaseObject(ob)
+		if target != 0 && !ob.pending && ob.content == 0 && o.demote.tryEnqueue(victim, ob) {
+			o.releaseObject(ob)
+			ob.store = target
+			ob.pending = true
+			o.insert(victim, ob)
+			victim.stats.Demotions++
+		} else {
+			o.releaseObject(ob)
+			victim.stats.Evictions++
+			o.totalEvictions++
+		}
 		freed += ob.size
-		victim.stats.Evictions++
-		o.totalEvictions++
 	}
 	return freed
+}
+
+// demoteTarget mirrors ddcache's: the next tier of tierOrder the pool's
+// spec uses and a backend exists for, or 0 for a plain drop.
+func (o *Oracle) demoteTarget(p *pool, st cgroup.StoreType) cgroup.StoreType {
+	if o.demote == nil {
+		return 0
+	}
+	past := false
+	for _, t := range tierOrder {
+		if t == st {
+			past = true
+			continue
+		}
+		if past && usesStore(p.spec, t) && o.backend(t) != nil {
+			return t
+		}
+	}
+	return 0
+}
+
+// drainDemotions mirrors ddcache's drain loop.
+func (o *Oracle) drainDemotions(now time.Duration) time.Duration {
+	if o.demote == nil {
+		return 0
+	}
+	var lat time.Duration
+	for {
+		e, ok := o.demote.pop()
+		if !ok {
+			return lat
+		}
+		lat += o.drainOne(now+lat, e)
+	}
+}
+
+// drainOne mirrors ddcache's: land one queued demotion, settling the
+// dirtiness accounting exactly once per terminal outcome. The oracle has
+// no breakers, so the breaker-drop branch never fires here (differential
+// runs never inject faults).
+func (o *Oracle) drainOne(now time.Duration, e demoteEntry) time.Duration {
+	q := o.demote
+	var lat time.Duration
+	if !e.ob.pending {
+		return 0 // cancelled before the drain got here
+	}
+	st := e.ob.store
+	be := o.backend(st)
+	if be == nil || be.CapacityBytes() <= 0 {
+		o.dropPending(e.p, e.ob, &q.stats.DroppedFull)
+		return 0
+	}
+	if be.UsedBytes()+e.ob.size > be.CapacityBytes() {
+		lat += o.enforceCapacity(now+lat, st, e.ob.size)
+		if !e.ob.pending {
+			return lat // the enforcement itself evicted (cancelled) this entry
+		}
+		if be.UsedBytes()+e.ob.size > be.CapacityBytes() {
+			o.dropPending(e.p, e.ob, &q.stats.DroppedFull)
+			return lat
+		}
+	}
+	slat, err := be.Store(now+lat, e.ob.size)
+	lat += slat
+	if err != nil {
+		o.dropPending(e.p, e.ob, &q.stats.DroppedError)
+		return lat
+	}
+	e.ob.pending = false
+	q.settle(e.ob.size, &q.stats.Drained)
+	return lat
+}
+
+// dropPending mirrors ddcache's: a queued demotion becomes a true
+// eviction.
+func (o *Oracle) dropPending(p *pool, ob *obj, outcome *int64) {
+	o.unlink(p, ob)
+	ob.pending = false
+	o.demote.settle(ob.size, outcome)
+	p.stats.Evictions++
+	o.totalEvictions++
 }
 
 func (o *Oracle) evictGlobalFIFO(st cgroup.StoreType, batch int64) int64 {
@@ -860,6 +1099,20 @@ func (o *Oracle) PoolEntitlement(id cleancache.PoolID, st cgroup.StoreType) int6
 
 // TotalEvictions reports objects evicted by capacity enforcement.
 func (o *Oracle) TotalEvictions() int64 { return o.totalEvictions }
+
+// DemotionStats snapshots the write-behind queue mirror (all zeros when
+// no remote backend is configured).
+func (o *Oracle) DemotionStats() DemotionStats {
+	if o.demote == nil {
+		return DemotionStats{}
+	}
+	return o.demote.stats
+}
+
+// FlushDemotions force-drains the write-behind queue mirror.
+func (o *Oracle) FlushDemotions(now time.Duration) time.Duration {
+	return o.drainDemotions(now)
+}
 
 // DedupSavedBytes reports physical bytes avoided by deduplication.
 func (o *Oracle) DedupSavedBytes() int64 { return o.dedupSaved }

@@ -21,12 +21,13 @@ func defaultRunners() map[string]Runner {
 
 		// Beyond the paper's artifacts: transport batching (ISSUE 2),
 		// fault-injection robustness (ISSUE 4), the end-to-end
-		// pipelined read path (ISSUE 7) and latency-budget liveness
-		// (ISSUE 9).
+		// pipelined read path (ISSUE 7), latency-budget liveness
+		// (ISSUE 9) and the remote third tier (ISSUE 10).
 		"transport": TransportExp,
 		"faults":    FaultsExp,
 		"readpath":  ReadPathExp,
 		"liveness":  LivenessExp,
+		"tier":      TierExp,
 	}
 }
 

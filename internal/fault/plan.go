@@ -135,15 +135,16 @@ func (p Plan) Validate() (warnings []string, err error) {
 }
 
 // RandomPlan generates a seeded, always-valid chaos plan over the
-// transport and host-SSD sites: one to four rules with randomized kinds,
-// probabilities and delays, plus optionally a hard stall window. The same
-// seed yields the same plan, so a failing chaos run is replayable from its
-// seed alone.
+// transport, host-SSD and remote object-store sites: one to four rules
+// with randomized kinds, probabilities and delays, plus optionally a hard
+// stall window. The same seed yields the same plan, so a failing chaos
+// run is replayable from its seed alone.
 func RandomPlan(seed int64) Plan {
 	rng := rand.New(rand.NewSource(seed))
 	sites := []string{
 		"transport.batch", "transport.call", "transport.completion",
 		"host-ssd.read", "host-ssd.write", "host-ssd.*",
+		"remote.get", "remote.put", "remote.*",
 	}
 	kinds := []Kind{KindIOError, KindLatency, KindStall, KindDrop, KindCorrupt}
 	p := Plan{Seed: seed}

@@ -109,8 +109,9 @@ func TestRandomPlanTargetsRegisteredSites(t *testing.T) {
 	// The chaos generator must draw only sites validation knows about,
 	// so a generated plan never trips the unknown-site warning. The fault
 	// package itself links no components; register the patterns the real
-	// components declare in their init functions (hypercall, blockdev).
-	RegisterSites("transport.batch", "transport.call", "transport.completion", "*.read", "*.write")
+	// components declare in their init functions (hypercall, blockdev,
+	// store/remote).
+	RegisterSites("transport.batch", "transport.call", "transport.completion", "*.read", "*.write", "*.get", "*.put")
 	for seed := int64(0); seed < 50; seed++ {
 		warnings, err := RandomPlan(seed).Validate()
 		if err != nil {

@@ -17,6 +17,7 @@ import (
 	"doubledecker/internal/policy"
 	"doubledecker/internal/sim"
 	"doubledecker/internal/store"
+	"doubledecker/internal/store/remote"
 )
 
 // Config parameterizes a host.
@@ -27,6 +28,19 @@ type Config struct {
 	MemCacheBytes int64
 	// SSDCacheBytes is the SSD store capacity (0 disables it).
 	SSDCacheBytes int64
+	// RemoteCacheBytes is the third-tier remote object-store capacity (0
+	// disables the tier). With the tier enabled in ModeDD, SSD (and
+	// hybrid) evictions demote into it through the manager's write-behind
+	// queue, and gets that miss SSD but hit the remote tier return as
+	// slow hits charged the modeled round trip.
+	RemoteCacheBytes int64
+	// Remote overrides the modeled remote store's latency, throughput and
+	// cost parameters (zero fields keep the store/remote defaults). The
+	// CapacityBytes, Faults and Metrics fields are overwritten from the
+	// host configuration.
+	Remote remote.Config
+	// Demotion tunes the manager's write-behind demotion queue.
+	Demotion ddcache.DemotionConfig
 	// EvictBatchBytes overrides the paper's 2 MiB eviction batch.
 	EvictBatchBytes int64
 	// HypervisorCaching can be set false to disable the second-chance
@@ -67,6 +81,10 @@ type Config struct {
 	// Breaker tunes the cache manager's SSD circuit breaker; the zero
 	// value keeps the defaults.
 	Breaker ddcache.BreakerConfig
+	// RemoteBreaker tunes the remote tier's circuit breaker (exists
+	// whenever RemoteCacheBytes is set); the zero value keeps the
+	// defaults.
+	RemoteBreaker ddcache.BreakerConfig
 	// OpBudget is the per-operation latency budget every VM's transport
 	// enforces on the data path (see hypercall.Options.OpBudget); zero
 	// disables deadlines. Overrides Transport.OpBudget when set.
@@ -90,6 +108,7 @@ type Host struct {
 	manager    *ddcache.Manager
 	ram        *blockdev.RAM
 	ssd        *blockdev.SSD
+	remote     *remote.Store
 	caching    bool
 	diskFor    func(id cleancache.VMID) blockdev.Device
 	vms        []*guest.VM
@@ -157,6 +176,8 @@ func New(engine *sim.Engine, cfg Config) *Host {
 		VictimSelector:  cfg.VictimSelector,
 		Metrics:         cfg.Metrics,
 		Breaker:         cfg.Breaker,
+		RemoteBreaker:   cfg.RemoteBreaker,
+		Demotion:        cfg.Demotion,
 		MaxInflightOps:  cfg.MaxInflightOps,
 	}
 	if cfg.MemCacheBytes > 0 {
@@ -165,9 +186,21 @@ func New(engine *sim.Engine, cfg Config) *Host {
 	if cfg.SSDCacheBytes > 0 {
 		mcfg.SSD = store.NewSSD(h.ssd, cfg.SSDCacheBytes)
 	}
+	if cfg.RemoteCacheBytes > 0 {
+		rcfg := cfg.Remote
+		rcfg.CapacityBytes = cfg.RemoteCacheBytes
+		rcfg.Faults = cfg.Faults
+		rcfg.Metrics = cfg.Metrics
+		h.remote = remote.New(rcfg)
+		mcfg.Remote = h.remote
+	}
 	h.manager = ddcache.NewManager(mcfg)
 	return h
 }
+
+// Remote exposes the modeled remote object store (nil when the tier is
+// disabled) — experiments read its cost accounting from here.
+func (h *Host) Remote() *remote.Store { return h.remote }
 
 // Engine returns the simulation engine.
 func (h *Host) Engine() *sim.Engine { return h.engine }
@@ -278,6 +311,11 @@ func (h *Host) SetMemCacheBytes(n int64) {
 // SetSSDCacheBytes resizes the SSD store at runtime.
 func (h *Host) SetSSDCacheBytes(n int64) {
 	h.manager.SetSSDCapacity(h.engine.Now(), n)
+}
+
+// SetRemoteCacheBytes resizes the remote tier at runtime.
+func (h *Host) SetRemoteCacheBytes(n int64) {
+	h.manager.SetRemoteCapacity(h.engine.Now(), n)
 }
 
 // RunFor advances the simulation by d of virtual time.

@@ -43,15 +43,16 @@ func runHostChaos(t *testing.T, seed int64) {
 	}
 	engine := sim.New(seed)
 	host := New(engine, Config{
-		Mode:            ddcache.ModeDD,
-		MemCacheBytes:   32 * mib,
-		SSDCacheBytes:   256 * mib,
-		Faults:          fault.New(plan),
-		OpBudget:        budget,
-		WatchdogPeriod:  budget / 2,
-		MaxInflightGets: 128,
-		MaxQueuedOps:    400,
-		MaxInflightOps:  1024,
+		Mode:             ddcache.ModeDD,
+		MemCacheBytes:    32 * mib,
+		SSDCacheBytes:    256 * mib,
+		RemoteCacheBytes: 512 * mib,
+		Faults:           fault.New(plan),
+		OpBudget:         budget,
+		WatchdogPeriod:   budget / 2,
+		MaxInflightGets:  128,
+		MaxQueuedOps:     400,
+		MaxInflightOps:   1024,
 	})
 
 	vm1 := host.NewVM(1, 128*mib, 60)
@@ -119,9 +120,105 @@ func runHostChaos(t *testing.T, seed int64) {
 	if got := host.Manager().StoreUsedBytes(cgroup.StoreSSD); got != 0 {
 		t.Errorf("seed %d: %d ssd-store bytes leaked after teardown", seed, got)
 	}
-	t.Logf("seed %d: misses=%d watchdog=%d shedGets=%d shedOps=%d managerShed=%d drops=%d",
+	if got := host.Manager().StoreUsedBytes(cgroup.StoreRemote); got != 0 {
+		t.Errorf("seed %d: %d remote-store bytes leaked after teardown", seed, got)
+	}
+	// The write-behind queue must settle to empty at quiesce: teardown
+	// cancels queued entries, a final flush pops the settled slots, and
+	// the conservation identity must close.
+	host.Manager().FlushDemotions(engine.Now())
+	ds := host.Manager().DemotionStats()
+	if ds.DirtyBytes != 0 || ds.DirtyObjects != 0 {
+		t.Errorf("seed %d: demotion queue did not drain at quiesce: %+v", seed, ds)
+	}
+	if settled := ds.Drained + ds.Cancelled + ds.DroppedFull + ds.DroppedError + ds.DroppedBreaker; settled != ds.Enqueued {
+		t.Errorf("seed %d: demotion accounting does not conserve: %+v", seed, ds)
+	}
+	rb := host.Manager().RemoteBreakerStats()
+	t.Logf("seed %d: misses=%d watchdog=%d shedGets=%d shedOps=%d managerShed=%d drops=%d demotions=%+v remoteBreaker(trips=%d restores=%d)",
 		seed, agg.DeadlineMisses, agg.WatchdogFails, agg.ShedGets, agg.ShedOps,
-		host.Manager().ShedOps(), agg.Drops)
+		host.Manager().ShedOps(), agg.Drops, ds, rb.Trips, rb.Restores)
+}
+
+// TestChaosRemoteFaultPlans targets the remote tier's sites explicitly:
+// stall, io-error and drop plans on remote.* while a guest works a set
+// much larger than mem+SSD, forcing constant demotion and remote (slow)
+// hits. Liveness must hold — no get charged past the budget, the
+// demotion queue drains at quiesce, no store bytes leak — and under the
+// error plans the remote breaker must actually trip.
+func TestChaosRemoteFaultPlans(t *testing.T) {
+	plans := []struct {
+		name      string
+		rule      fault.Rule
+		wantTrips bool
+	}{
+		{name: "stall", rule: fault.Rule{Site: "remote.*", Kind: fault.KindStall, Prob: 0.3, Delay: 5 * time.Millisecond}, wantTrips: true},
+		{name: "io-error", rule: fault.Rule{Site: "remote.get", Kind: fault.KindIOError, Prob: 0.4}, wantTrips: true},
+		{name: "drop", rule: fault.Rule{Site: "remote.put", Kind: fault.KindDrop, Prob: 0.3}, wantTrips: false},
+	}
+	for _, tc := range plans {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const budget = 2 * time.Millisecond
+			plan := fault.Plan{Seed: 42, Rules: []fault.Rule{tc.rule}}
+			if warnings, err := plan.Validate(); err != nil || len(warnings) != 0 {
+				t.Fatalf("plan invalid: err=%v warnings=%v", err, warnings)
+			}
+			engine := sim.New(42)
+			host := New(engine, Config{
+				Mode:             ddcache.ModeDD,
+				MemCacheBytes:    2 * mib,
+				SSDCacheBytes:    4 * mib,
+				RemoteCacheBytes: 64 * mib,
+				Faults:           fault.New(plan),
+				OpBudget:         budget,
+				WatchdogPeriod:   budget / 2,
+			})
+			// The guest's own page cache is tiny relative to the working
+			// set, so clean evictions continuously put into the hypervisor
+			// cache, overflow SSD and demote into the remote tier.
+			vm := host.NewVM(1, 8*mib, 100)
+			c := vm.NewContainer("hot", 4*mib, cgroup.HCacheSpec{Store: cgroup.StoreSSD, Weight: 100})
+			f := vm.Allocator().Alloc(8192) // 32 MiB working set ≫ mem+SSD
+			var pos int64
+			engine.Every(500*time.Microsecond, func() {
+				now := engine.Now()
+				c.Read(now, f, pos%f.Blocks, 64)
+				c.Read(now, f, (pos*7)%f.Blocks, 32)
+				pos += 64
+			})
+			if err := host.RunFor(300 * time.Millisecond); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			host.DestroyVM(vm)
+
+			agg := host.TransportStats()
+			if agg.MaxGetLatency > budget {
+				t.Errorf("a get was charged %v, past the budget %v", agg.MaxGetLatency, budget)
+			}
+			if agg.Waiters != 0 || agg.Pending != 0 || agg.StagedPages != 0 {
+				t.Errorf("transport state leaked: %+v", agg)
+			}
+			host.Manager().FlushDemotions(engine.Now())
+			ds := host.Manager().DemotionStats()
+			if ds.DirtyBytes != 0 || ds.DirtyObjects != 0 {
+				t.Errorf("demotion queue did not drain: %+v", ds)
+			}
+			if ds.Enqueued == 0 {
+				t.Error("workload never demoted — remote path not exercised")
+			}
+			for _, st := range []cgroup.StoreType{cgroup.StoreMem, cgroup.StoreSSD, cgroup.StoreRemote} {
+				if got := host.Manager().StoreUsedBytes(st); got != 0 {
+					t.Errorf("%d bytes leaked in %v after teardown", got, st)
+				}
+			}
+			rb := host.Manager().RemoteBreakerStats()
+			if tc.wantTrips && rb.Trips == 0 {
+				t.Errorf("remote breaker never tripped under the %s plan: %+v", tc.name, rb)
+			}
+			t.Logf("%s: demotions=%+v breaker trips=%d probes=%d restores=%d", tc.name, ds, rb.Trips, rb.Probes, rb.Restores)
+		})
+	}
 }
 
 func TestHostDeadlineDefaultsWatchdogPeriod(t *testing.T) {

@@ -36,13 +36,18 @@ type Object struct {
 	// Content is the block's content identity when deduplication is
 	// enabled (0 otherwise).
 	Content uint64
+	// Pending marks a write-behind demotion in flight: the object has
+	// been re-homed to Store in the index but its bytes still sit in the
+	// demotion queue's buffer, charged to no backend until the drain
+	// stores (or drops) them.
+	Pending bool
 
 	elem *list.Element
 }
 
 // storeSlots bounds the per-store accounting array: store types are
-// small consecutive constants (mem, SSD, hybrid).
-const storeSlots = 4
+// small consecutive constants (mem, SSD, hybrid, remote).
+const storeSlots = 5
 
 // Accounting is a pool's byte and object accounting, held apart from the
 // structural index so lock-free observers can share the pointer without
